@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the end-to-end experiment pipelines: a full
+//! governor replay of a benchmark under each scheme, mirroring the per-
+//! figure workloads. These time the *reproduction harness*, not the
+//! modelled hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpm_harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm_mpc::HorizonMode;
+use gpm_workloads::workload_by_name;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| EvalContext::build(EvalOptions::fast()))
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let w = workload_by_name("Spmv").unwrap();
+    let mut group = c.benchmark_group("pipeline/spmv");
+    group.sample_size(10);
+    group.bench_function("turbo_core", |b| {
+        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::TurboCore)))
+    });
+    group.bench_function("ppk_rf", |b| {
+        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::PpkRf)))
+    });
+    group.bench_function("mpc_rf_adaptive", |b| {
+        b.iter(|| {
+            black_box(evaluate_scheme(
+                ctx(),
+                &w,
+                Scheme::MpcRf { horizon: HorizonMode::default() },
+            ))
+        })
+    });
+    group.bench_function("mpc_oracle_full", |b| {
+        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::MpcOracle)))
+    });
+    group.bench_function("theoretically_optimal", |b| {
+        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal)))
+    });
+    group.finish();
+}
+
+fn bench_workload_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/mpc_by_workload");
+    group.sample_size(10);
+    for name in ["XSBench", "kmeans", "Spmv"] {
+        let w = workload_by_name(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(evaluate_scheme(
+                    ctx(),
+                    &w,
+                    Scheme::MpcRf { horizon: HorizonMode::default() },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_workload_sizes);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 2: performance trends and energy-optimal points of the four
+//! kernel classes across NB states × CU counts.
+//!
+//! Each panel prints speedup (relative to the NB3 / 2-CU corner) for every
+//! NB state and CU count, marking the energy-optimal point with `*`.
+
+use gpm_harness::traces::fig2_sweep;
+use gpm_hw::NbState;
+use gpm_sim::{ApuSimulator, KernelCharacteristics};
+use gpm_workloads::{astar, max_flops, read_global_memory_coalesced, write_candidates};
+
+fn panel(sim: &ApuSimulator, title: &str, kernel: &KernelCharacteristics) {
+    let points = fig2_sweep(sim, kernel);
+    println!("({title}) — speedup vs [NB3, 2 CUs]; '*' marks the energy-optimal point");
+    print!("{:>6}", "CUs");
+    for cu in [2u32, 4, 6, 8] {
+        print!("{cu:>10}");
+    }
+    println!();
+    for nb in NbState::ALL {
+        print!("{:>6}", nb.to_string());
+        for cu in [2u32, 4, 6, 8] {
+            let p = points.iter().find(|p| p.nb == nb && p.cu == cu).unwrap();
+            let mark = if p.energy_optimal { "*" } else { " " };
+            print!("{:>9.2}{mark}", p.speedup);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let sim = ApuSimulator::default();
+    println!("Figure 2: GPGPU kernel scaling classes\n");
+    panel(&sim, "a: compute-bound — MaxFlops", &max_flops());
+    panel(&sim, "b: memory-bound — readGlobalMemoryCoalesced", &read_global_memory_coalesced());
+    panel(&sim, "c: peak — writeCandidates", &write_candidates());
+    panel(&sim, "d: unscalable — astar", &astar());
+}

@@ -1,0 +1,33 @@
+//! Figure 3: per-invocation kernel throughput (normalized to the overall
+//! application throughput) for Spmv, kmeans, and hybridsort.
+
+use gpm_harness::svg::{line_chart, BarSeries};
+use gpm_harness::traces::fig3_trace;
+use gpm_sim::ApuSimulator;
+use gpm_workloads::workload_by_name;
+
+fn main() {
+    let sim = ApuSimulator::default();
+    println!("Figure 3: normalized kernel throughput by execution order\n");
+    let mut svg_series = Vec::new();
+    for name in ["Spmv", "kmeans", "hybridsort"] {
+        let w = workload_by_name(name).unwrap();
+        let trace = fig3_trace(&sim, &w);
+        println!("{name} ({} invocations):", trace.len());
+        for (i, v) in trace.iter().enumerate() {
+            let bar = "#".repeat((v * 12.0).round().clamp(0.0, 60.0) as usize);
+            println!("  {:>3}  {:>6.2}  {}", i + 1, v, bar);
+        }
+        println!();
+        svg_series.push(BarSeries { name: name.to_string(), values: trace });
+    }
+    let svg = line_chart(
+        "Figure 3: kernel throughput (normalized to overall)",
+        &svg_series,
+        "normalized throughput",
+    );
+    std::fs::create_dir_all("results").ok();
+    if std::fs::write("results/fig3.svg", svg).is_ok() {
+        eprintln!("wrote results/fig3.svg");
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 4: the limit study — Predict Previous Kernel vs Theoretically
+//! Optimal, both with perfect knowledge and zero overheads, relative to
+//! AMD Turbo Core.
+//!
+//! Paper shape: PPK matches TO on the regular benchmarks (single iterating
+//! kernel); on irregular benchmarks PPK consumes up to 48% more energy and
+//! loses up to 46% performance relative to TO.
+
+use gpm_bench::{evaluate_suite, figure_context, suite_average};
+use gpm_harness::report::{fmt, Table};
+use gpm_harness::Scheme;
+
+fn main() {
+    let ctx = figure_context();
+    let ppk = evaluate_suite(&ctx, Scheme::PpkOracle);
+    let to = evaluate_suite(&ctx, Scheme::TheoreticallyOptimal);
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "PPK energy savings (%)",
+        "TO energy savings (%)",
+        "PPK speedup",
+        "TO speedup",
+    ]);
+    for (p, t) in ppk.iter().zip(to.iter()) {
+        table.row(vec![
+            p.workload.name().to_string(),
+            fmt(p.vs_baseline.energy_savings_pct, 1),
+            fmt(t.vs_baseline.energy_savings_pct, 1),
+            fmt(p.vs_baseline.speedup, 3),
+            fmt(t.vs_baseline.speedup, 3),
+        ]);
+    }
+    let pa = suite_average(&ppk);
+    let ta = suite_average(&to);
+    table.row(vec![
+        "AVERAGE".to_string(),
+        fmt(pa.energy_savings_pct, 1),
+        fmt(ta.energy_savings_pct, 1),
+        fmt(pa.speedup, 3),
+        fmt(ta.speedup, 3),
+    ]);
+
+    println!("Figure 4: Predict Previous Kernel vs Theoretically Optimal (perfect knowledge)");
+    println!("{}", table.render());
+}

@@ -1,0 +1,22 @@
+//! Table IV: the benchmark inventory — name, source suite, category, and
+//! execution pattern.
+
+use gpm_harness::report::Table;
+use gpm_workloads::suite;
+
+fn main() {
+    let mut table =
+        Table::new(vec!["Category", "Benchmark", "Benchmark Suite", "Pattern", "N", "Distinct"]);
+    for w in suite() {
+        table.row(vec![
+            w.category().to_string(),
+            w.name().to_string(),
+            w.source_suite().to_string(),
+            w.pattern().to_string(),
+            w.len().to_string(),
+            w.distinct_kernels().to_string(),
+        ]);
+    }
+    println!("Table IV: benchmarks with their execution pattern\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,104 @@
+//! Shared scaffolding for the table/figure regeneration binaries.
+//!
+//! Every `fig*`/`table*` binary in `src/bin/` follows the same shape:
+//! build the shared [`EvalContext`] (measurement campaign + Random-Forest
+//! training), evaluate one or more [`Scheme`]s across the 15-benchmark
+//! suite, and print the paper-matching rows. The helpers here keep those
+//! binaries small and uniform.
+
+use gpm_harness::metrics::{summarize, Comparison};
+use gpm_harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme, SchemeOutcome};
+use gpm_workloads::{suite, Workload};
+
+/// Builds the shared evaluation context, printing the trained model's
+/// held-out accuracy (compare Section VI-D).
+pub fn figure_context() -> EvalContext {
+    eprintln!("building evaluation context (measurement campaign + RF training)...");
+    let ctx = EvalContext::build(EvalOptions::default());
+    eprintln!(
+        "  RF held-out accuracy: time MAPE {:.1}%, power MAPE {:.1}% ({} train / {} test samples)",
+        ctx.rf_report.time_mape * 100.0,
+        ctx.rf_report.power_mape * 100.0,
+        ctx.rf_report.train_samples,
+        ctx.rf_report.test_samples,
+    );
+    ctx
+}
+
+/// One evaluated benchmark: outcome plus baseline comparison.
+pub struct BenchRow {
+    /// The workload evaluated.
+    pub workload: Workload,
+    /// Full outcome (baseline, profiling, measured, stats).
+    pub outcome: SchemeOutcome,
+    /// Scheme vs. Turbo Core baseline.
+    pub vs_baseline: Comparison,
+}
+
+/// Evaluates `scheme` across the full suite.
+pub fn evaluate_suite(ctx: &EvalContext, scheme: Scheme) -> Vec<BenchRow> {
+    suite()
+        .into_iter()
+        .map(|workload| {
+            eprintln!("  {} on {} ...", scheme.label(), workload.name());
+            let outcome = evaluate_scheme(ctx, &workload, scheme);
+            let vs_baseline = Comparison::between(&outcome.baseline, &outcome.measured);
+            BenchRow { workload, outcome, vs_baseline }
+        })
+        .collect()
+}
+
+/// Suite-wide averages: arithmetic-mean savings, geometric-mean speedup.
+pub fn suite_average(rows: &[BenchRow]) -> Comparison {
+    let cs: Vec<Comparison> = rows.iter().map(|r| r.vs_baseline).collect();
+    summarize(&cs)
+}
+
+/// Comparison of two scheme evaluations of the *same* suite, per
+/// benchmark: `a` relative to `b` (energy savings of a over b, speedup of
+/// a over b). Used by Figure 9 (MPC vs PPK).
+pub fn relative_rows(a: &[BenchRow], b: &[BenchRow]) -> Vec<(String, Comparison)> {
+    a.iter()
+        .zip(b.iter())
+        .map(|(ra, rb)| {
+            assert_eq!(ra.workload.name(), rb.workload.name(), "suite order mismatch");
+            let c = Comparison::between(&rb.outcome.measured, &ra.outcome.measured);
+            (ra.workload.name().to_string(), c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_harness::EvalOptions;
+    use gpm_workloads::workload_by_name;
+
+    #[test]
+    fn evaluate_one_workload_end_to_end() {
+        let ctx = EvalContext::build(EvalOptions::fast());
+        let w = workload_by_name("NBody").unwrap();
+        let outcome = evaluate_scheme(&ctx, &w, Scheme::TheoreticallyOptimal);
+        let c = Comparison::between(&outcome.baseline, &outcome.measured);
+        assert!(c.energy_savings_pct > 0.0);
+    }
+
+    #[test]
+    fn relative_rows_requires_same_order() {
+        let ctx = EvalContext::build(EvalOptions::fast());
+        let w = workload_by_name("NBody").unwrap();
+        let a = vec![BenchRow {
+            workload: w.clone(),
+            outcome: evaluate_scheme(&ctx, &w, Scheme::TurboCore),
+            vs_baseline: Comparison {
+                energy_savings_pct: 0.0,
+                gpu_energy_savings_pct: 0.0,
+                cpu_energy_savings_pct: 0.0,
+                speedup: 1.0,
+            },
+        }];
+        let rel = relative_rows(&a, &a);
+        assert_eq!(rel.len(), 1);
+        assert!((rel[0].1.speedup - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! The adaptive prediction-horizon generator (Section IV-A4).
+//!
+//! A longer horizon finds better configurations but costs more optimizer
+//! time between kernels. The generator bounds the *total* performance
+//! penalty — MPC compute plus approximation losses — to a fraction `α` of
+//! the baseline runtime by solving, for each kernel `i` (1-based):
+//!
+//! ```text
+//! Hᵢ·(N̄/N)·T_PPK + Σⱼ₍ⱼ₌₁..ᵢ₋₁₎(Tⱼ + T_MPC,ⱼ) + T_total/N
+//! ───────────────────────────────────────────────────────── ≤ 1 + α
+//!                     i · T_total/N
+//! ```
+//!
+//! giving `Hᵢ ≤ (N/N̄)·[(1 + α − 1/i)·i·T_total/N − Σⱼ(Tⱼ + T_MPC,ⱼ)]/T_PPK`,
+//! floored to an integer and clamped to `[0, N]`.
+
+use serde::{Deserialize, Serialize};
+
+/// How the MPC horizon is chosen each kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HorizonMode {
+    /// The paper's adaptive scheme with overhead budget `α`
+    /// (0.05 in the evaluation).
+    Adaptive {
+        /// Maximum tolerated fractional performance penalty.
+        alpha: f64,
+    },
+    /// Always use the full remaining application (the Section VI-E
+    /// ablation).
+    Full,
+    /// A fixed horizon length.
+    Fixed(usize),
+}
+
+impl Default for HorizonMode {
+    fn default() -> HorizonMode {
+        HorizonMode::Adaptive { alpha: 0.05 }
+    }
+}
+
+/// Per-application state of the horizon generator.
+///
+/// Constructed after the profiling run from: the kernel count `N`, the
+/// average full-horizon window `N̄`, the profiling run's total PPK
+/// optimization time `T_PPK`, and the baseline total kernel time
+/// `T_total`. During later runs the caller records each kernel's actual
+/// time and MPC overhead so the budget reflects reality.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_mpc::{HorizonGenerator, HorizonMode};
+///
+/// let mut gen = HorizonGenerator::new(
+///     HorizonMode::Adaptive { alpha: 0.05 },
+///     10,     // N kernels
+///     5.5,    // N̄
+///     1e-3,   // T_PPK: 1 ms of profiling-run optimization
+///     1.0,    // T_total: 1 s of baseline kernel time
+/// );
+/// let h0 = gen.horizon_for(0);
+/// assert!(h0 <= 10);
+/// gen.record(0.1, 1e-5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizonGenerator {
+    mode: HorizonMode,
+    n: usize,
+    n_bar: f64,
+    t_ppk: f64,
+    t_total: f64,
+    /// Σ (Tⱼ + T_MPC,ⱼ) over kernels retired so far this run.
+    elapsed_with_overhead_s: f64,
+    /// Kernels retired so far this run.
+    retired: usize,
+}
+
+impl HorizonGenerator {
+    /// Creates a generator; see the type-level docs for parameter meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_total` is non-positive or `n` is zero.
+    pub fn new(mode: HorizonMode, n: usize, n_bar: f64, t_ppk: f64, t_total: f64) -> HorizonGenerator {
+        assert!(n > 0, "kernel count must be positive");
+        assert!(t_total > 0.0, "baseline time must be positive");
+        HorizonGenerator {
+            mode,
+            n,
+            n_bar: n_bar.max(1.0),
+            t_ppk: t_ppk.max(0.0),
+            t_total,
+            elapsed_with_overhead_s: 0.0,
+            retired: 0,
+        }
+    }
+
+    /// The horizon for the kernel at 0-based `position`.
+    pub fn horizon_for(&self, position: usize) -> usize {
+        match self.mode {
+            HorizonMode::Full => self.n,
+            HorizonMode::Fixed(h) => h.min(self.n),
+            HorizonMode::Adaptive { alpha } => {
+                if self.t_ppk <= 0.0 {
+                    // Free optimization: no reason to shrink the horizon.
+                    return self.n;
+                }
+                let i = (position + 1) as f64; // paper's 1-based index
+                let per_kernel = self.t_total / self.n as f64;
+                let allowed =
+                    (1.0 + alpha - 1.0 / i) * i * per_kernel - self.elapsed_with_overhead_s;
+                let h = allowed * self.n as f64 / (self.n_bar * self.t_ppk);
+                if !h.is_finite() || h <= 0.0 {
+                    0
+                } else {
+                    (h.floor() as usize).min(self.n)
+                }
+            }
+        }
+    }
+
+    /// Records a retired kernel's actual execution time and the MPC
+    /// overhead spent deciding it.
+    pub fn record(&mut self, kernel_time_s: f64, mpc_overhead_s: f64) {
+        self.elapsed_with_overhead_s += kernel_time_s + mpc_overhead_s;
+        self.retired += 1;
+    }
+
+    /// Resets per-run accumulators at an application-invocation boundary.
+    pub fn reset_run(&mut self) {
+        self.elapsed_with_overhead_s = 0.0;
+        self.retired = 0;
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> HorizonMode {
+        self.mode
+    }
+
+    /// Total kernels `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(alpha: f64, t_ppk: f64) -> HorizonGenerator {
+        // N = 10 kernels, N̄ = 5.5, T_total = 1 s (0.1 s/kernel).
+        HorizonGenerator::new(HorizonMode::Adaptive { alpha }, 10, 5.5, t_ppk, 1.0)
+    }
+
+    #[test]
+    fn full_mode_always_returns_n() {
+        let mut g = HorizonGenerator::new(HorizonMode::Full, 7, 4.0, 1.0, 1.0);
+        assert_eq!(g.horizon_for(0), 7);
+        g.record(100.0, 100.0); // even with huge overruns
+        assert_eq!(g.horizon_for(3), 7);
+    }
+
+    #[test]
+    fn fixed_mode_clamps_to_n() {
+        let g = HorizonGenerator::new(HorizonMode::Fixed(3), 7, 4.0, 1.0, 1.0);
+        assert_eq!(g.horizon_for(0), 3);
+        let g = HorizonGenerator::new(HorizonMode::Fixed(30), 7, 4.0, 1.0, 1.0);
+        assert_eq!(g.horizon_for(0), 7);
+    }
+
+    #[test]
+    fn cheap_optimization_allows_long_horizons() {
+        // T_PPK = 100 µs over 10 kernels → 10 µs/kernel vs 100 ms kernels.
+        let g = gen(0.05, 100e-6);
+        assert_eq!(g.horizon_for(0), 10);
+    }
+
+    #[test]
+    fn expensive_optimization_shrinks_horizon() {
+        // T_PPK comparable to total runtime: horizons collapse.
+        let g = gen(0.05, 0.5);
+        assert!(g.horizon_for(0) <= 1, "h = {}", g.horizon_for(0));
+    }
+
+    #[test]
+    fn zero_cost_ppk_means_full_horizon() {
+        let g = gen(0.05, 0.0);
+        assert_eq!(g.horizon_for(0), 10);
+    }
+
+    #[test]
+    fn budget_grows_when_running_ahead() {
+        let mut g = gen(0.05, 0.02);
+        let h_initial = g.horizon_for(0);
+        // Kernels finishing faster than baseline free up budget.
+        for _ in 0..5 {
+            g.record(0.05, 0.0); // half the 0.1 s baseline per kernel
+        }
+        let h_later = g.horizon_for(5);
+        assert!(h_later >= h_initial, "initial {h_initial}, later {h_later}");
+    }
+
+    #[test]
+    fn budget_shrinks_when_running_behind() {
+        let mut g = gen(0.05, 0.02);
+        for _ in 0..5 {
+            g.record(0.2, 0.01); // twice the baseline plus overhead
+        }
+        assert_eq!(g.horizon_for(5), 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_budget() {
+        let mut g = gen(0.05, 0.02);
+        let h0 = g.horizon_for(0);
+        g.record(0.5, 0.1);
+        g.reset_run();
+        assert_eq!(g.horizon_for(0), h0);
+    }
+
+    #[test]
+    fn horizon_never_exceeds_n() {
+        let g = HorizonGenerator::new(HorizonMode::Adaptive { alpha: 10.0 }, 5, 1.0, 1e-9, 1.0);
+        for i in 0..5 {
+            assert!(g.horizon_for(i) <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel count")]
+    fn zero_kernels_panics() {
+        let _ = HorizonGenerator::new(HorizonMode::Full, 0, 1.0, 1.0, 1.0);
+    }
+}

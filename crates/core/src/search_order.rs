@@ -1,0 +1,189 @@
+//! The MPC search-order heuristic (Section IV-A1a, Figure 7).
+//!
+//! Instead of backtracking over the exponential space of joint window
+//! assignments, the paper fixes a *search order* over kernel positions
+//! derived from the profiling run, such that no optimized kernel is ever
+//! revisited:
+//!
+//! 1. Positions whose **accumulated** application throughput (up to and
+//!    including that kernel) is at or above the overall target form the
+//!    *above-target* group; the rest form the *below-target* group.
+//! 2. The above-target group is ordered by **increasing** individual kernel
+//!    throughput, the below-target group by **decreasing** throughput.
+//! 3. The search order is the concatenation: above-target then
+//!    below-target.
+//!
+//! Optimizing a window in this order makes the optimizer price the
+//! *hardest-to-satisfy* future kernels first: it reserves performance for
+//! upcoming low-throughput phases (can't "catch up" later) and banks
+//! energy savings against upcoming high-throughput phases.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-position profiling info gathered during the first application run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledKernel {
+    /// Execution position within the application, 0-based.
+    pub position: usize,
+    /// Instructions executed, giga-instructions.
+    pub gi: f64,
+    /// Measured execution time, seconds.
+    pub time_s: f64,
+}
+
+impl ProfiledKernel {
+    /// Individual kernel throughput, giga-instructions per second.
+    pub fn throughput(&self) -> f64 {
+        self.gi / self.time_s.max(1e-12)
+    }
+}
+
+/// Computes the MPC search order over kernel positions.
+///
+/// `target_throughput` is the application-level target (`I_total/T_total`
+/// of the baseline). Returns a permutation of `0..profile.len()`.
+///
+/// # Examples
+///
+/// The worked example of Figure 7 — three above-target kernels followed by
+/// three below-target ones yields the order (3, 2, 1, 6, 5, 4) in the
+/// paper's 1-based numbering:
+///
+/// ```
+/// use gpm_mpc::{search_order, ProfiledKernel};
+///
+/// let mk = |position, gi, time_s| ProfiledKernel { position, gi, time_s };
+/// let profile = vec![
+///     mk(0, 3.3, 1.0), // throughput 3.3, cumulative 3.3
+///     mk(1, 2.4, 1.0), // 2.4, cumulative 2.85
+///     mk(2, 1.5, 1.0), // 1.5, cumulative 2.4
+///     mk(3, 5.0, 10.0), // 0.5, cumulative 0.94 → below target
+///     mk(4, 5.5, 10.0), // 0.55
+///     mk(5, 6.0, 10.0), // 0.60
+/// ];
+/// assert_eq!(search_order(&profile, 1.0), vec![2, 1, 0, 5, 4, 3]);
+/// ```
+pub fn search_order(profile: &[ProfiledKernel], target_throughput: f64) -> Vec<usize> {
+    let mut above: Vec<&ProfiledKernel> = Vec::new();
+    let mut below: Vec<&ProfiledKernel> = Vec::new();
+    let mut cum_gi = 0.0;
+    let mut cum_t = 0.0;
+    for k in profile {
+        cum_gi += k.gi;
+        cum_t += k.time_s;
+        let cum_throughput = cum_gi / cum_t.max(1e-12);
+        if cum_throughput >= target_throughput {
+            above.push(k);
+        } else {
+            below.push(k);
+        }
+    }
+    above.sort_by(|a, b| {
+        a.throughput()
+            .partial_cmp(&b.throughput())
+            .unwrap()
+            .then(a.position.cmp(&b.position))
+    });
+    below.sort_by(|a, b| {
+        b.throughput()
+            .partial_cmp(&a.throughput())
+            .unwrap()
+            .then(a.position.cmp(&b.position))
+    });
+    above.iter().chain(below.iter()).map(|k| k.position).collect()
+}
+
+/// Average per-kernel horizon length `N̄` under full-horizon operation,
+/// where kernel `i` (1-based) optimizes the window `{i, …, N}`:
+/// `N̄ = (Σᵢ (N − i + 1)) / N = (N + 1) / 2`.
+///
+/// The adaptive horizon generator uses `N̄` to scale the profiling run's
+/// total optimization time into a per-kernel MPC cost estimate.
+pub fn average_full_horizon(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        (n as f64 + 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(position: usize, gi: f64, time_s: f64) -> ProfiledKernel {
+        ProfiledKernel { position, gi, time_s }
+    }
+
+    #[test]
+    fn figure_seven_example() {
+        let profile = vec![
+            mk(0, 3.3, 1.0),
+            mk(1, 2.4, 1.0),
+            mk(2, 1.5, 1.0),
+            mk(3, 5.0, 10.0),
+            mk(4, 5.5, 10.0),
+            mk(5, 6.0, 10.0),
+        ];
+        assert_eq!(search_order(&profile, 1.0), vec![2, 1, 0, 5, 4, 3]);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let profile: Vec<ProfiledKernel> =
+            (0..20).map(|i| mk(i, (i % 7 + 1) as f64, ((i % 3) + 1) as f64)).collect();
+        let mut order = search_order(&profile, 1.5);
+        order.sort_unstable();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_above_target_sorted_increasing() {
+        let profile = vec![mk(0, 30.0, 1.0), mk(1, 10.0, 1.0), mk(2, 20.0, 1.0)];
+        // Target far below every kernel: everything is above-target.
+        assert_eq!(search_order(&profile, 1.0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn all_below_target_sorted_decreasing() {
+        let profile = vec![mk(0, 1.0, 1.0), mk(1, 3.0, 1.0), mk(2, 2.0, 1.0)];
+        assert_eq!(search_order(&profile, 100.0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn grouping_uses_cumulative_not_individual_throughput() {
+        // Kernel 1 individually exceeds the target, but arrives after a
+        // long slow kernel has dragged cumulative throughput below it.
+        let profile = vec![mk(0, 1.0, 10.0), mk(1, 3.0, 1.0)];
+        // Cumulative after k1: 4/11 ≈ 0.36 < 1 → below-target despite
+        // individual throughput 3.0.
+        let order = search_order(&profile, 1.0);
+        assert_eq!(order, vec![1, 0]); // both below-target, decreasing
+    }
+
+    #[test]
+    fn ties_broken_by_position() {
+        let profile = vec![mk(0, 2.0, 1.0), mk(1, 2.0, 1.0), mk(2, 2.0, 1.0)];
+        assert_eq!(search_order(&profile, 1.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_profile_empty_order() {
+        assert!(search_order(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn average_full_horizon_values() {
+        assert_eq!(average_full_horizon(0), 0.0);
+        assert_eq!(average_full_horizon(1), 1.0);
+        assert_eq!(average_full_horizon(9), 5.0);
+        assert_eq!(average_full_horizon(30), 15.5);
+    }
+
+    #[test]
+    fn zero_time_kernel_does_not_panic() {
+        let profile = vec![mk(0, 1.0, 0.0), mk(1, 1.0, 1.0)];
+        let order = search_order(&profile, 1.0);
+        assert_eq!(order.len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Runtime statistics of the MPC governor, feeding Figures 14 and 15 and
+//! the search-cost ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated MPC decision statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MpcStats {
+    /// Horizon chosen at each post-profiling decision.
+    pub horizons: Vec<usize>,
+    /// Predictor evaluations per decision.
+    pub evaluations: Vec<u64>,
+    /// Optimizer overhead per decision, seconds.
+    pub overheads_s: Vec<f64>,
+    /// Decisions that fell back to the fail-safe configuration.
+    pub fail_safe_decisions: usize,
+    /// Decisions made during profiling runs (PPK mode).
+    pub profiling_decisions: usize,
+    /// Post-profiling kernels whose observed identity differed from the
+    /// reference pattern's expectation (the pattern-misprediction rate of
+    /// Section IV-A2).
+    pub pattern_mispredictions: usize,
+    /// Post-profiling kernels checked against the reference pattern.
+    pub pattern_checks: usize,
+}
+
+impl MpcStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> MpcStats {
+        MpcStats::default()
+    }
+
+    /// Records one post-profiling decision.
+    pub fn record_decision(&mut self, horizon: usize, evaluations: u64, overhead_s: f64, fail_safe: bool) {
+        self.horizons.push(horizon);
+        self.evaluations.push(evaluations);
+        self.overheads_s.push(overhead_s);
+        if fail_safe {
+            self.fail_safe_decisions += 1;
+        }
+    }
+
+    /// Mean horizon over all recorded decisions.
+    pub fn average_horizon(&self) -> f64 {
+        if self.horizons.is_empty() {
+            return 0.0;
+        }
+        self.horizons.iter().sum::<usize>() as f64 / self.horizons.len() as f64
+    }
+
+    /// Mean horizon as a fraction of the application's `n` kernels — the
+    /// quantity plotted in Figure 15.
+    pub fn average_horizon_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.average_horizon() / n as f64
+    }
+
+    /// Total optimizer overhead, seconds.
+    pub fn total_overhead_s(&self) -> f64 {
+        self.overheads_s.iter().sum()
+    }
+
+    /// Total predictor evaluations.
+    pub fn total_evaluations(&self) -> u64 {
+        self.evaluations.iter().sum()
+    }
+
+    /// Fraction of post-profiling kernels the pattern extractor
+    /// mispredicted, in [0, 1].
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.pattern_checks == 0 {
+            return 0.0;
+        }
+        self.pattern_mispredictions as f64 / self.pattern_checks as f64
+    }
+
+    /// Mean predictor evaluations per optimized window kernel, the
+    /// quantity behind the paper's 19× search-cost claim.
+    pub fn evaluations_per_window_kernel(&self) -> f64 {
+        let window_kernels: usize = self.horizons.iter().map(|&h| h.max(1)).sum();
+        if window_kernels == 0 {
+            return 0.0;
+        }
+        self.total_evaluations() as f64 / window_kernels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_decisions() {
+        let mut s = MpcStats::new();
+        s.record_decision(4, 80, 1e-4, false);
+        s.record_decision(2, 40, 5e-5, true);
+        assert_eq!(s.average_horizon(), 3.0);
+        assert!((s.average_horizon_fraction(6) - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_evaluations(), 120);
+        assert!((s.total_overhead_s() - 1.5e-4).abs() < 1e-12);
+        assert_eq!(s.fail_safe_decisions, 1);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = MpcStats::new();
+        assert_eq!(s.average_horizon(), 0.0);
+        assert_eq!(s.average_horizon_fraction(10), 0.0);
+        assert_eq!(s.evaluations_per_window_kernel(), 0.0);
+    }
+
+    #[test]
+    fn evaluations_per_window_kernel_counts_horizons() {
+        let mut s = MpcStats::new();
+        s.record_decision(5, 100, 0.0, false); // 20 evals per window kernel
+        assert_eq!(s.evaluations_per_window_kernel(), 20.0);
+        s.record_decision(0, 20, 0.0, false); // h=0 counts as 1
+        assert_eq!(s.evaluations_per_window_kernel(), 20.0);
+    }
+
+    #[test]
+    fn misprediction_rate_counts() {
+        let mut s = MpcStats::new();
+        assert_eq!(s.misprediction_rate(), 0.0);
+        s.pattern_checks = 10;
+        s.pattern_mispredictions = 3;
+        assert!((s.misprediction_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_n_fraction_is_zero() {
+        let mut s = MpcStats::new();
+        s.record_decision(3, 1, 0.0, false);
+        assert_eq!(s.average_horizon_fraction(0), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! An Equalizer-style reactive governor (Sethia & Mahlke, MICRO 2014 —
+//! cited by the paper as representative reactive tuning).
+//!
+//! Equalizer samples performance counters each epoch and nudges the GPU
+//! knobs one step at a time toward the bottleneck: memory-bound kernels
+//! get memory bandwidth (and shed compute frequency in efficiency mode),
+//! compute-bound kernels get frequency/CUs, cache-thrashing kernels shed
+//! CUs. It never predicts — it reacts — and it has no notion of an
+//! application-level performance target, which is exactly the contrast
+//! the paper draws with MPC.
+
+use crate::governor::{Governor, GovernorDecision, KernelContext};
+use gpm_hw::{CpuPState, CuCount, GpuDpm, HwConfig, NbState};
+use gpm_sim::{CounterSet, KernelCharacteristics, KernelOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Operating objective, Equalizer's two modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EqualizerMode {
+    /// Chase throughput: boost the bottleneck resource.
+    Performance,
+    /// Chase efficiency: shed the non-bottleneck resources.
+    Efficiency,
+}
+
+/// The reactive Equalizer governor.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_governors::{Equalizer, EqualizerMode, Governor};
+///
+/// let gov = Equalizer::new(EqualizerMode::Efficiency);
+/// assert_eq!(gov.name(), "equalizer");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Equalizer {
+    mode: EqualizerMode,
+    current: HwConfig,
+}
+
+/// Counter thresholds classifying the last epoch's bottleneck.
+const MEM_STALL_HIGH_PCT: f64 = 45.0;
+const MEM_STALL_LOW_PCT: f64 = 15.0;
+const CACHE_HIT_LOW_PCT: f64 = 40.0;
+
+impl Equalizer {
+    /// A fresh governor starting from the boost configuration with the
+    /// CPU parked (Equalizer manages GPU resources only).
+    pub fn new(mode: EqualizerMode) -> Equalizer {
+        Equalizer {
+            mode,
+            current: HwConfig::new(CpuPState::P7, NbState::Nb0, GpuDpm::Dpm4, CuCount::MAX),
+        }
+    }
+
+    /// The configured objective.
+    pub fn mode(&self) -> EqualizerMode {
+        self.mode
+    }
+
+    /// The configuration the governor would apply next.
+    pub fn current(&self) -> HwConfig {
+        self.current
+    }
+
+    /// One reactive adjustment from the last kernel's counters.
+    fn react(&mut self, counters: &CounterSet) {
+        let mem_stall = counters.mem_unit_stalled_pct();
+        let cache_hit = counters.cache_hit_pct();
+        let mut cfg = self.current;
+
+        if cache_hit < CACHE_HIT_LOW_PCT && counters.fetch_size_kb() > 0.0 && cfg.cu > CuCount::MIN
+        {
+            // Thrashing the shared cache: shed CUs regardless of mode.
+            if let Some(fewer) = cfg.cu.fewer() {
+                cfg.cu = fewer;
+            }
+        } else if mem_stall > MEM_STALL_HIGH_PCT {
+            // Memory-bound epoch.
+            match self.mode {
+                EqualizerMode::Performance => {
+                    if let Some(faster) = cfg.nb.faster() {
+                        cfg.nb = faster;
+                    }
+                }
+                EqualizerMode::Efficiency => {
+                    // Compute is starved: shedding GPU frequency is nearly
+                    // free.
+                    if let Some(slower) = cfg.gpu.slower() {
+                        cfg.gpu = slower;
+                    }
+                }
+            }
+        } else if mem_stall < MEM_STALL_LOW_PCT {
+            // Compute-bound epoch.
+            match self.mode {
+                EqualizerMode::Performance => {
+                    if let Some(faster) = cfg.gpu.faster() {
+                        cfg.gpu = faster;
+                    } else if let Some(more) = cfg.cu.more() {
+                        cfg.cu = more;
+                    }
+                }
+                EqualizerMode::Efficiency => {
+                    // Memory is idle: shed NB state.
+                    if let Some(slower) = cfg.nb.slower() {
+                        cfg.nb = slower;
+                    }
+                }
+            }
+        }
+        self.current = cfg;
+    }
+}
+
+impl Governor for Equalizer {
+    fn name(&self) -> &str {
+        "equalizer"
+    }
+
+    fn select(&mut self, _ctx: &KernelContext) -> GovernorDecision {
+        GovernorDecision::instant(self.current)
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &KernelContext,
+        _executed_at: HwConfig,
+        outcome: &KernelOutcome,
+        _truth: Option<&KernelCharacteristics>,
+    ) {
+        self.react(&outcome.counters);
+    }
+
+    fn end_run(&mut self) {
+        self.current = HwConfig::new(CpuPState::P7, NbState::Nb0, GpuDpm::Dpm4, CuCount::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::PerfTarget;
+    use gpm_sim::ApuSimulator;
+
+    fn ctx() -> KernelContext {
+        KernelContext {
+            position: 0,
+            run_index: 0,
+            elapsed_kernel_s: 0.0,
+            elapsed_gi: 0.0,
+            target: PerfTarget::new(1.0, 1.0),
+            total_kernels: None,
+        }
+    }
+
+    fn feed(gov: &mut Equalizer, kernel: &KernelCharacteristics, times: usize) {
+        let sim = ApuSimulator::noiseless();
+        for _ in 0..times {
+            let d = gov.select(&ctx());
+            let out = sim.evaluate(kernel, d.config);
+            gov.observe(&ctx(), d.config, &out, None);
+        }
+    }
+
+    #[test]
+    fn efficiency_mode_sheds_gpu_freq_on_memory_bound() {
+        let mut gov = Equalizer::new(EqualizerMode::Efficiency);
+        let mb = KernelCharacteristics::memory_bound("mb", 2.0);
+        feed(&mut gov, &mb, 4);
+        assert!(gov.current().gpu < GpuDpm::Dpm4, "gpu state {}", gov.current().gpu);
+    }
+
+    #[test]
+    fn efficiency_mode_sheds_nb_on_compute_bound() {
+        let mut gov = Equalizer::new(EqualizerMode::Efficiency);
+        let cb = KernelCharacteristics::compute_bound("cb", 30.0);
+        feed(&mut gov, &cb, 4);
+        assert!(gov.current().nb > NbState::Nb0, "nb state {}", gov.current().nb);
+    }
+
+    #[test]
+    fn performance_mode_boosts_bottleneck() {
+        let mut gov = Equalizer::new(EqualizerMode::Performance);
+        // Start from a degraded point so there is headroom to boost.
+        gov.current = HwConfig::new(CpuPState::P7, NbState::Nb2, GpuDpm::Dpm2, CuCount::MIN);
+        let cb = KernelCharacteristics::compute_bound("cb", 30.0);
+        feed(&mut gov, &cb, 4);
+        assert!(gov.current().gpu > GpuDpm::Dpm2);
+    }
+
+    #[test]
+    fn thrashing_kernels_shed_cus() {
+        let mut gov = Equalizer::new(EqualizerMode::Performance);
+        // A peak kernel whose 8-CU cache hit rate collapses.
+        let pk = KernelCharacteristics::builder("pk", 10.0)
+            .cache_hit(0.7)
+            .cache_interference(0.09)
+            .memory_gb(1.5)
+            .build();
+        feed(&mut gov, &pk, 3);
+        assert!(gov.current().cu < CuCount::MAX, "cu {}", gov.current().cu);
+    }
+
+    #[test]
+    fn end_run_resets() {
+        let mut gov = Equalizer::new(EqualizerMode::Efficiency);
+        feed(&mut gov, &KernelCharacteristics::memory_bound("mb", 2.0), 3);
+        gov.end_run();
+        assert_eq!(gov.current().gpu, GpuDpm::Dpm4);
+        assert_eq!(gov.current().nb, NbState::Nb0);
+    }
+
+    #[test]
+    fn decisions_are_instant() {
+        let mut gov = Equalizer::new(EqualizerMode::Performance);
+        let d = gov.select(&ctx());
+        assert_eq!(d.overhead_s, 0.0);
+        assert_eq!(d.evaluations, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Trivial governors: a fixed configuration, or a precomputed plan.
+
+use crate::governor::{Governor, GovernorDecision, KernelContext};
+use gpm_hw::HwConfig;
+use gpm_sim::{KernelCharacteristics, KernelOutcome};
+
+/// Runs every kernel at one fixed configuration. Used for the Figure 2
+/// characterization sweeps and as a degenerate baseline.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_governors::FixedGovernor;
+/// use gpm_hw::HwConfig;
+///
+/// let gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+/// assert_eq!(gov.config(), HwConfig::FAIL_SAFE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedGovernor {
+    config: HwConfig,
+}
+
+impl FixedGovernor {
+    /// Governor pinned to `config`.
+    pub fn new(config: HwConfig) -> FixedGovernor {
+        FixedGovernor { config }
+    }
+
+    /// The pinned configuration.
+    pub fn config(&self) -> HwConfig {
+        self.config
+    }
+}
+
+impl Governor for FixedGovernor {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn select(&mut self, _ctx: &KernelContext) -> GovernorDecision {
+        GovernorDecision::instant(self.config)
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &KernelContext,
+        _executed_at: HwConfig,
+        _outcome: &KernelOutcome,
+        _truth: Option<&KernelCharacteristics>,
+    ) {
+    }
+}
+
+/// Replays a precomputed per-kernel configuration plan (e.g. a
+/// Theoretically Optimal solution from [`crate::to`]). Positions beyond
+/// the plan's end fall back to the fail-safe configuration.
+#[derive(Debug, Clone)]
+pub struct PlannedGovernor {
+    name: String,
+    plan: Vec<HwConfig>,
+}
+
+impl PlannedGovernor {
+    /// Governor replaying `plan`.
+    pub fn new(name: impl Into<String>, plan: Vec<HwConfig>) -> PlannedGovernor {
+        PlannedGovernor { name: name.into(), plan }
+    }
+
+    /// The plan being replayed.
+    pub fn plan(&self) -> &[HwConfig] {
+        &self.plan
+    }
+}
+
+impl Governor for PlannedGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&mut self, ctx: &KernelContext) -> GovernorDecision {
+        let cfg = self.plan.get(ctx.position).copied().unwrap_or(HwConfig::FAIL_SAFE);
+        GovernorDecision::instant(cfg)
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &KernelContext,
+        _executed_at: HwConfig,
+        _outcome: &KernelOutcome,
+        _truth: Option<&KernelCharacteristics>,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::PerfTarget;
+    use gpm_hw::{CpuPState, CuCount, GpuDpm, NbState};
+
+    fn ctx(position: usize) -> KernelContext {
+        KernelContext {
+            position,
+            run_index: 0,
+            elapsed_kernel_s: 0.0,
+            elapsed_gi: 0.0,
+            target: PerfTarget::new(1.0, 1.0),
+            total_kernels: None,
+        }
+    }
+
+    #[test]
+    fn fixed_always_returns_its_config() {
+        let mut gov = FixedGovernor::new(HwConfig::MPC_HOST);
+        for i in 0..5 {
+            assert_eq!(gov.select(&ctx(i)).config, HwConfig::MPC_HOST);
+        }
+    }
+
+    #[test]
+    fn planned_replays_in_order() {
+        let a = HwConfig::MAX_PERF;
+        let b = HwConfig::new(CpuPState::P7, NbState::Nb3, GpuDpm::Dpm0, CuCount::MIN);
+        let mut gov = PlannedGovernor::new("plan", vec![a, b]);
+        assert_eq!(gov.select(&ctx(0)).config, a);
+        assert_eq!(gov.select(&ctx(1)).config, b);
+    }
+
+    #[test]
+    fn planned_falls_back_past_end() {
+        let mut gov = PlannedGovernor::new("plan", vec![HwConfig::MAX_PERF]);
+        assert_eq!(gov.select(&ctx(7)).config, HwConfig::FAIL_SAFE);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FixedGovernor::new(HwConfig::FAIL_SAFE).name(), "fixed");
+        assert_eq!(PlannedGovernor::new("to", vec![]).name(), "to");
+    }
+}

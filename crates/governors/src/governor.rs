@@ -1,0 +1,228 @@
+//! The governor interface and shared accounting types.
+
+use gpm_hw::HwConfig;
+use gpm_sim::{KernelCharacteristics, KernelOutcome};
+use serde::{Deserialize, Serialize};
+
+/// The application-level performance target (Eq. 1's right-hand side):
+/// match the default Turbo Core run's end-to-end kernel throughput.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_governors::PerfTarget;
+///
+/// // 100 Ginstr over 10 s → 10 Ginstr/s target throughput.
+/// let target = PerfTarget::new(100.0, 10.0);
+/// assert_eq!(target.throughput(), 10.0);
+/// // Eq. 5 headroom: with 50 Ginstr banked in 4 s and 10 more expected,
+/// // the next kernel may take up to (50+10)/10 − 4 = 2 s.
+/// let cap = target.time_cap(50.0, 4.0, 10.0);
+/// assert!((cap - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfTarget {
+    total_ginstructions: f64,
+    total_time_s: f64,
+}
+
+impl PerfTarget {
+    /// Target from the baseline run's totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either total is non-positive.
+    pub fn new(total_ginstructions: f64, total_time_s: f64) -> PerfTarget {
+        assert!(total_ginstructions > 0.0, "instruction total must be positive");
+        assert!(total_time_s > 0.0, "time total must be positive");
+        PerfTarget { total_ginstructions, total_time_s }
+    }
+
+    /// Baseline total instructions (`I_total`), giga-instructions.
+    pub fn total_ginstructions(&self) -> f64 {
+        self.total_ginstructions
+    }
+
+    /// Baseline total kernel time (`T_total`), seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.total_time_s
+    }
+
+    /// Target throughput `I_total / T_total`, giga-instructions per second.
+    pub fn throughput(&self) -> f64 {
+        self.total_ginstructions / self.total_time_s
+    }
+
+    /// Eq. 5's execution-time headroom: the longest the next kernel may run
+    /// while keeping cumulative throughput at or above target.
+    ///
+    /// `elapsed_gi`/`elapsed_s` are the retired kernels' instruction and
+    /// time sums; `expected_gi` is the expected instruction count of the
+    /// kernel being planned. Can be negative when performance debt has
+    /// accumulated — no configuration satisfies the constraint then.
+    pub fn time_cap(&self, elapsed_gi: f64, elapsed_s: f64, expected_gi: f64) -> f64 {
+        (elapsed_gi + expected_gi) / self.throughput() - elapsed_s
+    }
+
+    /// Whether cumulative performance so far meets the target (Eq. 2's
+    /// constraint evaluated at a prefix).
+    pub fn met_by(&self, elapsed_gi: f64, elapsed_s: f64) -> bool {
+        if elapsed_s <= 0.0 {
+            return true;
+        }
+        elapsed_gi / elapsed_s >= self.throughput()
+    }
+}
+
+/// Cost accounting for a governor's decision-making code, charged on the
+/// host CPU between kernels (Section V runs it at `[P5, NB0, DPM0, 2 CUs]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Wall-clock cost of one predictor evaluation, seconds. Calibrated so
+    /// a hill-climbing pass (~18 evaluations) costs tens of microseconds,
+    /// matching the paper's sub-percent adaptive-horizon overheads.
+    pub per_eval_s: f64,
+    /// Fixed cost per optimizer invocation (pattern lookup, bookkeeping),
+    /// seconds.
+    pub base_s: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> OverheadModel {
+        OverheadModel { per_eval_s: 20.0e-6, base_s: 30.0e-6 }
+    }
+}
+
+impl OverheadModel {
+    /// Zero-cost model, for limit studies that exclude overheads.
+    pub fn free() -> OverheadModel {
+        OverheadModel { per_eval_s: 0.0, base_s: 0.0 }
+    }
+
+    /// Time charged for a decision that performed `evaluations` predictor
+    /// calls.
+    pub fn cost_s(&self, evaluations: u64) -> f64 {
+        self.base_s + self.per_eval_s * evaluations as f64
+    }
+}
+
+/// What the harness tells a governor before each kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelContext {
+    /// 0-based position of the upcoming kernel within this application run.
+    pub position: usize,
+    /// 0-based index of the application invocation (0 = first/profiling).
+    pub run_index: usize,
+    /// Sum of retired kernel execution times this run, seconds
+    /// (excluding optimizer overheads — the performance tracker reasons
+    /// about kernel time; overheads are bounded separately).
+    pub elapsed_kernel_s: f64,
+    /// Sum of retired kernel instructions this run, giga-instructions.
+    pub elapsed_gi: f64,
+    /// The application-level performance target.
+    pub target: PerfTarget,
+    /// Total kernels in the application, if known (after profiling).
+    pub total_kernels: Option<usize>,
+}
+
+/// A governor's answer: the configuration to run the next kernel at, plus
+/// the decision's own cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernorDecision {
+    /// Hardware configuration for the upcoming kernel.
+    pub config: HwConfig,
+    /// Optimizer wall-clock overhead charged before the kernel, seconds.
+    pub overhead_s: f64,
+    /// Predictor evaluations performed (for search-cost accounting).
+    pub evaluations: u64,
+    /// Horizon length used, when the governor is horizon-based.
+    pub horizon: Option<usize>,
+}
+
+impl GovernorDecision {
+    /// A zero-overhead decision (hardware default policies).
+    pub fn instant(config: HwConfig) -> GovernorDecision {
+        GovernorDecision { config, overhead_s: 0.0, evaluations: 0, horizon: None }
+    }
+}
+
+/// A kernel-granularity power-management policy.
+///
+/// The harness calls [`select`](Governor::select) before each kernel launch
+/// and [`observe`](Governor::observe) after it retires;
+/// [`end_run`](Governor::end_run) marks application-invocation boundaries
+/// (the paper's schemes profile on the first invocation and exploit the
+/// learned pattern afterwards).
+pub trait Governor {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the configuration for the upcoming kernel.
+    fn select(&mut self, ctx: &KernelContext) -> GovernorDecision;
+
+    /// Feeds back the retired kernel's measured outcome. `truth` carries
+    /// ground-truth characteristics only in oracle-predictor studies.
+    fn observe(
+        &mut self,
+        ctx: &KernelContext,
+        executed_at: HwConfig,
+        outcome: &KernelOutcome,
+        truth: Option<&KernelCharacteristics>,
+    );
+
+    /// Marks the end of an application invocation.
+    fn end_run(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_cap() {
+        let t = PerfTarget::new(200.0, 20.0);
+        assert_eq!(t.throughput(), 10.0);
+        // No history: cap is expected_gi / throughput.
+        assert!((t.time_cap(0.0, 0.0, 30.0) - 3.0).abs() < 1e-12);
+        // Ahead of target: extra headroom accrues.
+        assert!(t.time_cap(100.0, 5.0, 10.0) > 10.0 / 10.0);
+        // Behind target: cap can go negative.
+        assert!(t.time_cap(10.0, 50.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn met_by_prefix() {
+        let t = PerfTarget::new(100.0, 10.0);
+        assert!(t.met_by(0.0, 0.0));
+        assert!(t.met_by(50.0, 4.0));
+        assert!(!t.met_by(50.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time total must be positive")]
+    fn zero_time_target_panics() {
+        let _ = PerfTarget::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction total must be positive")]
+    fn zero_instr_target_panics() {
+        let _ = PerfTarget::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn overhead_model_costs() {
+        let m = OverheadModel::default();
+        assert!(m.cost_s(0) > 0.0);
+        assert!((m.cost_s(18) - (m.base_s + 18.0 * m.per_eval_s)).abs() < 1e-15);
+        assert_eq!(OverheadModel::free().cost_s(1000), 0.0);
+    }
+
+    #[test]
+    fn instant_decision_is_free() {
+        let d = GovernorDecision::instant(HwConfig::FAIL_SAFE);
+        assert_eq!(d.overhead_s, 0.0);
+        assert_eq!(d.evaluations, 0);
+        assert_eq!(d.horizon, None);
+    }
+}

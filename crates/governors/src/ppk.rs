@@ -1,0 +1,254 @@
+//! Predict Previous Kernel (PPK), the paper's stand-in for
+//! state-of-the-art history-based schemes (Sections II-E, III).
+//!
+//! PPK "assumes that the last seen kernel or phase repeats again and uses
+//! its behavior to estimate the energy optimal configuration of the
+//! upcoming kernel", under the running throughput constraint of Eq. 2. It
+//! never looks further than one kernel ahead and so cannot anticipate
+//! throughput phase changes — the failure mode that motivates MPC.
+
+use crate::governor::{Governor, GovernorDecision, KernelContext, OverheadModel};
+use crate::search::{exhaustive_best, hill_climb, EnergyEvaluator};
+use gpm_hw::{ConfigSpace, HwConfig};
+use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
+use gpm_sim::{KernelCharacteristics, KernelOutcome, SimParams};
+
+/// Search strategy used for the per-kernel optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpkSearch {
+    /// Evaluate every configuration in the space (prior-work style).
+    Exhaustive,
+    /// The paper's greedy hill climb (≈19× fewer evaluations).
+    HillClimb,
+}
+
+/// The PPK governor.
+///
+/// The very first kernel runs at the fail-safe configuration ("the very
+/// first kernel is run at fail-safe since no performance counters are
+/// available", Section V-B); afterwards each decision optimizes the
+/// predicted energy of the *previous* kernel's snapshot under the Eq. 2
+/// prefix-throughput constraint.
+#[derive(Debug, Clone)]
+pub struct PpkGovernor<P> {
+    evaluator: EnergyEvaluator<P>,
+    space: ConfigSpace,
+    overhead: OverheadModel,
+    search: PpkSearch,
+    store_truth: bool,
+    last: Option<KernelSnapshot>,
+    total_overhead_s: f64,
+    total_evaluations: u64,
+}
+
+impl<P: PowerPerfPredictor> PpkGovernor<P> {
+    /// PPK with the given predictor, simulator parameters (for the CPU
+    /// `V²f` model), search space, and overhead accounting.
+    pub fn new(
+        predictor: P,
+        params: SimParams,
+        space: ConfigSpace,
+        overhead: OverheadModel,
+    ) -> PpkGovernor<P> {
+        PpkGovernor {
+            evaluator: EnergyEvaluator::new(predictor, params),
+            space,
+            overhead,
+            search: PpkSearch::HillClimb,
+            store_truth: false,
+            last: None,
+            total_overhead_s: 0.0,
+            total_evaluations: 0,
+        }
+    }
+
+    /// Selects the search strategy (default: hill climb, matching the
+    /// MPC optimizer's per-kernel evaluation budget so the profiling run's
+    /// `T_PPK` is a faithful cost proxy for the adaptive horizon generator).
+    pub fn with_search(mut self, search: PpkSearch) -> PpkGovernor<P> {
+        self.search = search;
+        self
+    }
+
+    /// Attach ground truth to snapshots (oracle-predictor studies only).
+    pub fn with_truth_snapshots(mut self, enabled: bool) -> PpkGovernor<P> {
+        self.store_truth = enabled;
+        self
+    }
+
+    /// Cumulative optimizer overhead charged so far, seconds. This is the
+    /// `T_PPK` the adaptive horizon generator consumes after a profiling
+    /// run.
+    pub fn total_overhead_s(&self) -> f64 {
+        self.total_overhead_s
+    }
+
+    /// Cumulative predictor evaluations.
+    pub fn total_evaluations(&self) -> u64 {
+        self.total_evaluations
+    }
+}
+
+impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
+    fn name(&self) -> &str {
+        "ppk"
+    }
+
+    fn select(&mut self, ctx: &KernelContext) -> GovernorDecision {
+        let Some(last) = self.last.clone() else {
+            // No history yet: fail safe, no optimization charged.
+            return GovernorDecision::instant(HwConfig::FAIL_SAFE);
+        };
+        // Eq. 2: the upcoming kernel (assumed equal to the previous one)
+        // must keep cumulative throughput at or above target.
+        let cap = ctx.target.time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
+        let (best, evals) = match self.search {
+            PpkSearch::Exhaustive => exhaustive_best(&self.evaluator, &last, &self.space, cap),
+            PpkSearch::HillClimb => hill_climb(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap),
+        };
+        let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
+        let overhead_s = self.overhead.cost_s(evals);
+        self.total_overhead_s += overhead_s;
+        self.total_evaluations += evals;
+        GovernorDecision { config, overhead_s, evaluations: evals, horizon: None }
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &KernelContext,
+        executed_at: HwConfig,
+        outcome: &KernelOutcome,
+        truth: Option<&KernelCharacteristics>,
+    ) {
+        let truth = if self.store_truth { truth.cloned() } else { None };
+        self.last = Some(KernelSnapshot {
+            counters: outcome.counters,
+            measured_at: executed_at,
+            ginstructions: outcome.ginstructions,
+            truth,
+        });
+    }
+
+    fn end_run(&mut self) {
+        // History does not carry across application invocations: the next
+        // run's first kernel again has no predecessor within the run.
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::PerfTarget;
+    use gpm_sim::{ApuSimulator, OraclePredictor};
+
+    fn ctx(position: usize, elapsed_gi: f64, elapsed_s: f64, target: PerfTarget) -> KernelContext {
+        KernelContext {
+            position,
+            run_index: 0,
+            elapsed_kernel_s: elapsed_s,
+            elapsed_gi,
+            target,
+            total_kernels: None,
+        }
+    }
+
+    fn oracle_ppk(sim: &ApuSimulator) -> PpkGovernor<OraclePredictor> {
+        PpkGovernor::new(
+            OraclePredictor::new(sim),
+            SimParams::noiseless(),
+            ConfigSpace::paper_campaign(),
+            OverheadModel::default(),
+        )
+        .with_truth_snapshots(true)
+    }
+
+    #[test]
+    fn first_kernel_is_fail_safe() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim);
+        let target = PerfTarget::new(10.0, 1.0);
+        let d = ppk.select(&ctx(0, 0.0, 0.0, target));
+        assert_eq!(d.config, HwConfig::FAIL_SAFE);
+        assert_eq!(d.overhead_s, 0.0);
+    }
+
+    #[test]
+    fn optimizes_after_first_observation() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim);
+        let k = KernelCharacteristics::unscalable("us", 0.02);
+        // Establish a lenient target from a fail-safe run.
+        let base = sim.evaluate(&k, HwConfig::FAIL_SAFE);
+        let target = PerfTarget::new(base.ginstructions * 10.0, base.time_s * 10.0 * 1.5);
+
+        let c = ctx(0, 0.0, 0.0, target);
+        ppk.observe(&c, HwConfig::FAIL_SAFE, &base, Some(&k));
+        let d = ppk.select(&ctx(1, base.ginstructions, base.time_s, target));
+        // An unscalable kernel with slack: PPK should pick something much
+        // lower-power than fail-safe.
+        assert_ne!(d.config, HwConfig::FAIL_SAFE);
+        assert!(d.evaluations > 0);
+        assert!(d.overhead_s > 0.0);
+        let chosen = sim.evaluate(&k, d.config);
+        assert!(chosen.power.total_w() < base.power.total_w());
+    }
+
+    #[test]
+    fn falls_back_when_behind_target() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim);
+        let k = KernelCharacteristics::compute_bound("cb", 20.0);
+        let base = sim.evaluate(&k, HwConfig::MAX_PERF);
+        // Impossible target: twice the max-perf throughput.
+        let target = PerfTarget::new(base.ginstructions * 2.0, base.time_s);
+        let c = ctx(0, 0.0, 0.0, target);
+        ppk.observe(&c, HwConfig::MAX_PERF, &base, Some(&k));
+        // Deep performance debt makes the cap negative → fail-safe.
+        let d = ppk.select(&ctx(1, base.ginstructions, base.time_s * 4.0, target));
+        assert_eq!(d.config, HwConfig::FAIL_SAFE);
+    }
+
+    #[test]
+    fn end_run_clears_history() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim);
+        let k = KernelCharacteristics::compute_bound("cb", 20.0);
+        let out = sim.evaluate(&k, HwConfig::FAIL_SAFE);
+        let target = PerfTarget::new(1.0, 1.0);
+        ppk.observe(&ctx(0, 0.0, 0.0, target), HwConfig::FAIL_SAFE, &out, Some(&k));
+        ppk.end_run();
+        let d = ppk.select(&ctx(0, 0.0, 0.0, target));
+        assert_eq!(d.config, HwConfig::FAIL_SAFE);
+        assert_eq!(d.evaluations, 0);
+    }
+
+    #[test]
+    fn accumulates_overhead_accounting() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim);
+        let k = KernelCharacteristics::memory_bound("mb", 1.0);
+        let base = sim.evaluate(&k, HwConfig::FAIL_SAFE);
+        let target = PerfTarget::new(base.ginstructions * 5.0, base.time_s * 5.0 * 2.0);
+        let c = ctx(0, 0.0, 0.0, target);
+        ppk.observe(&c, HwConfig::FAIL_SAFE, &base, Some(&k));
+        let before = ppk.total_overhead_s();
+        let d = ppk.select(&ctx(1, base.ginstructions, base.time_s, target));
+        assert!(d.evaluations > 0 && d.evaluations < 60, "evals {}", d.evaluations);
+        assert!(ppk.total_overhead_s() > before);
+        assert_eq!(ppk.total_evaluations(), d.evaluations);
+    }
+
+    #[test]
+    fn exhaustive_variant_evaluates_whole_space() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim).with_search(PpkSearch::Exhaustive);
+        let k = KernelCharacteristics::unscalable("us", 0.02);
+        let base = sim.evaluate(&k, HwConfig::FAIL_SAFE);
+        let target = PerfTarget::new(base.ginstructions * 5.0, base.time_s * 5.0 * 2.0);
+        let c = ctx(0, 0.0, 0.0, target);
+        ppk.observe(&c, HwConfig::FAIL_SAFE, &base, Some(&k));
+        let d = ppk.select(&ctx(1, base.ginstructions, base.time_s, target));
+        assert_eq!(d.evaluations, 336);
+    }
+}

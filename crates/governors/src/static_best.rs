@@ -1,0 +1,114 @@
+//! Static per-application configuration (the style of Wang et al., cited
+//! by the paper as "statically optimized individual GPGPU kernels").
+//!
+//! One configuration is chosen offline for the *whole application* — the
+//! minimum-energy single configuration whose total predicted time meets
+//! the baseline budget — and never changed at runtime. The contrast with
+//! kernel-level schemes quantifies the value of per-kernel adaptation.
+
+use crate::fixed::FixedGovernor;
+use crate::governor::Governor;
+use gpm_hw::{ConfigSpace, HwConfig};
+use gpm_sim::{ApuSimulator, KernelCharacteristics};
+
+/// Plans the best single configuration for an application: minimum total
+/// energy subject to total kernel time ≤ `budget_s`, with perfect
+/// (noiseless-model) knowledge.
+///
+/// Falls back to [`HwConfig::FAIL_SAFE`] when no single configuration
+/// meets the budget.
+pub fn plan_static_best(
+    sim: &ApuSimulator,
+    kernels: &[KernelCharacteristics],
+    space: &ConfigSpace,
+    budget_s: f64,
+) -> HwConfig {
+    let mut best: Option<(HwConfig, f64)> = None;
+    for cfg in space {
+        let (mut time, mut energy) = (0.0, 0.0);
+        for k in kernels {
+            let out = sim.evaluate_exact(k, cfg);
+            time += out.time_s;
+            energy += out.energy.total_j();
+        }
+        if time <= budget_s && best.is_none_or(|(_, be)| energy < be) {
+            best = Some((cfg, energy));
+        }
+    }
+    best.map(|(cfg, _)| cfg).unwrap_or(HwConfig::FAIL_SAFE)
+}
+
+/// A governor pinned to the statically planned configuration.
+pub fn static_best_governor(
+    sim: &ApuSimulator,
+    kernels: &[KernelCharacteristics],
+    space: &ConfigSpace,
+    budget_s: f64,
+) -> impl Governor {
+    FixedGovernor::new(plan_static_best(sim, kernels, space, budget_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to::plan_optimal;
+
+    fn app() -> Vec<KernelCharacteristics> {
+        vec![
+            KernelCharacteristics::compute_bound("cb", 20.0),
+            KernelCharacteristics::memory_bound("mb", 1.0),
+            KernelCharacteristics::unscalable("us", 0.02),
+        ]
+    }
+
+    fn budget(sim: &ApuSimulator, slack: f64) -> f64 {
+        app().iter().map(|k| sim.evaluate_exact(k, HwConfig::MAX_PERF).time_s).sum::<f64>()
+            * slack
+    }
+
+    #[test]
+    fn static_best_meets_its_budget() {
+        let sim = ApuSimulator::noiseless();
+        let space = ConfigSpace::paper_campaign();
+        let b = budget(&sim, 1.2);
+        let cfg = plan_static_best(&sim, &app(), &space, b);
+        let total: f64 = app().iter().map(|k| sim.evaluate_exact(k, cfg).time_s).sum();
+        assert!(total <= b + 1e-9);
+    }
+
+    #[test]
+    fn static_best_beats_max_perf_on_energy() {
+        let sim = ApuSimulator::noiseless();
+        let space = ConfigSpace::paper_campaign();
+        let b = budget(&sim, 1.3);
+        let cfg = plan_static_best(&sim, &app(), &space, b);
+        let e_static: f64 =
+            app().iter().map(|k| sim.evaluate_exact(k, cfg).energy.total_j()).sum();
+        let e_max: f64 = app()
+            .iter()
+            .map(|k| sim.evaluate_exact(k, HwConfig::MAX_PERF).energy.total_j())
+            .sum();
+        assert!(e_static < e_max);
+    }
+
+    #[test]
+    fn per_kernel_to_never_loses_to_static() {
+        // Kernel-level adaptation strictly generalizes one static config.
+        let sim = ApuSimulator::noiseless();
+        let space = ConfigSpace::paper_campaign();
+        let b = budget(&sim, 1.25);
+        let static_cfg = plan_static_best(&sim, &app(), &space, b);
+        let e_static: f64 =
+            app().iter().map(|k| sim.evaluate_exact(k, static_cfg).energy.total_j()).sum();
+        let plan = plan_optimal(&sim, &app(), &space, b);
+        assert!(plan.energy_j <= e_static + 1e-6, "TO {} vs static {}", plan.energy_j, e_static);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back() {
+        let sim = ApuSimulator::noiseless();
+        let space = ConfigSpace::paper_campaign();
+        let cfg = plan_static_best(&sim, &app(), &space, 1e-9);
+        assert_eq!(cfg, HwConfig::FAIL_SAFE);
+    }
+}

@@ -1,0 +1,408 @@
+//! The Theoretically Optimal (TO) scheme (Sections II-E, V-B).
+//!
+//! TO has perfect knowledge of every kernel's behaviour at every
+//! configuration and picks, offline, the per-kernel configurations that
+//! minimize total energy while meeting the end-to-end throughput target
+//! (Eq. 1). With all kernels included, the throughput constraint reduces
+//! to a *time budget*: minimize `ΣEᵢ(sᵢ)` subject to `ΣTᵢ(sᵢ) ≤ T_total` —
+//! a multiple-choice knapsack.
+//!
+//! The paper brute-forces this at `O(Mᴺ)`; we solve it exactly on a
+//! discretized time grid with dynamic programming (`O(N·M·G)`), plus a
+//! Lagrangian-relaxation fast path, and cross-check against brute force in
+//! tests.
+
+use crate::governor::{Governor, GovernorDecision, KernelContext};
+use gpm_hw::{ConfigSpace, HwConfig};
+use gpm_sim::{ApuSimulator, KernelCharacteristics, KernelOutcome};
+use serde::{Deserialize, Serialize};
+
+/// One candidate option for one kernel: (time, energy).
+pub type Option2 = (f64, f64);
+
+/// A solved TO assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToPlan {
+    /// Chosen configuration per kernel, in execution order.
+    pub configs: Vec<HwConfig>,
+    /// Total predicted kernel energy of the plan, joules.
+    pub energy_j: f64,
+    /// Total predicted kernel time of the plan, seconds.
+    pub time_s: f64,
+}
+
+/// Exact-on-a-grid multiple-choice knapsack solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToSolver {
+    /// Time-grid resolution. Larger grids approach the continuous optimum;
+    /// item times are rounded *up* to grid cells, so solutions are always
+    /// feasible in continuous time.
+    pub grid: usize,
+}
+
+impl Default for ToSolver {
+    fn default() -> ToSolver {
+        ToSolver { grid: 4000 }
+    }
+}
+
+impl ToSolver {
+    /// Minimizes total energy subject to `Σ time ≤ budget_s`.
+    ///
+    /// `options[k]` lists kernel `k`'s `(time_s, energy_j)` alternatives.
+    /// Returns the chosen option index per kernel, or `None` when no
+    /// assignment fits the budget (on the conservative grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kernel has no options or the budget is non-positive.
+    pub fn solve(&self, options: &[Vec<Option2>], budget_s: f64) -> Option<Vec<usize>> {
+        assert!(budget_s > 0.0, "time budget must be positive");
+        assert!(options.iter().all(|o| !o.is_empty()), "every kernel needs at least one option");
+        if options.is_empty() {
+            return Some(Vec::new());
+        }
+        let g = self.grid.max(8);
+        let delta = budget_s / g as f64;
+        let weight = |t: f64| -> usize { (t / delta).ceil() as usize };
+
+        const INF: f64 = f64::INFINITY;
+        let mut dp = vec![INF; g + 1];
+        dp[0] = 0.0;
+        // choice[k][cell] = option picked for kernel k when total weight
+        // after kernel k is `cell`.
+        let mut choice: Vec<Vec<u32>> = Vec::with_capacity(options.len());
+
+        for opts in options {
+            let mut next = vec![INF; g + 1];
+            let mut pick = vec![u32::MAX; g + 1];
+            for (j, &(t, e)) in opts.iter().enumerate() {
+                let w = weight(t);
+                if w > g {
+                    continue;
+                }
+                for cell in w..=g {
+                    let base = dp[cell - w];
+                    if base.is_finite() {
+                        let cand = base + e;
+                        if cand < next[cell] {
+                            next[cell] = cand;
+                            pick[cell] = j as u32;
+                        }
+                    }
+                }
+            }
+            dp = next;
+            choice.push(pick);
+        }
+
+        // Best terminal cell.
+        let (best_cell, _) = dp
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e.is_finite())
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+
+        // Walk back through the choice tables.
+        let mut cell = best_cell;
+        let mut picks = vec![0usize; options.len()];
+        for k in (0..options.len()).rev() {
+            let j = choice[k][cell];
+            debug_assert_ne!(j, u32::MAX);
+            picks[k] = j as usize;
+            let w = weight(options[k][j as usize].0);
+            cell -= w;
+        }
+        Some(picks)
+    }
+
+    /// Lagrangian-relaxation fast path: binary-search the time price `λ`
+    /// and let each kernel pick `argmin(e + λ·t)` independently. Returns
+    /// the best *feasible* assignment encountered — on the convex hull of
+    /// the trade-off this matches the DP; off it, it may be slightly
+    /// suboptimal but is `O(N·M·log)` with no grid.
+    pub fn solve_lagrangian(options: &[Vec<Option2>], budget_s: f64) -> Option<Vec<usize>> {
+        assert!(budget_s > 0.0, "time budget must be positive");
+        let pick_at = |lambda: f64| -> (Vec<usize>, f64, f64) {
+            let mut idx = Vec::with_capacity(options.len());
+            let mut time = 0.0;
+            let mut energy = 0.0;
+            for opts in options {
+                let (j, &(t, e)) = opts
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        let ca = a.1 .1 + lambda * a.1 .0;
+                        let cb = b.1 .1 + lambda * b.1 .0;
+                        ca.partial_cmp(&cb).unwrap()
+                    })
+                    .unwrap();
+                idx.push(j);
+                time += t;
+                energy += e;
+            }
+            (idx, time, energy)
+        };
+
+        let (idx0, t0, _) = pick_at(0.0);
+        if t0 <= budget_s {
+            return Some(idx0); // energy-greedy already fits
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        // Grow hi until feasible (or give up).
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for _ in 0..64 {
+            let (idx, t, e) = pick_at(hi);
+            if t <= budget_s {
+                best = Some((idx, e));
+                break;
+            }
+            hi *= 4.0;
+        }
+        best.as_ref()?;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            let (idx, t, e) = pick_at(mid);
+            if t <= budget_s {
+                if best.as_ref().is_none_or(|(_, be)| e < *be) {
+                    best = Some((idx, e));
+                }
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+}
+
+/// Plans the TO assignment for a kernel sequence using the noiseless
+/// simulator as the perfect model.
+///
+/// `budget_s` is the baseline's total kernel time (`T_total` of Eq. 1).
+/// Falls back to the fail-safe configuration for every kernel if even the
+/// grid-conservative DP finds no feasible assignment.
+pub fn plan_optimal(
+    sim: &ApuSimulator,
+    kernels: &[KernelCharacteristics],
+    space: &ConfigSpace,
+    budget_s: f64,
+) -> ToPlan {
+    let configs: Vec<HwConfig> = space.iter().collect();
+    let options: Vec<Vec<Option2>> = kernels
+        .iter()
+        .map(|k| {
+            configs
+                .iter()
+                .map(|&cfg| {
+                    let out = sim.evaluate_exact(k, cfg);
+                    (out.time_s, out.energy.total_j())
+                })
+                .collect()
+        })
+        .collect();
+
+    let solver = ToSolver::default();
+    let picks = solver
+        .solve(&options, budget_s)
+        .unwrap_or_else(|| vec![configs.iter().position(|&c| c == HwConfig::FAIL_SAFE).unwrap_or(0); kernels.len()]);
+
+    let chosen: Vec<HwConfig> = picks.iter().map(|&j| configs[j]).collect();
+    let (time_s, energy_j) = picks
+        .iter()
+        .enumerate()
+        .fold((0.0, 0.0), |(t, e), (k, &j)| (t + options[k][j].0, e + options[k][j].1));
+    ToPlan { configs: chosen, energy_j, time_s }
+}
+
+/// TO as a replayable governor (zero overhead, perfect knowledge).
+pub fn to_governor(plan: &ToPlan) -> impl Governor {
+    ToGovernor { plan: plan.configs.clone() }
+}
+
+#[derive(Debug, Clone)]
+struct ToGovernor {
+    plan: Vec<HwConfig>,
+}
+
+impl Governor for ToGovernor {
+    fn name(&self) -> &str {
+        "theoretically-optimal"
+    }
+
+    fn select(&mut self, ctx: &KernelContext) -> GovernorDecision {
+        let cfg = self.plan.get(ctx.position).copied().unwrap_or(HwConfig::FAIL_SAFE);
+        GovernorDecision::instant(cfg)
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &KernelContext,
+        _executed_at: HwConfig,
+        _outcome: &KernelOutcome,
+        _truth: Option<&KernelCharacteristics>,
+    ) {
+    }
+}
+
+/// Brute-force reference solver for tests: `O(Mᴺ)`.
+pub fn solve_brute(options: &[Vec<Option2>], budget_s: f64) -> Option<(Vec<usize>, f64)> {
+    fn rec(
+        options: &[Vec<Option2>],
+        k: usize,
+        time: f64,
+        energy: f64,
+        budget: f64,
+        picks: &mut Vec<usize>,
+        best: &mut Option<(Vec<usize>, f64)>,
+    ) {
+        if time > budget {
+            return;
+        }
+        if k == options.len() {
+            if best.as_ref().is_none_or(|(_, be)| energy < *be) {
+                *best = Some((picks.clone(), energy));
+            }
+            return;
+        }
+        for (j, &(t, e)) in options[k].iter().enumerate() {
+            picks.push(j);
+            rec(options, k + 1, time + t, energy + e, budget, picks, best);
+            picks.pop();
+        }
+    }
+    let mut best = None;
+    rec(options, 0, 0.0, 0.0, budget_s, &mut Vec::new(), &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_options() -> Vec<Vec<Option2>> {
+        // Three kernels, three options each: (fast, expensive) → (slow, cheap).
+        vec![
+            vec![(1.0, 10.0), (2.0, 6.0), (4.0, 5.0)],
+            vec![(1.0, 20.0), (3.0, 9.0), (5.0, 8.0)],
+            vec![(2.0, 12.0), (4.0, 7.0), (6.0, 6.5)],
+        ]
+    }
+
+    fn total(options: &[Vec<Option2>], picks: &[usize]) -> (f64, f64) {
+        picks
+            .iter()
+            .enumerate()
+            .fold((0.0, 0.0), |(t, e), (k, &j)| (t + options[k][j].0, e + options[k][j].1))
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let options = toy_options();
+        for budget in [4.0, 6.0, 8.0, 10.0, 15.0] {
+            // A grid whose cell size divides the (integer) option times
+            // exactly, so the conservative ceil-rounding is lossless and
+            // the DP must match brute force bit-for-bit.
+            let dp = ToSolver { grid: (budget * 10.0) as usize }.solve(&options, budget);
+            let brute = solve_brute(&options, budget);
+            match (dp, brute) {
+                (Some(d), Some((_, be))) => {
+                    let (t, e) = total(&options, &d);
+                    assert!(t <= budget + 1e-9);
+                    assert!(
+                        (e - be).abs() < 1e-6,
+                        "budget {budget}: dp energy {e} vs brute {be}"
+                    );
+                }
+                (None, None) => {}
+                (d, b) => panic!("budget {budget}: dp {d:?} brute {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let options = toy_options();
+        assert_eq!(ToSolver::default().solve(&options, 1.0), None);
+        assert_eq!(solve_brute(&options, 1.0), None);
+    }
+
+    #[test]
+    fn generous_budget_takes_cheapest_options() {
+        let options = toy_options();
+        let picks = ToSolver::default().solve(&options, 100.0).unwrap();
+        assert_eq!(picks, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn lagrangian_is_feasible_and_near_dp() {
+        let options = toy_options();
+        for budget in [6.0, 8.0, 10.0] {
+            let lag = ToSolver::solve_lagrangian(&options, budget).unwrap();
+            let (t, e) = total(&options, &lag);
+            assert!(t <= budget + 1e-9);
+            let dp = ToSolver { grid: (budget * 10.0) as usize }.solve(&options, budget).unwrap();
+            let (_, e_dp) = total(&options, &dp);
+            assert!(e >= e_dp - 1e-9);
+            assert!(e <= e_dp * 1.3, "budget {budget}: lagrangian {e} vs dp {e_dp}");
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_solved() {
+        assert_eq!(ToSolver::default().solve(&[], 1.0), Some(Vec::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn nonpositive_budget_panics() {
+        let _ = ToSolver::default().solve(&toy_options(), 0.0);
+    }
+
+    #[test]
+    fn plan_optimal_meets_budget_and_beats_fail_safe() {
+        let sim = ApuSimulator::noiseless();
+        let kernels = vec![
+            KernelCharacteristics::compute_bound("a", 15.0),
+            KernelCharacteristics::memory_bound("b", 1.0),
+            KernelCharacteristics::unscalable("c", 0.02),
+            KernelCharacteristics::peak("d", 8.0),
+        ];
+        let space = ConfigSpace::paper_campaign();
+        // Budget: fail-safe total time with 5% slack.
+        let fs_time: f64 =
+            kernels.iter().map(|k| sim.evaluate_exact(k, HwConfig::FAIL_SAFE).time_s).sum();
+        let fs_energy: f64 = kernels
+            .iter()
+            .map(|k| sim.evaluate_exact(k, HwConfig::FAIL_SAFE).energy.total_j())
+            .sum();
+        let plan = plan_optimal(&sim, &kernels, &space, fs_time * 1.05);
+        assert_eq!(plan.configs.len(), kernels.len());
+        assert!(plan.time_s <= fs_time * 1.05 + 1e-9);
+        assert!(plan.energy_j < fs_energy, "TO {} vs fail-safe {}", plan.energy_j, fs_energy);
+    }
+
+    #[test]
+    fn to_governor_replays_plan() {
+        use crate::governor::PerfTarget;
+        let plan = ToPlan {
+            configs: vec![HwConfig::MAX_PERF, HwConfig::FAIL_SAFE],
+            energy_j: 1.0,
+            time_s: 1.0,
+        };
+        let mut gov = to_governor(&plan);
+        let mk = |position| KernelContext {
+            position,
+            run_index: 0,
+            elapsed_kernel_s: 0.0,
+            elapsed_gi: 0.0,
+            target: PerfTarget::new(1.0, 1.0),
+            total_kernels: Some(2),
+        };
+        assert_eq!(gov.select(&mk(0)).config, HwConfig::MAX_PERF);
+        assert_eq!(gov.select(&mk(1)).config, HwConfig::FAIL_SAFE);
+        assert_eq!(gov.select(&mk(5)).config, HwConfig::FAIL_SAFE);
+        assert_eq!(gov.name(), "theoretically-optimal");
+    }
+}

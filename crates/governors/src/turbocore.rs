@@ -1,0 +1,170 @@
+//! AMD Turbo Core baseline (Section V-B).
+//!
+//! Turbo Core is the shipping, state-of-the-practice policy: it runs every
+//! domain at its boost state as long as the package stays within TDP, and
+//! shifts power away from the CPU when it does not. During GPGPU offload
+//! the CPU busy-waits, which keeps its utilization — and therefore its
+//! DVFS request — high: "Turbo Core does not drop the CPU DVFS states as
+//! long as the system stays within its TDP."
+
+use crate::governor::{Governor, GovernorDecision, KernelContext};
+use gpm_hw::{CpuPState, CuCount, GpuDpm, HwConfig, NbState};
+use gpm_sim::{KernelCharacteristics, KernelOutcome};
+
+/// The Turbo Core governor.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_governors::{Governor, TurboCore, KernelContext, PerfTarget};
+///
+/// let mut tc = TurboCore::new(95.0);
+/// let ctx = KernelContext {
+///     position: 0,
+///     run_index: 0,
+///     elapsed_kernel_s: 0.0,
+///     elapsed_gi: 0.0,
+///     target: PerfTarget::new(1.0, 1.0),
+///     total_kernels: None,
+/// };
+/// let d = tc.select(&ctx);
+/// assert_eq!(d.config.gpu, gpm_hw::GpuDpm::Dpm4);
+/// assert_eq!(d.overhead_s, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TurboCore {
+    tdp_w: f64,
+    cpu: CpuPState,
+    /// Hysteresis: re-boost only when package power drops below this
+    /// fraction of TDP.
+    reboost_fraction: f64,
+}
+
+impl TurboCore {
+    /// Turbo Core for a package with the given TDP in watts.
+    pub fn new(tdp_w: f64) -> TurboCore {
+        TurboCore { tdp_w, cpu: CpuPState::P1, reboost_fraction: 0.90 }
+    }
+
+    /// Current CPU P-state choice (observable for tests/diagnostics).
+    pub fn cpu_state(&self) -> CpuPState {
+        self.cpu
+    }
+}
+
+impl Governor for TurboCore {
+    fn name(&self) -> &str {
+        "turbo-core"
+    }
+
+    fn select(&mut self, _ctx: &KernelContext) -> GovernorDecision {
+        GovernorDecision::instant(HwConfig::new(
+            self.cpu,
+            NbState::Nb0,
+            GpuDpm::Dpm4,
+            CuCount::MAX,
+        ))
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &KernelContext,
+        _executed_at: HwConfig,
+        outcome: &KernelOutcome,
+        _truth: Option<&KernelCharacteristics>,
+    ) {
+        let package = outcome.power.package_w();
+        if package > self.tdp_w {
+            // Shift power away from the busy-waiting CPU.
+            if let Some(slower) = self.cpu.slower() {
+                self.cpu = slower;
+            }
+        } else if package < self.tdp_w * self.reboost_fraction {
+            if let Some(faster) = self.cpu.faster() {
+                self.cpu = faster;
+            }
+        }
+    }
+
+    fn end_run(&mut self) {
+        self.cpu = CpuPState::P1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::PerfTarget;
+    use gpm_sim::ApuSimulator;
+
+    fn ctx() -> KernelContext {
+        KernelContext {
+            position: 0,
+            run_index: 0,
+            elapsed_kernel_s: 0.0,
+            elapsed_gi: 0.0,
+            target: PerfTarget::new(1.0, 1.0),
+            total_kernels: None,
+        }
+    }
+
+    #[test]
+    fn boosts_everything_by_default() {
+        let mut tc = TurboCore::new(95.0);
+        let d = tc.select(&ctx());
+        assert_eq!(d.config, HwConfig::MAX_PERF);
+        assert_eq!(d.evaluations, 0);
+    }
+
+    #[test]
+    fn sheds_cpu_state_over_tdp() {
+        let sim = ApuSimulator::noiseless();
+        let k = KernelCharacteristics::compute_bound("hot", 50.0);
+        let mut tc = TurboCore::new(40.0); // artificially tight TDP
+        let d = tc.select(&ctx());
+        let out = sim.evaluate(&k, d.config);
+        assert!(out.power.package_w() > 40.0);
+        tc.observe(&ctx(), d.config, &out, None);
+        assert_eq!(tc.cpu_state(), CpuPState::P2);
+        // Keeps shedding while still over.
+        let cfg2 = tc.select(&ctx()).config;
+        let out2 = sim.evaluate(&k, cfg2);
+        tc.observe(&ctx(), cfg2, &out2, None);
+        assert_eq!(tc.cpu_state(), CpuPState::P3);
+    }
+
+    #[test]
+    fn reboosts_when_power_drops() {
+        let sim = ApuSimulator::noiseless();
+        let cool = KernelCharacteristics::unscalable("cool", 0.02);
+        let mut tc = TurboCore::new(95.0);
+        // Force a shed state, then feed a cool kernel.
+        tc.cpu = CpuPState::P5;
+        let d = tc.select(&ctx());
+        let out = sim.evaluate(&cool, d.config);
+        assert!(out.power.package_w() < 95.0 * 0.9);
+        tc.observe(&ctx(), d.config, &out, None);
+        assert_eq!(tc.cpu_state(), CpuPState::P4);
+    }
+
+    #[test]
+    fn end_run_resets_to_boost() {
+        let mut tc = TurboCore::new(95.0);
+        tc.cpu = CpuPState::P6;
+        tc.end_run();
+        assert_eq!(tc.cpu_state(), CpuPState::P1);
+    }
+
+    #[test]
+    fn never_underflows_p7() {
+        let sim = ApuSimulator::noiseless();
+        let k = KernelCharacteristics::compute_bound("hot", 50.0);
+        let mut tc = TurboCore::new(1.0); // impossible TDP
+        for _ in 0..20 {
+            let d = tc.select(&ctx());
+            let out = sim.evaluate(&k, d.config);
+            tc.observe(&ctx(), d.config, &out, None);
+        }
+        assert_eq!(tc.cpu_state(), CpuPState::P7);
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment harness: replays workloads under governors and produces the
+//! paper's comparisons.
+//!
+//! The harness mirrors the paper's methodology (Section V): a workload's
+//! kernel sequence is replayed on the simulated APU under a governor; the
+//! governor's per-decision overheads are charged as CPU time/energy between
+//! kernels (worst case: kernels back-to-back, no idle CPU to hide them);
+//! energy, kernel time, and wall time are accumulated; and schemes are
+//! compared against the AMD Turbo Core baseline run that also defines the
+//! performance target of Eq. 1.
+//!
+//! Layers:
+//!
+//! * [`run`] — the core replay loop ([`run::run_once`]).
+//! * [`campaign`] — the measurement campaign, parallelized across worker
+//!   threads (bit-identical to the sequential path).
+//! * [`context`] — one-time setup shared by experiments: the simulator and
+//!   the offline-trained Random Forest ([`context::EvalContext`]).
+//! * [`schemes`] — named scheme constructors (PPK/MPC × oracle/RF/error
+//!   models, TO) and end-to-end evaluation
+//!   ([`schemes::evaluate_scheme`]).
+//! * [`metrics`] — energy-savings / speedup arithmetic and geometric means.
+//! * [`amortize`] — Figure 11's re-execution amortization study.
+//! * [`traces`] — Figure 2 sweeps and Figure 3 throughput traces.
+//! * [`report`] — plain-text table and CSV rendering for the `fig*`
+//!   binaries; [`svg`] — standalone SVG bar/line charts for the same.
+
+pub mod amortize;
+pub mod campaign;
+pub mod context;
+pub mod metrics;
+pub mod report;
+pub mod run;
+pub mod schemes;
+pub mod svg;
+pub mod traces;
+
+pub use context::{EvalContext, EvalOptions};
+pub use metrics::{energy_savings_pct, geo_mean, speedup, Comparison};
+pub use run::{run_once, KernelRun, RunResult};
+pub use schemes::{evaluate_scheme, turbo_core_baseline, Scheme, SchemeOutcome};

@@ -1,0 +1,168 @@
+//! Comparison arithmetic used throughout the figures.
+
+use crate::run::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// Energy savings of `scheme` relative to `baseline`, in percent
+/// (positive = scheme consumes less).
+pub fn energy_savings_pct(baseline_j: f64, scheme_j: f64) -> f64 {
+    (1.0 - scheme_j / baseline_j) * 100.0
+}
+
+/// Speedup of `scheme` over `baseline` (>1 = scheme is faster).
+pub fn speedup(baseline_s: f64, scheme_s: f64) -> f64 {
+    baseline_s / scheme_s
+}
+
+/// Geometric mean; returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean requires positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// A scheme-vs-baseline comparison for one workload — one bar of
+/// Figures 4, 8, 9, 10, or 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Chip-wide energy savings over the baseline, percent.
+    pub energy_savings_pct: f64,
+    /// GPU-domain energy savings over the baseline, percent (Figure 10).
+    pub gpu_energy_savings_pct: f64,
+    /// CPU-domain energy savings over the baseline, percent.
+    pub cpu_energy_savings_pct: f64,
+    /// Wall-clock speedup over the baseline (includes optimizer
+    /// overheads).
+    pub speedup: f64,
+}
+
+impl Comparison {
+    /// Compares a scheme's measured run against a baseline run.
+    pub fn between(baseline: &RunResult, scheme: &RunResult) -> Comparison {
+        Comparison {
+            energy_savings_pct: energy_savings_pct(
+                baseline.total_energy_j(),
+                scheme.total_energy_j(),
+            ),
+            gpu_energy_savings_pct: energy_savings_pct(
+                baseline.gpu_energy_j(),
+                scheme.gpu_energy_j(),
+            ),
+            cpu_energy_savings_pct: energy_savings_pct(
+                baseline.cpu_energy_j(),
+                scheme.cpu_energy_j(),
+            ),
+            speedup: speedup(baseline.wall_time_s(), scheme.wall_time_s()),
+        }
+    }
+
+    /// Performance loss in percent (positive = scheme slower than
+    /// baseline); the paper's "1.8% performance loss" form.
+    pub fn perf_loss_pct(&self) -> f64 {
+        (1.0 - self.speedup) * 100.0
+    }
+}
+
+/// Averages a set of per-workload comparisons the way the paper reports
+/// suite-wide numbers: arithmetic mean of savings, geometric mean of
+/// speedups.
+pub fn summarize(comparisons: &[Comparison]) -> Comparison {
+    if comparisons.is_empty() {
+        return Comparison {
+            energy_savings_pct: 0.0,
+            gpu_energy_savings_pct: 0.0,
+            cpu_energy_savings_pct: 0.0,
+            speedup: 1.0,
+        };
+    }
+    let n = comparisons.len() as f64;
+    let speedups: Vec<f64> = comparisons.iter().map(|c| c.speedup).collect();
+    Comparison {
+        energy_savings_pct: comparisons.iter().map(|c| c.energy_savings_pct).sum::<f64>() / n,
+        gpu_energy_savings_pct: comparisons.iter().map(|c| c.gpu_energy_savings_pct).sum::<f64>()
+            / n,
+        cpu_energy_savings_pct: comparisons.iter().map(|c| c.cpu_energy_savings_pct).sum::<f64>()
+            / n,
+        speedup: geo_mean(&speedups),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_sim::EnergyBreakdown;
+
+    fn run(kernel_time_s: f64, overhead_s: f64, cpu_j: f64, gpu_j: f64) -> RunResult {
+        RunResult {
+            governor: "x".into(),
+            workload: "w".into(),
+            kernel_time_s,
+            overhead_time_s: overhead_s,
+            transition_time_s: 0.0,
+            energy: EnergyBreakdown { cpu_j, gpu_j, dram_j: 1.0, other_j: 1.0 },
+            overhead_energy: EnergyBreakdown::default(),
+            ginstructions: 10.0,
+            per_kernel: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn savings_and_speedup_signs() {
+        assert!((energy_savings_pct(100.0, 75.0) - 25.0).abs() < 1e-12);
+        assert!(energy_savings_pct(100.0, 120.0) < 0.0);
+        assert!((speedup(2.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geo_mean_rejects_nonpositive() {
+        let _ = geo_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn comparison_between_runs() {
+        let base = run(10.0, 0.0, 50.0, 48.0);
+        let scheme = run(10.5, 0.5, 20.0, 40.0);
+        let c = Comparison::between(&base, &scheme);
+        assert!(c.energy_savings_pct > 0.0);
+        assert!(c.gpu_energy_savings_pct > 0.0);
+        assert!(c.cpu_energy_savings_pct > 50.0);
+        assert!((c.speedup - 10.0 / 11.0).abs() < 1e-12);
+        assert!((c.perf_loss_pct() - (1.0 - 10.0 / 11.0) * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_averages() {
+        let a = Comparison {
+            energy_savings_pct: 10.0,
+            gpu_energy_savings_pct: 4.0,
+            cpu_energy_savings_pct: 20.0,
+            speedup: 1.0,
+        };
+        let b = Comparison {
+            energy_savings_pct: 30.0,
+            gpu_energy_savings_pct: 8.0,
+            cpu_energy_savings_pct: 40.0,
+            speedup: 4.0,
+        };
+        let s = summarize(&[a, b]);
+        assert!((s.energy_savings_pct - 20.0).abs() < 1e-12);
+        assert!((s.gpu_energy_savings_pct - 6.0).abs() < 1e-12);
+        assert!((s.speedup - 2.0).abs() < 1e-12);
+        let empty = summarize(&[]);
+        assert_eq!(empty.speedup, 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The core replay loop: one application invocation under one governor.
+
+use gpm_governors::{Governor, KernelContext, PerfTarget};
+use gpm_hw::HwConfig;
+use gpm_sim::{EnergyBreakdown, Platform};
+use gpm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Per-invocation record within a [`RunResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Position within the application.
+    pub position: usize,
+    /// Kernel name.
+    pub name: String,
+    /// Configuration the governor chose.
+    pub config: HwConfig,
+    /// Measured execution time, seconds.
+    pub time_s: f64,
+    /// Kernel energy, joules.
+    pub energy_j: f64,
+    /// Instructions, giga-instructions.
+    pub gi: f64,
+    /// Optimizer overhead charged before this kernel, seconds.
+    pub overhead_s: f64,
+    /// Horizon used, for MPC-style governors.
+    pub horizon: Option<usize>,
+}
+
+impl KernelRun {
+    /// Kernel instruction throughput, giga-instructions per second.
+    pub fn throughput(&self) -> f64 {
+        self.gi / self.time_s.max(1e-12)
+    }
+}
+
+/// Totals of one application invocation under one governor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Governor name.
+    pub governor: String,
+    /// Workload name.
+    pub workload: String,
+    /// Sum of kernel execution times, seconds (the `ΣT` of Eq. 1).
+    pub kernel_time_s: f64,
+    /// Sum of optimizer overheads, seconds.
+    pub overhead_time_s: f64,
+    /// Sum of DVFS state-transition stalls, seconds (0 unless the
+    /// simulator's transition model is enabled).
+    pub transition_time_s: f64,
+    /// Kernel-phase energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Energy consumed while the optimizer ran between kernels.
+    pub overhead_energy: EnergyBreakdown,
+    /// Total instructions, giga-instructions.
+    pub ginstructions: f64,
+    /// Per-kernel details.
+    pub per_kernel: Vec<KernelRun>,
+}
+
+impl RunResult {
+    /// End-to-end wall time: kernels plus optimizer overheads plus any
+    /// DVFS transition stalls (the paper's worst case of back-to-back
+    /// kernels).
+    pub fn wall_time_s(&self) -> f64 {
+        self.kernel_time_s + self.overhead_time_s + self.transition_time_s
+    }
+
+    /// Total chip energy including optimizer overhead energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j() + self.overhead_energy.total_j()
+    }
+
+    /// GPU-domain energy including the GPU static energy burned during
+    /// optimization (Figure 10's metric), joules.
+    pub fn gpu_energy_j(&self) -> f64 {
+        self.energy.gpu_j + self.overhead_energy.gpu_j
+    }
+
+    /// CPU-domain energy, joules.
+    pub fn cpu_energy_j(&self) -> f64 {
+        self.energy.cpu_j + self.overhead_energy.cpu_j
+    }
+
+    /// Application kernel throughput, giga-instructions per second over
+    /// wall time.
+    pub fn throughput(&self) -> f64 {
+        self.ginstructions / self.wall_time_s().max(1e-12)
+    }
+}
+
+/// Replays `workload` once under `governor`.
+///
+/// `run_index` distinguishes the profiling invocation (0) from later ones;
+/// `provide_truth` hands the governor ground-truth kernel characteristics
+/// (oracle-predictor studies only). Optimizer overhead is charged at the
+/// paper's MPC host configuration (`[P5, NB0, DPM0, 2 CUs]`) with the GPU
+/// idle, per Section V's worst-case assumption.
+///
+/// The governor's `end_run` is invoked before returning.
+///
+/// `sim` is any [`Platform`] — the live analytical simulator or a
+/// recorded [`ReplayPlatform`](gpm_sim::ReplayPlatform) measurement table
+/// (`&ApuSimulator` coerces automatically).
+pub fn run_once(
+    sim: &dyn Platform,
+    workload: &Workload,
+    governor: &mut dyn Governor,
+    target: PerfTarget,
+    run_index: usize,
+    provide_truth: bool,
+) -> RunResult {
+    let mut result = RunResult {
+        governor: governor.name().to_string(),
+        workload: workload.name().to_string(),
+        kernel_time_s: 0.0,
+        overhead_time_s: 0.0,
+        transition_time_s: 0.0,
+        energy: EnergyBreakdown::default(),
+        overhead_energy: EnergyBreakdown::default(),
+        ginstructions: 0.0,
+        per_kernel: Vec::with_capacity(workload.len()),
+    };
+
+    let mut prev_config: Option<gpm_hw::HwConfig> = None;
+    for (position, kernel) in workload.kernels().iter().enumerate() {
+        let ctx = KernelContext {
+            position,
+            run_index,
+            elapsed_kernel_s: result.kernel_time_s,
+            elapsed_gi: result.ginstructions,
+            target,
+            total_kernels: Some(workload.len()),
+        };
+        let decision = governor.select(&ctx);
+        if decision.overhead_s > 0.0 {
+            // Optimizer time overlapping a host CPU phase is hidden: the
+            // CPU was busy with application work anyway, so neither extra
+            // wall time nor extra energy is charged for that portion
+            // (Section VI-E). With no modelled CPU phases (the default)
+            // this is the paper's worst case: everything is charged.
+            let visible = (decision.overhead_s - workload.cpu_phase_s(position)).max(0.0);
+            result.overhead_time_s += visible;
+            if visible > 0.0 {
+                let oh = sim.optimizer_energy(HwConfig::MPC_HOST, visible);
+                result.overhead_energy.accumulate(&oh);
+            }
+        }
+
+        // DVFS transition stall between the previous kernel's state and
+        // this decision (free unless the simulator's transition model is
+        // enabled).
+        if let Some(prev) = prev_config {
+            let stall =
+                gpm_sim::transition::transition_cost_s(sim.params(), prev, decision.config);
+            if stall > 0.0 {
+                result.transition_time_s += stall;
+                let te = sim.optimizer_energy(decision.config, stall);
+                result.overhead_energy.accumulate(&te);
+            }
+        }
+        prev_config = Some(decision.config);
+
+        let outcome = sim.evaluate(kernel, decision.config);
+        result.kernel_time_s += outcome.time_s;
+        result.ginstructions += outcome.ginstructions;
+        result.energy.accumulate(&outcome.energy);
+        result.per_kernel.push(KernelRun {
+            position,
+            name: kernel.name().to_string(),
+            config: decision.config,
+            time_s: outcome.time_s,
+            energy_j: outcome.energy.total_j(),
+            gi: outcome.ginstructions,
+            overhead_s: decision.overhead_s,
+            horizon: decision.horizon,
+        });
+
+        let truth = provide_truth.then_some(kernel);
+        governor.observe(&ctx, decision.config, &outcome, truth);
+    }
+    governor.end_run();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_governors::{FixedGovernor, TurboCore};
+    use gpm_sim::ApuSimulator;
+    use gpm_workloads::workload_by_name;
+
+    fn sim() -> ApuSimulator {
+        ApuSimulator::noiseless()
+    }
+
+    #[test]
+    fn totals_are_sums_of_per_kernel() {
+        let sim = sim();
+        let w = workload_by_name("Spmv").unwrap();
+        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        let res = run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
+        assert_eq!(res.per_kernel.len(), 30);
+        let t: f64 = res.per_kernel.iter().map(|k| k.time_s).sum();
+        assert!((t - res.kernel_time_s).abs() < 1e-9);
+        let gi: f64 = res.per_kernel.iter().map(|k| k.gi).sum();
+        assert!((gi - res.ginstructions).abs() < 1e-9);
+        assert_eq!(res.overhead_time_s, 0.0);
+        assert_eq!(res.wall_time_s(), res.kernel_time_s);
+    }
+
+    #[test]
+    fn turbo_core_run_is_deterministic() {
+        let sim = ApuSimulator::default();
+        let w = workload_by_name("kmeans").unwrap();
+        let run = |i: usize| {
+            let mut gov = TurboCore::new(95.0);
+            let _ = i;
+            run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false)
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.kernel_time_s, b.kernel_time_s);
+        assert_eq!(a.total_energy_j(), b.total_energy_j());
+    }
+
+    #[test]
+    fn overhead_energy_accrues_for_optimizing_governors() {
+        use gpm_governors::{OverheadModel, PpkGovernor};
+        use gpm_hw::ConfigSpace;
+        use gpm_sim::{OraclePredictor, SimParams};
+        let sim = sim();
+        let w = workload_by_name("EigenValue").unwrap();
+        // Target from a fail-safe run.
+        let mut fixed = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        let base = run_once(&sim, &w, &mut fixed, PerfTarget::new(1.0, 1.0), 0, false);
+        let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
+        let mut ppk = PpkGovernor::new(
+            OraclePredictor::new(&sim),
+            SimParams::noiseless(),
+            ConfigSpace::paper_campaign(),
+            OverheadModel::default(),
+        )
+        .with_truth_snapshots(true);
+        let res = run_once(&sim, &w, &mut ppk, target, 0, true);
+        assert!(res.overhead_time_s > 0.0);
+        assert!(res.overhead_energy.total_j() > 0.0);
+        assert!(res.total_energy_j() > res.energy.total_j());
+    }
+
+    #[test]
+    fn per_kernel_throughput_positive() {
+        let sim = sim();
+        let w = workload_by_name("hybridsort").unwrap();
+        let mut gov = FixedGovernor::new(HwConfig::MAX_PERF);
+        let res = run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
+        for k in &res.per_kernel {
+            assert!(k.throughput() > 0.0, "{} throughput", k.name);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Minimal SVG chart rendering for the figure binaries.
+//!
+//! Hand-rolled (no plotting dependency): grouped bar charts in the style
+//! of the paper's Figures 4/8/9/12 and line charts for traces. Output is
+//! deterministic, standalone SVG suitable for embedding in reports.
+
+use std::fmt::Write as _;
+
+/// One named series of a grouped bar chart.
+#[derive(Debug, Clone)]
+pub struct BarSeries {
+    /// Legend label.
+    pub name: String,
+    /// One value per category (benchmark).
+    pub values: Vec<f64>,
+}
+
+/// Distinct fill colors assigned to series in order.
+const PALETTE: [&str; 6] = ["#4878a8", "#e49444", "#6a9f58", "#d1615d", "#85629c", "#918f8b"];
+
+/// Geometry constants.
+const WIDTH: f64 = 960.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 110.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a grouped bar chart.
+///
+/// `categories` label the x-axis groups; every series must supply one
+/// value per category. A horizontal reference line is drawn at
+/// `reference` when given (e.g. speedup = 1.0).
+///
+/// # Panics
+///
+/// Panics if a series' length differs from the category count, or no
+/// categories are given.
+pub fn bar_chart(
+    title: &str,
+    categories: &[String],
+    series: &[BarSeries],
+    y_label: &str,
+    reference: Option<f64>,
+) -> String {
+    assert!(!categories.is_empty(), "bar chart needs at least one category");
+    for s in series {
+        assert_eq!(s.values.len(), categories.len(), "series `{}` arity", s.name);
+    }
+
+    let all: Vec<f64> = series.iter().flat_map(|s| s.values.iter().copied()).collect();
+    let mut lo = all.iter().copied().fold(0.0f64, f64::min);
+    let mut hi = all.iter().copied().fold(0.0f64, f64::max);
+    if let Some(r) = reference {
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let pad = 0.08 * (hi - lo);
+    let (lo, hi) = (lo - pad, hi + pad);
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - (v - lo) / (hi - lo));
+    let group_w = plot_w / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+        WIDTH / 2.0,
+        esc(title)
+    );
+    // y axis + gridlines.
+    for i in 0..=5 {
+        let v = lo + (hi - lo) * i as f64 / 5.0;
+        let y = y_of(v);
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            WIDTH - MARGIN_R
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{v:.1}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{:.1}" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(y_label)
+    );
+    // Reference line.
+    if let Some(r) = reference {
+        let y = y_of(r);
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#333" stroke-dasharray="5,4"/>"##,
+            WIDTH - MARGIN_R
+        );
+    }
+    // Bars.
+    let zero_y = y_of(0.0f64.clamp(lo, hi));
+    for (ci, _) in categories.iter().enumerate() {
+        let gx = MARGIN_L + group_w * ci as f64 + group_w * 0.1;
+        for (si, s) in series.iter().enumerate() {
+            let v = s.values[ci];
+            let y = y_of(v);
+            let (top, h) = if y <= zero_y { (y, zero_y - y) } else { (zero_y, y - zero_y) };
+            let _ = write!(
+                svg,
+                r#"<rect x="{:.1}" y="{top:.1}" width="{:.1}" height="{:.2}" fill="{}"/>"#,
+                gx + bar_w * si as f64,
+                bar_w * 0.92,
+                h.max(0.5),
+                PALETTE[si % PALETTE.len()]
+            );
+        }
+        // Rotated category label.
+        let lx = gx + group_w * 0.4;
+        let ly = HEIGHT - MARGIN_B + 14.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{lx:.1}" y="{ly:.1}" transform="rotate(-40 {lx:.1} {ly:.1})" text-anchor="end">{}</text>"#,
+            esc(&categories[ci])
+        );
+    }
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        let lx = MARGIN_L + 140.0 * si as f64;
+        let ly = HEIGHT - 18.0;
+        let _ = write!(
+            svg,
+            r#"<rect x="{lx:.1}" y="{:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{ly:.1}">{}</text>"#,
+            ly - 11.0,
+            PALETTE[si % PALETTE.len()],
+            lx + 16.0,
+            esc(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a simple multi-series line chart (e.g. Figure 3 traces).
+///
+/// # Panics
+///
+/// Panics if no series or an empty series is given.
+pub fn line_chart(title: &str, series: &[BarSeries], y_label: &str) -> String {
+    assert!(!series.is_empty(), "line chart needs at least one series");
+    assert!(series.iter().all(|s| !s.values.is_empty()), "empty series");
+
+    let all: Vec<f64> = series.iter().flat_map(|s| s.values.iter().copied()).collect();
+    let lo = all.iter().copied().fold(f64::MAX, f64::min).min(0.0);
+    let hi = all.iter().copied().fold(f64::MIN, f64::max);
+    let hi = if (hi - lo).abs() < 1e-12 { lo + 1.0 } else { hi };
+    let max_len = series.iter().map(|s| s.values.len()).max().unwrap_or(1);
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - (v - lo) / (hi - lo));
+    let x_of = |i: usize| MARGIN_L + plot_w * i as f64 / (max_len.max(2) - 1) as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+        WIDTH / 2.0,
+        esc(title)
+    );
+    for i in 0..=5 {
+        let v = lo + (hi - lo) * i as f64 / 5.0;
+        let y = y_of(v);
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            WIDTH - MARGIN_R
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{v:.2}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{:.1}" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(y_label)
+    );
+    for (si, s) in series.iter().enumerate() {
+        let pts: Vec<String> =
+            s.values.iter().enumerate().map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v))).collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+            pts.join(" "),
+            PALETTE[si % PALETTE.len()]
+        );
+        let lx = MARGIN_L + 180.0 * si as f64;
+        let ly = HEIGHT - 18.0;
+        let _ = write!(
+            svg,
+            r#"<rect x="{lx:.1}" y="{:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{ly:.1}">{}</text>"#,
+            ly - 11.0,
+            PALETTE[si % PALETTE.len()],
+            lx + 16.0,
+            esc(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<BarSeries> {
+        vec![
+            BarSeries { name: "PPK".into(), values: vec![10.0, -5.0, 30.0] },
+            BarSeries { name: "MPC".into(), values: vec![25.0, 20.0, 45.0] },
+        ]
+    }
+
+    fn cats() -> Vec<String> {
+        vec!["a".into(), "b".into(), "c".into()]
+    }
+
+    #[test]
+    fn bar_chart_is_wellformed_svg() {
+        let svg = bar_chart("Energy savings", &cats(), &series(), "%", Some(0.0));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 6 + 2); // bg + bars + legend
+        assert!(svg.contains("Energy savings"));
+        assert!(svg.contains("PPK") && svg.contains("MPC"));
+        // One dashed reference line.
+        assert_eq!(svg.matches("stroke-dasharray").count(), 1);
+    }
+
+    #[test]
+    fn bar_chart_escapes_labels() {
+        let cats = vec!["a<b&c".to_string()];
+        let s = vec![BarSeries { name: "x>y".into(), values: vec![1.0] }];
+        let svg = bar_chart("t", &cats, &s, "y", None);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("x&gt;y"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn line_chart_has_one_polyline_per_series() {
+        let svg = line_chart("trace", &series(), "throughput");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_series_panics() {
+        let bad = vec![BarSeries { name: "x".into(), values: vec![1.0] }];
+        let _ = bar_chart("t", &cats(), &bad, "y", None);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = bar_chart("t", &cats(), &series(), "y", Some(1.0));
+        let b = bar_chart("t", &cats(), &series(), "y", Some(1.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,320 @@
+//! Combined hardware configurations selectable by a power governor.
+
+use crate::states::{CpuPState, GpuDpm, NbState};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Number of active GPU compute units: 2, 4, 6, or 8.
+///
+/// The paper varies the CU count "from 2 to 8 in steps of 2" (Section V).
+/// The newtype makes an invalid count unrepresentable.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::CuCount;
+/// let cu = CuCount::new(6)?;
+/// assert_eq!(cu.get(), 6);
+/// assert!(CuCount::new(5).is_err());
+/// # Ok::<(), gpm_hw::CuCountError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CuCount(CuInner);
+
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+enum CuInner {
+    #[default]
+    Two,
+    Four,
+    Six,
+    Eight,
+}
+
+/// Error returned by [`CuCount::new`] for counts outside {2, 4, 6, 8}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CuCountError(pub u32);
+
+impl fmt::Display for CuCountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid compute-unit count {} (expected 2, 4, 6, or 8)", self.0)
+    }
+}
+
+impl Error for CuCountError {}
+
+impl CuCount {
+    /// All valid CU counts, ascending.
+    pub const ALL: [CuCount; 4] = [
+        CuCount(CuInner::Two),
+        CuCount(CuInner::Four),
+        CuCount(CuInner::Six),
+        CuCount(CuInner::Eight),
+    ];
+
+    /// The A10-7850K's maximum of 8 active compute units.
+    pub const MAX: CuCount = CuCount(CuInner::Eight);
+
+    /// The minimum of 2 active compute units.
+    pub const MIN: CuCount = CuCount(CuInner::Two);
+
+    /// Creates a CU count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuCountError`] unless `n` is 2, 4, 6, or 8.
+    pub fn new(n: u32) -> Result<CuCount, CuCountError> {
+        match n {
+            2 => Ok(CuCount(CuInner::Two)),
+            4 => Ok(CuCount(CuInner::Four)),
+            6 => Ok(CuCount(CuInner::Six)),
+            8 => Ok(CuCount(CuInner::Eight)),
+            other => Err(CuCountError(other)),
+        }
+    }
+
+    /// The count as an integer in {2, 4, 6, 8}.
+    pub fn get(self) -> u32 {
+        match self.0 {
+            CuInner::Two => 2,
+            CuInner::Four => 4,
+            CuInner::Six => 6,
+            CuInner::Eight => 8,
+        }
+    }
+
+    /// Zero-based index with 2 CUs at index 0.
+    pub fn index(self) -> usize {
+        match self.0 {
+            CuInner::Two => 0,
+            CuInner::Four => 1,
+            CuInner::Six => 2,
+            CuInner::Eight => 3,
+        }
+    }
+
+    /// Inverse of [`CuCount::index`]. Returns `None` when `idx >= 4`.
+    pub fn from_index(idx: usize) -> Option<CuCount> {
+        CuCount::ALL.get(idx).copied()
+    }
+
+    /// Two more CUs, or `None` when already at 8.
+    pub fn more(self) -> Option<CuCount> {
+        CuCount::from_index(self.index() + 1)
+    }
+
+    /// Two fewer CUs, or `None` when already at 2.
+    pub fn fewer(self) -> Option<CuCount> {
+        self.index().checked_sub(1).and_then(CuCount::from_index)
+    }
+}
+
+impl fmt::Display for CuCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} CUs", self.get())
+    }
+}
+
+impl TryFrom<u32> for CuCount {
+    type Error = CuCountError;
+
+    fn try_from(n: u32) -> Result<CuCount, CuCountError> {
+        CuCount::new(n)
+    }
+}
+
+impl From<CuCount> for u32 {
+    fn from(cu: CuCount) -> u32 {
+        cu.get()
+    }
+}
+
+/// A complete software-visible hardware configuration: one element of the
+/// Cartesian product `cpu × nb × gpu × cu` the paper optimizes over (Eq. 1).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::HwConfig;
+///
+/// let fail_safe = HwConfig::FAIL_SAFE;
+/// assert_eq!(fail_safe.to_string(), "[P7, NB2, DPM4, 8 CUs]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// CPU P-state.
+    pub cpu: CpuPState,
+    /// Northbridge state.
+    pub nb: NbState,
+    /// GPU DPM state.
+    pub gpu: GpuDpm,
+    /// Number of active GPU compute units.
+    pub cu: CuCount,
+}
+
+impl HwConfig {
+    /// The paper's empirically determined fail-safe configuration
+    /// `[P7, NB2, DPM4, 8 CUs]` (Section IV-A1a), used when the optimizer
+    /// cannot meet the performance target or has no information yet.
+    pub const FAIL_SAFE: HwConfig = HwConfig {
+        cpu: CpuPState::P7,
+        nb: NbState::Nb2,
+        gpu: GpuDpm::Dpm4,
+        cu: CuCount::MAX,
+    };
+
+    /// The configuration the MPC framework itself runs at on the host CPU:
+    /// `[P5, NB0, DPM0, 2 CUs]` (Section V).
+    pub const MPC_HOST: HwConfig = HwConfig {
+        cpu: CpuPState::P5,
+        nb: NbState::Nb0,
+        gpu: GpuDpm::Dpm0,
+        cu: CuCount::MIN,
+    };
+
+    /// The highest-performance configuration `[P1, NB0, DPM4, 8 CUs]`.
+    pub const MAX_PERF: HwConfig = HwConfig {
+        cpu: CpuPState::P1,
+        nb: NbState::Nb0,
+        gpu: GpuDpm::Dpm4,
+        cu: CuCount::MAX,
+    };
+
+    /// Creates a configuration from its four knob settings.
+    pub fn new(cpu: CpuPState, nb: NbState, gpu: GpuDpm, cu: CuCount) -> HwConfig {
+        HwConfig { cpu, nb, gpu, cu }
+    }
+
+    /// Voltage of the shared GPU/NB rail in volts.
+    ///
+    /// The rail must satisfy both domains, so it runs at the maximum of the
+    /// GPU's requested DPM voltage and the NB state's rail request. This is
+    /// the coupling the paper describes in Section II-A: "higher NB states
+    /// can prevent reducing the GPU's voltage along with the frequency".
+    pub fn rail_voltage(self) -> f64 {
+        self.gpu.voltage().max(self.nb.rail_request())
+    }
+
+    /// Dense index of this configuration in the full 560-point lattice
+    /// (7 CPU × 4 NB × 5 GPU × 4 CU), row-major with CPU outermost.
+    pub fn dense_index(self) -> usize {
+        ((self.cpu.index() * 4 + self.nb.index()) * 5 + self.gpu.index()) * 4 + self.cu.index()
+    }
+
+    /// Inverse of [`HwConfig::dense_index`].
+    ///
+    /// Returns `None` when `idx >= 560`.
+    pub fn from_dense_index(idx: usize) -> Option<HwConfig> {
+        if idx >= 7 * 4 * 5 * 4 {
+            return None;
+        }
+        let cu = CuCount::from_index(idx % 4)?;
+        let rest = idx / 4;
+        let gpu = GpuDpm::from_index(rest % 5)?;
+        let rest = rest / 5;
+        let nb = NbState::from_index(rest % 4)?;
+        let cpu = CpuPState::from_index(rest / 4)?;
+        Some(HwConfig { cpu, nb, gpu, cu })
+    }
+}
+
+impl Default for HwConfig {
+    /// Defaults to the fail-safe configuration.
+    fn default() -> HwConfig {
+        HwConfig::FAIL_SAFE
+    }
+}
+
+impl fmt::Display for HwConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.cpu, self.nb, self.gpu, self.cu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cu_count_validation() {
+        for n in [2u32, 4, 6, 8] {
+            assert_eq!(CuCount::new(n).unwrap().get(), n);
+        }
+        for n in [0u32, 1, 3, 5, 7, 9, 16] {
+            assert_eq!(CuCount::new(n), Err(CuCountError(n)));
+        }
+    }
+
+    #[test]
+    fn cu_count_error_display() {
+        let msg = CuCountError(5).to_string();
+        assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn cu_count_steps() {
+        assert_eq!(CuCount::MIN.fewer(), None);
+        assert_eq!(CuCount::MAX.more(), None);
+        assert_eq!(CuCount::new(4).unwrap().more(), Some(CuCount::new(6).unwrap()));
+        assert_eq!(CuCount::new(4).unwrap().fewer(), Some(CuCount::new(2).unwrap()));
+    }
+
+    #[test]
+    fn cu_count_conversions() {
+        let cu = CuCount::try_from(8u32).unwrap();
+        assert_eq!(u32::from(cu), 8);
+    }
+
+    #[test]
+    fn cu_default_is_min() {
+        assert_eq!(CuCount::default(), CuCount::MIN);
+    }
+
+    #[test]
+    fn fail_safe_matches_paper() {
+        let fs = HwConfig::FAIL_SAFE;
+        assert_eq!(fs.cpu, CpuPState::P7);
+        assert_eq!(fs.nb, NbState::Nb2);
+        assert_eq!(fs.gpu, GpuDpm::Dpm4);
+        assert_eq!(fs.cu.get(), 8);
+    }
+
+    #[test]
+    fn mpc_host_matches_paper() {
+        let h = HwConfig::MPC_HOST;
+        assert_eq!(h.cpu, CpuPState::P5);
+        assert_eq!(h.nb, NbState::Nb0);
+        assert_eq!(h.gpu, GpuDpm::Dpm0);
+        assert_eq!(h.cu.get(), 2);
+    }
+
+    #[test]
+    fn rail_voltage_is_max_of_requests() {
+        // Low GPU state, high NB state: NB dominates the rail.
+        let c = HwConfig::new(CpuPState::P1, NbState::Nb0, GpuDpm::Dpm0, CuCount::MIN);
+        assert_eq!(c.rail_voltage(), NbState::Nb0.rail_request());
+        // High GPU state dominates any NB request.
+        let c = HwConfig::new(CpuPState::P1, NbState::Nb3, GpuDpm::Dpm4, CuCount::MIN);
+        assert_eq!(c.rail_voltage(), GpuDpm::Dpm4.voltage());
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..560 {
+            let cfg = HwConfig::from_dense_index(idx).unwrap();
+            assert_eq!(cfg.dense_index(), idx);
+            assert!(seen.insert(cfg));
+        }
+        assert_eq!(HwConfig::from_dense_index(560), None);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(HwConfig::MAX_PERF.to_string(), "[P1, NB0, DPM4, 8 CUs]");
+    }
+}

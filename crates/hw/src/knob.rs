@@ -1,0 +1,195 @@
+//! Hardware knobs and single-step moves used by the greedy hill-climbing
+//! optimizer (Section IV-A1a of the paper).
+
+use crate::config::{CuCount, HwConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four independently tunable hardware knobs.
+///
+/// The MPC optimizer ranks knobs by predicted energy sensitivity and then
+/// hill-climbs each knob in turn, which reduces the number of energy
+/// evaluations from `|cpu|×|nb|×|gpu|×|cu|` to `|cpu|+|nb|+|gpu|+|cu|`
+/// — the 19× factor quoted in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::{Knob, KnobDirection, HwConfig};
+///
+/// let cfg = HwConfig::FAIL_SAFE;
+/// let slower = Knob::GpuDpm.step(cfg, KnobDirection::Down).unwrap();
+/// assert!(slower.gpu < cfg.gpu);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Knob {
+    /// CPU P-state.
+    CpuPState,
+    /// Northbridge state.
+    NbState,
+    /// GPU DPM state.
+    GpuDpm,
+    /// Number of active compute units.
+    CuCount,
+}
+
+impl Knob {
+    /// All four knobs.
+    pub const ALL: [Knob; 4] = [Knob::CpuPState, Knob::NbState, Knob::GpuDpm, Knob::CuCount];
+
+    /// Number of settings this knob exposes (7, 4, 5, 4 respectively).
+    pub fn cardinality(self) -> usize {
+        match self {
+            Knob::CpuPState => 7,
+            Knob::NbState => 4,
+            Knob::GpuDpm => 5,
+            Knob::CuCount => 4,
+        }
+    }
+
+    /// Moves `cfg` one step along this knob.
+    ///
+    /// Returns `None` when the knob is already at the end of its range in
+    /// the requested direction.
+    pub fn step(self, cfg: HwConfig, dir: KnobDirection) -> Option<HwConfig> {
+        let mut out = cfg;
+        match (self, dir) {
+            (Knob::CpuPState, KnobDirection::Up) => out.cpu = cfg.cpu.faster()?,
+            (Knob::CpuPState, KnobDirection::Down) => out.cpu = cfg.cpu.slower()?,
+            (Knob::NbState, KnobDirection::Up) => out.nb = cfg.nb.faster()?,
+            (Knob::NbState, KnobDirection::Down) => out.nb = cfg.nb.slower()?,
+            (Knob::GpuDpm, KnobDirection::Up) => out.gpu = cfg.gpu.faster()?,
+            (Knob::GpuDpm, KnobDirection::Down) => out.gpu = cfg.gpu.slower()?,
+            (Knob::CuCount, KnobDirection::Up) => out.cu = cfg.cu.more()?,
+            (Knob::CuCount, KnobDirection::Down) => out.cu = cfg.cu.fewer()?,
+        }
+        Some(out)
+    }
+
+    /// All settings of this knob applied to `cfg`, from slowest to fastest.
+    ///
+    /// Used by optimizers that sweep a single knob while holding the others
+    /// fixed.
+    pub fn sweep(self, cfg: HwConfig) -> Vec<HwConfig> {
+        match self {
+            Knob::CpuPState => crate::states::CpuPState::ALL
+                .iter()
+                .rev()
+                .map(|&cpu| HwConfig { cpu, ..cfg })
+                .collect(),
+            Knob::NbState => crate::states::NbState::ALL
+                .iter()
+                .rev()
+                .map(|&nb| HwConfig { nb, ..cfg })
+                .collect(),
+            Knob::GpuDpm => crate::states::GpuDpm::ALL
+                .iter()
+                .map(|&gpu| HwConfig { gpu, ..cfg })
+                .collect(),
+            Knob::CuCount => CuCount::ALL.iter().map(|&cu| HwConfig { cu, ..cfg }).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Knob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Knob::CpuPState => "cpu",
+            Knob::NbState => "nb",
+            Knob::GpuDpm => "gpu",
+            Knob::CuCount => "cu",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Direction of a single-step knob move.
+///
+/// `Up` always means *faster* (more performance, more power), regardless of
+/// how the underlying state numbering runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KnobDirection {
+    /// Toward higher performance.
+    Up,
+    /// Toward lower power.
+    Down,
+}
+
+impl KnobDirection {
+    /// The opposite direction.
+    pub fn reverse(self) -> KnobDirection {
+        match self {
+            KnobDirection::Up => KnobDirection::Down,
+            KnobDirection::Down => KnobDirection::Up,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::states::{CpuPState, GpuDpm, NbState};
+
+    #[test]
+    fn cardinalities_sum_to_twenty() {
+        let sum: usize = Knob::ALL.iter().map(|k| k.cardinality()).sum();
+        assert_eq!(sum, 20);
+    }
+
+    #[test]
+    fn product_of_cardinalities() {
+        let prod: usize = Knob::ALL.iter().map(|k| k.cardinality()).product();
+        assert_eq!(prod, 560);
+    }
+
+    #[test]
+    fn step_up_is_faster() {
+        let cfg = HwConfig::FAIL_SAFE; // P7, NB2, DPM4, 8 CUs
+        let up = Knob::CpuPState.step(cfg, KnobDirection::Up).unwrap();
+        assert_eq!(up.cpu, CpuPState::P6);
+        let up = Knob::NbState.step(cfg, KnobDirection::Up).unwrap();
+        assert_eq!(up.nb, NbState::Nb1);
+        assert_eq!(Knob::GpuDpm.step(cfg, KnobDirection::Up), None); // DPM4 is max
+        assert_eq!(Knob::CuCount.step(cfg, KnobDirection::Up), None); // 8 CUs is max
+    }
+
+    #[test]
+    fn step_down_is_slower() {
+        let cfg = HwConfig::MAX_PERF;
+        let down = Knob::GpuDpm.step(cfg, KnobDirection::Down).unwrap();
+        assert_eq!(down.gpu, GpuDpm::Dpm3);
+        let down = Knob::CuCount.step(cfg, KnobDirection::Down).unwrap();
+        assert_eq!(down.cu.get(), 6);
+    }
+
+    #[test]
+    fn step_only_touches_its_knob() {
+        let cfg = HwConfig::MPC_HOST;
+        let stepped = Knob::GpuDpm.step(cfg, KnobDirection::Up).unwrap();
+        assert_eq!(stepped.cpu, cfg.cpu);
+        assert_eq!(stepped.nb, cfg.nb);
+        assert_eq!(stepped.cu, cfg.cu);
+        assert_ne!(stepped.gpu, cfg.gpu);
+    }
+
+    #[test]
+    fn sweep_covers_cardinality_and_is_slow_to_fast() {
+        let cfg = HwConfig::FAIL_SAFE;
+        for knob in Knob::ALL {
+            let sweep = knob.sweep(cfg);
+            assert_eq!(sweep.len(), knob.cardinality());
+        }
+        let cpu_sweep = Knob::CpuPState.sweep(cfg);
+        assert_eq!(cpu_sweep.first().unwrap().cpu, CpuPState::P7);
+        assert_eq!(cpu_sweep.last().unwrap().cpu, CpuPState::P1);
+        let gpu_sweep = Knob::GpuDpm.sweep(cfg);
+        assert_eq!(gpu_sweep.first().unwrap().gpu, GpuDpm::Dpm0);
+        assert_eq!(gpu_sweep.last().unwrap().gpu, GpuDpm::Dpm4);
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        assert_eq!(KnobDirection::Up.reverse(), KnobDirection::Down);
+        assert_eq!(KnobDirection::Up.reverse().reverse(), KnobDirection::Up);
+    }
+}

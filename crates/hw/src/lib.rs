@@ -1,0 +1,38 @@
+//! Hardware model of the AMD A10-7850K APU studied in the paper.
+//!
+//! This crate defines the *software-visible* power-management state of the
+//! processor: CPU P-states, Northbridge (NB) states, GPU DVFS (DPM) states
+//! (Table I of the paper), the number of active GPU compute units (CUs), and
+//! the combined [`HwConfig`] a power governor may select between kernel
+//! launches.
+//!
+//! It also captures two electrical couplings the paper's analysis relies on:
+//!
+//! * The GPU and NB share a voltage rail: the rail runs at the **maximum**
+//!   of the voltages the two domains request ([`HwConfig::rail_voltage`]).
+//!   A high NB state can therefore prevent the GPU voltage from dropping
+//!   when the GPU DPM state is lowered.
+//! * Each NB state maps to a specific memory bus frequency; NB2 through NB0
+//!   share the same 800 MHz DRAM clock, while NB3 drops it to 333 MHz.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpm_hw::{CpuPState, NbState, GpuDpm, CuCount, HwConfig};
+//!
+//! let cfg = HwConfig::new(CpuPState::P5, NbState::Nb0, GpuDpm::Dpm0, CuCount::new(2)?);
+//! // NB0 requests a higher rail voltage than DPM0, so the shared rail
+//! // cannot drop to the GPU's 0.95 V request.
+//! assert!(cfg.rail_voltage() > GpuDpm::Dpm0.voltage());
+//! # Ok::<(), gpm_hw::CuCountError>(())
+//! ```
+
+pub mod config;
+pub mod knob;
+pub mod space;
+pub mod states;
+
+pub use config::{CuCount, CuCountError, HwConfig};
+pub use knob::{Knob, KnobDirection};
+pub use space::ConfigSpace;
+pub use states::{CpuPState, GpuDpm, NbState};

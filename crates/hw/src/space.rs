@@ -1,0 +1,231 @@
+//! Enumerable configuration spaces.
+//!
+//! The paper's measurement campaign covers 336 configurations: all 7 CPU
+//! P-states × 4 NB states × 3 of the 5 GPU DPM states × 4 CU counts
+//! (Section V). Optimizers may also search the full 560-point lattice.
+
+use crate::config::{CuCount, HwConfig};
+use crate::states::{CpuPState, GpuDpm, NbState};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular sub-lattice of hardware configurations.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::ConfigSpace;
+///
+/// assert_eq!(ConfigSpace::paper_campaign().len(), 336);
+/// assert_eq!(ConfigSpace::full().len(), 560);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    cpus: Vec<CpuPState>,
+    nbs: Vec<NbState>,
+    gpus: Vec<GpuDpm>,
+    cus: Vec<CuCount>,
+}
+
+impl ConfigSpace {
+    /// The 336-configuration space measured in the paper: every CPU and NB
+    /// state, the three measured GPU DPM states, every CU count.
+    pub fn paper_campaign() -> ConfigSpace {
+        ConfigSpace {
+            cpus: CpuPState::ALL.to_vec(),
+            nbs: NbState::ALL.to_vec(),
+            gpus: GpuDpm::MEASURED.to_vec(),
+            cus: CuCount::ALL.to_vec(),
+        }
+    }
+
+    /// The full 560-configuration lattice (all five GPU DPM states).
+    pub fn full() -> ConfigSpace {
+        ConfigSpace {
+            cpus: CpuPState::ALL.to_vec(),
+            nbs: NbState::ALL.to_vec(),
+            gpus: GpuDpm::ALL.to_vec(),
+            cus: CuCount::ALL.to_vec(),
+        }
+    }
+
+    /// A custom space from explicit axis values.
+    ///
+    /// Empty axes yield an empty space rather than an error; iterating such
+    /// a space produces no configurations.
+    pub fn from_axes(
+        cpus: Vec<CpuPState>,
+        nbs: Vec<NbState>,
+        gpus: Vec<GpuDpm>,
+        cus: Vec<CuCount>,
+    ) -> ConfigSpace {
+        ConfigSpace { cpus, nbs, gpus, cus }
+    }
+
+    /// The GPU-only sub-space of Figure 2's sweeps: NB states × CU counts at
+    /// fixed CPU and GPU DPM settings.
+    pub fn nb_cu_sweep(cpu: CpuPState, gpu: GpuDpm) -> ConfigSpace {
+        ConfigSpace {
+            cpus: vec![cpu],
+            nbs: NbState::ALL.to_vec(),
+            gpus: vec![gpu],
+            cus: CuCount::ALL.to_vec(),
+        }
+    }
+
+    /// Number of configurations in the space.
+    pub fn len(&self) -> usize {
+        self.cpus.len() * self.nbs.len() * self.gpus.len() * self.cus.len()
+    }
+
+    /// Whether the space contains no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `cfg` lies within this space.
+    pub fn contains(&self, cfg: HwConfig) -> bool {
+        self.cpus.contains(&cfg.cpu)
+            && self.nbs.contains(&cfg.nb)
+            && self.gpus.contains(&cfg.gpu)
+            && self.cus.contains(&cfg.cu)
+    }
+
+    /// Iterates every configuration in the space, CPU-major order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { space: self, next: 0 }
+    }
+
+    /// CPU axis values.
+    pub fn cpus(&self) -> &[CpuPState] {
+        &self.cpus
+    }
+
+    /// NB axis values.
+    pub fn nbs(&self) -> &[NbState] {
+        &self.nbs
+    }
+
+    /// GPU DPM axis values.
+    pub fn gpus(&self) -> &[GpuDpm] {
+        &self.gpus
+    }
+
+    /// CU-count axis values.
+    pub fn cus(&self) -> &[CuCount] {
+        &self.cus
+    }
+}
+
+/// Iterator over the configurations of a [`ConfigSpace`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    space: &'a ConfigSpace,
+    next: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = HwConfig;
+
+    fn next(&mut self) -> Option<HwConfig> {
+        let s = self.space;
+        if self.next >= s.len() {
+            return None;
+        }
+        let idx = self.next;
+        self.next += 1;
+        let cu = s.cus[idx % s.cus.len()];
+        let rest = idx / s.cus.len();
+        let gpu = s.gpus[rest % s.gpus.len()];
+        let rest = rest / s.gpus.len();
+        let nb = s.nbs[rest % s.nbs.len()];
+        let cpu = s.cpus[rest / s.nbs.len()];
+        Some(HwConfig { cpu, nb, gpu, cu })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.space.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a ConfigSpace {
+    type Item = HwConfig;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_campaign_is_336() {
+        let space = ConfigSpace::paper_campaign();
+        assert_eq!(space.len(), 336);
+        assert_eq!(space.iter().count(), 336);
+    }
+
+    #[test]
+    fn full_space_is_560() {
+        let space = ConfigSpace::full();
+        assert_eq!(space.len(), 560);
+        assert_eq!(space.iter().count(), 560);
+    }
+
+    #[test]
+    fn iteration_yields_distinct_configs() {
+        let space = ConfigSpace::paper_campaign();
+        let set: HashSet<HwConfig> = space.iter().collect();
+        assert_eq!(set.len(), 336);
+    }
+
+    #[test]
+    fn contains_matches_iteration() {
+        let space = ConfigSpace::paper_campaign();
+        for cfg in &space {
+            assert!(space.contains(cfg));
+        }
+        // DPM1 is not in the measured campaign.
+        let mut odd = HwConfig::FAIL_SAFE;
+        odd.gpu = GpuDpm::Dpm1;
+        assert!(!space.contains(odd));
+        assert!(ConfigSpace::full().contains(odd));
+    }
+
+    #[test]
+    fn nb_cu_sweep_is_sixteen_points() {
+        let space = ConfigSpace::nb_cu_sweep(CpuPState::P5, GpuDpm::Dpm4);
+        assert_eq!(space.len(), 16);
+        for cfg in &space {
+            assert_eq!(cfg.cpu, CpuPState::P5);
+            assert_eq!(cfg.gpu, GpuDpm::Dpm4);
+        }
+    }
+
+    #[test]
+    fn empty_axis_means_empty_space() {
+        let space = ConfigSpace::from_axes(vec![], NbState::ALL.to_vec(), GpuDpm::ALL.to_vec(), CuCount::ALL.to_vec());
+        assert!(space.is_empty());
+        assert_eq!(space.iter().count(), 0);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let space = ConfigSpace::paper_campaign();
+        let mut it = space.iter();
+        assert_eq!(it.size_hint(), (336, Some(336)));
+        it.next();
+        assert_eq!(it.size_hint(), (335, Some(335)));
+    }
+
+    #[test]
+    fn fail_safe_in_measured_campaign() {
+        assert!(ConfigSpace::paper_campaign().contains(HwConfig::FAIL_SAFE));
+    }
+}

@@ -1,0 +1,438 @@
+//! DVFS state tables for the AMD A10-7850K (Table I of the paper).
+//!
+//! Three independent state machines are exposed to software:
+//!
+//! * [`CpuPState`]: seven CPU P-states, P1 (fastest) through P7 (slowest).
+//!   All CPU cores share one power plane.
+//! * [`NbState`]: four Northbridge states. Each maps to an NB clock *and* a
+//!   memory bus frequency; NB0–NB2 share the 800 MHz DRAM clock.
+//! * [`GpuDpm`]: five GPU DPM states, DPM0 (slowest) through DPM4 (fastest).
+//!
+//! Voltages and frequencies are exactly the values printed in Table I. The
+//! per-NB-state rail voltage requirement is not listed in the paper; we use
+//! a monotone table consistent with the paper's observation that high NB
+//! states prevent the shared GPU/NB rail from dropping (Section II-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CPU P-states of the A10-7850K, P1 (3.9 GHz) down to P7 (1.7 GHz).
+///
+/// Lower-numbered states are faster and higher-voltage. The paper's fail-safe
+/// configuration uses [`CpuPState::P7`] because the CPU busy-waits during GPU
+/// kernel execution and contributes little to kernel throughput.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::CpuPState;
+/// assert_eq!(CpuPState::P1.freq_ghz(), 3.9);
+/// assert!(CpuPState::P7.voltage() < CpuPState::P1.voltage());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CpuPState {
+    /// 1.325 V, 3.9 GHz.
+    P1,
+    /// 1.3125 V, 3.8 GHz.
+    P2,
+    /// 1.2625 V, 3.7 GHz.
+    P3,
+    /// 1.225 V, 3.5 GHz.
+    P4,
+    /// 1.0625 V, 3.0 GHz.
+    P5,
+    /// 0.975 V, 2.4 GHz.
+    P6,
+    /// 0.8875 V, 1.7 GHz.
+    P7,
+}
+
+impl CpuPState {
+    /// All CPU P-states, fastest first.
+    pub const ALL: [CpuPState; 7] = [
+        CpuPState::P1,
+        CpuPState::P2,
+        CpuPState::P3,
+        CpuPState::P4,
+        CpuPState::P5,
+        CpuPState::P6,
+        CpuPState::P7,
+    ];
+
+    /// Core voltage in volts (Table I).
+    pub fn voltage(self) -> f64 {
+        match self {
+            CpuPState::P1 => 1.325,
+            CpuPState::P2 => 1.3125,
+            CpuPState::P3 => 1.2625,
+            CpuPState::P4 => 1.225,
+            CpuPState::P5 => 1.0625,
+            CpuPState::P6 => 0.975,
+            CpuPState::P7 => 0.8875,
+        }
+    }
+
+    /// Core clock in GHz (Table I).
+    pub fn freq_ghz(self) -> f64 {
+        match self {
+            CpuPState::P1 => 3.9,
+            CpuPState::P2 => 3.8,
+            CpuPState::P3 => 3.7,
+            CpuPState::P4 => 3.5,
+            CpuPState::P5 => 3.0,
+            CpuPState::P6 => 2.4,
+            CpuPState::P7 => 1.7,
+        }
+    }
+
+    /// Zero-based index with `P1 == 0`, suitable for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            CpuPState::P1 => 0,
+            CpuPState::P2 => 1,
+            CpuPState::P3 => 2,
+            CpuPState::P4 => 3,
+            CpuPState::P5 => 4,
+            CpuPState::P6 => 5,
+            CpuPState::P7 => 6,
+        }
+    }
+
+    /// Inverse of [`CpuPState::index`].
+    ///
+    /// Returns `None` when `idx >= 7`.
+    pub fn from_index(idx: usize) -> Option<CpuPState> {
+        CpuPState::ALL.get(idx).copied()
+    }
+
+    /// The next-faster P-state, or `None` when already at P1.
+    pub fn faster(self) -> Option<CpuPState> {
+        self.index().checked_sub(1).and_then(CpuPState::from_index)
+    }
+
+    /// The next-slower P-state, or `None` when already at P7.
+    pub fn slower(self) -> Option<CpuPState> {
+        CpuPState::from_index(self.index() + 1)
+    }
+
+    /// Normalized dynamic-power proxy `V^2 * f` relative to P1.
+    ///
+    /// The paper predicts CPU power with a normalized `V^2 f` model because
+    /// the CPU busy-waits during kernel execution (Section IV-A3).
+    pub fn v2f_rel(self) -> f64 {
+        let p1 = CpuPState::P1;
+        (self.voltage() * self.voltage() * self.freq_ghz())
+            / (p1.voltage() * p1.voltage() * p1.freq_ghz())
+    }
+}
+
+impl fmt::Display for CpuPState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.index() + 1)
+    }
+}
+
+/// Northbridge states of the A10-7850K, NB0 (fastest) through NB3.
+///
+/// The NB state controls both the on-chip northbridge/interconnect clock and
+/// the memory bus frequency (Table I). NB0–NB2 share the 800 MHz DRAM clock,
+/// so DRAM bandwidth saturates from NB2 onwards — the effect behind the
+/// memory-bound plateau of Figure 2(b).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::NbState;
+/// assert_eq!(NbState::Nb0.mem_freq_mhz(), 800.0);
+/// assert_eq!(NbState::Nb3.mem_freq_mhz(), 333.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NbState {
+    /// 1.8 GHz NB clock, 800 MHz memory.
+    Nb0,
+    /// 1.6 GHz NB clock, 800 MHz memory.
+    Nb1,
+    /// 1.4 GHz NB clock, 800 MHz memory.
+    Nb2,
+    /// 1.1 GHz NB clock, 333 MHz memory.
+    Nb3,
+}
+
+impl NbState {
+    /// All NB states, fastest first.
+    pub const ALL: [NbState; 4] = [NbState::Nb0, NbState::Nb1, NbState::Nb2, NbState::Nb3];
+
+    /// Northbridge clock in GHz (Table I).
+    pub fn freq_ghz(self) -> f64 {
+        match self {
+            NbState::Nb0 => 1.8,
+            NbState::Nb1 => 1.6,
+            NbState::Nb2 => 1.4,
+            NbState::Nb3 => 1.1,
+        }
+    }
+
+    /// Memory bus frequency in MHz (Table I).
+    pub fn mem_freq_mhz(self) -> f64 {
+        match self {
+            NbState::Nb0 | NbState::Nb1 | NbState::Nb2 => 800.0,
+            NbState::Nb3 => 333.0,
+        }
+    }
+
+    /// Voltage the NB domain requests from the shared GPU/NB rail, in volts.
+    ///
+    /// Not listed in Table I; chosen monotone in NB clock and consistent with
+    /// the paper's statement that a high NB state can keep the shared rail
+    /// above the GPU's requested voltage.
+    pub fn rail_request(self) -> f64 {
+        match self {
+            NbState::Nb0 => 1.175,
+            NbState::Nb1 => 1.1125,
+            NbState::Nb2 => 1.05,
+            NbState::Nb3 => 0.95,
+        }
+    }
+
+    /// Zero-based index with `Nb0 == 0`.
+    pub fn index(self) -> usize {
+        match self {
+            NbState::Nb0 => 0,
+            NbState::Nb1 => 1,
+            NbState::Nb2 => 2,
+            NbState::Nb3 => 3,
+        }
+    }
+
+    /// Inverse of [`NbState::index`]. Returns `None` when `idx >= 4`.
+    pub fn from_index(idx: usize) -> Option<NbState> {
+        NbState::ALL.get(idx).copied()
+    }
+
+    /// The next-faster NB state, or `None` when already at NB0.
+    pub fn faster(self) -> Option<NbState> {
+        self.index().checked_sub(1).and_then(NbState::from_index)
+    }
+
+    /// The next-slower NB state, or `None` when already at NB3.
+    pub fn slower(self) -> Option<NbState> {
+        NbState::from_index(self.index() + 1)
+    }
+}
+
+impl fmt::Display for NbState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NB{}", self.index())
+    }
+}
+
+/// GPU DPM (DVFS) states of the A10-7850K, DPM0 (slowest) through DPM4.
+///
+/// Unlike [`CpuPState`] and [`NbState`], higher-numbered DPM states are
+/// *faster*. The GPU shares its voltage rail with the NB; the voltage below
+/// is what the GPU *requests*, the rail runs at the maximum of the GPU and
+/// NB requests (see [`HwConfig::rail_voltage`](crate::HwConfig::rail_voltage)).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::GpuDpm;
+/// assert!(GpuDpm::Dpm4.freq_mhz() > GpuDpm::Dpm0.freq_mhz());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GpuDpm {
+    /// 0.95 V, 351 MHz.
+    Dpm0,
+    /// 1.05 V, 450 MHz.
+    Dpm1,
+    /// 1.125 V, 553 MHz.
+    Dpm2,
+    /// 1.1875 V, 654 MHz.
+    Dpm3,
+    /// 1.225 V, 720 MHz.
+    Dpm4,
+}
+
+impl GpuDpm {
+    /// All GPU DPM states, slowest first.
+    pub const ALL: [GpuDpm; 5] = [
+        GpuDpm::Dpm0,
+        GpuDpm::Dpm1,
+        GpuDpm::Dpm2,
+        GpuDpm::Dpm3,
+        GpuDpm::Dpm4,
+    ];
+
+    /// The three DPM states measured in the paper's 336-configuration
+    /// campaign ("three out of five GPU DVFS states", Section V).
+    pub const MEASURED: [GpuDpm; 3] = [GpuDpm::Dpm0, GpuDpm::Dpm2, GpuDpm::Dpm4];
+
+    /// Requested GPU voltage in volts (Table I).
+    pub fn voltage(self) -> f64 {
+        match self {
+            GpuDpm::Dpm0 => 0.95,
+            GpuDpm::Dpm1 => 1.05,
+            GpuDpm::Dpm2 => 1.125,
+            GpuDpm::Dpm3 => 1.1875,
+            GpuDpm::Dpm4 => 1.225,
+        }
+    }
+
+    /// GPU core clock in MHz (Table I).
+    pub fn freq_mhz(self) -> f64 {
+        match self {
+            GpuDpm::Dpm0 => 351.0,
+            GpuDpm::Dpm1 => 450.0,
+            GpuDpm::Dpm2 => 553.0,
+            GpuDpm::Dpm3 => 654.0,
+            GpuDpm::Dpm4 => 720.0,
+        }
+    }
+
+    /// Zero-based index with `Dpm0 == 0`.
+    pub fn index(self) -> usize {
+        match self {
+            GpuDpm::Dpm0 => 0,
+            GpuDpm::Dpm1 => 1,
+            GpuDpm::Dpm2 => 2,
+            GpuDpm::Dpm3 => 3,
+            GpuDpm::Dpm4 => 4,
+        }
+    }
+
+    /// Inverse of [`GpuDpm::index`]. Returns `None` when `idx >= 5`.
+    pub fn from_index(idx: usize) -> Option<GpuDpm> {
+        GpuDpm::ALL.get(idx).copied()
+    }
+
+    /// The next-faster DPM state, or `None` when already at DPM4.
+    pub fn faster(self) -> Option<GpuDpm> {
+        GpuDpm::from_index(self.index() + 1)
+    }
+
+    /// The next-slower DPM state, or `None` when already at DPM0.
+    pub fn slower(self) -> Option<GpuDpm> {
+        self.index().checked_sub(1).and_then(GpuDpm::from_index)
+    }
+}
+
+impl fmt::Display for GpuDpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DPM{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_table_matches_paper() {
+        assert_eq!(CpuPState::P1.voltage(), 1.325);
+        assert_eq!(CpuPState::P1.freq_ghz(), 3.9);
+        assert_eq!(CpuPState::P4.voltage(), 1.225);
+        assert_eq!(CpuPState::P4.freq_ghz(), 3.5);
+        assert_eq!(CpuPState::P7.voltage(), 0.8875);
+        assert_eq!(CpuPState::P7.freq_ghz(), 1.7);
+    }
+
+    #[test]
+    fn cpu_voltage_and_freq_monotone() {
+        for w in CpuPState::ALL.windows(2) {
+            assert!(w[0].voltage() >= w[1].voltage(), "{} vs {}", w[0], w[1]);
+            assert!(w[0].freq_ghz() > w[1].freq_ghz());
+        }
+    }
+
+    #[test]
+    fn cpu_index_roundtrip() {
+        for s in CpuPState::ALL {
+            assert_eq!(CpuPState::from_index(s.index()), Some(s));
+        }
+        assert_eq!(CpuPState::from_index(7), None);
+    }
+
+    #[test]
+    fn cpu_faster_slower_chain() {
+        assert_eq!(CpuPState::P1.faster(), None);
+        assert_eq!(CpuPState::P7.slower(), None);
+        assert_eq!(CpuPState::P3.faster(), Some(CpuPState::P2));
+        assert_eq!(CpuPState::P3.slower(), Some(CpuPState::P4));
+    }
+
+    #[test]
+    fn cpu_v2f_rel_bounds() {
+        assert!((CpuPState::P1.v2f_rel() - 1.0).abs() < 1e-12);
+        for s in CpuPState::ALL {
+            assert!(s.v2f_rel() <= 1.0 && s.v2f_rel() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nb_table_matches_paper() {
+        assert_eq!(NbState::Nb0.freq_ghz(), 1.8);
+        assert_eq!(NbState::Nb1.freq_ghz(), 1.6);
+        assert_eq!(NbState::Nb2.freq_ghz(), 1.4);
+        assert_eq!(NbState::Nb3.freq_ghz(), 1.1);
+        assert_eq!(NbState::Nb2.mem_freq_mhz(), 800.0);
+        assert_eq!(NbState::Nb3.mem_freq_mhz(), 333.0);
+    }
+
+    #[test]
+    fn nb_rail_request_monotone() {
+        for w in NbState::ALL.windows(2) {
+            assert!(w[0].rail_request() > w[1].rail_request());
+        }
+    }
+
+    #[test]
+    fn nb_index_roundtrip_and_steps() {
+        for s in NbState::ALL {
+            assert_eq!(NbState::from_index(s.index()), Some(s));
+        }
+        assert_eq!(NbState::Nb0.faster(), None);
+        assert_eq!(NbState::Nb3.slower(), None);
+        assert_eq!(NbState::Nb1.faster(), Some(NbState::Nb0));
+        assert_eq!(NbState::Nb1.slower(), Some(NbState::Nb2));
+    }
+
+    #[test]
+    fn gpu_table_matches_paper() {
+        assert_eq!(GpuDpm::Dpm0.voltage(), 0.95);
+        assert_eq!(GpuDpm::Dpm0.freq_mhz(), 351.0);
+        assert_eq!(GpuDpm::Dpm2.freq_mhz(), 553.0);
+        assert_eq!(GpuDpm::Dpm4.voltage(), 1.225);
+        assert_eq!(GpuDpm::Dpm4.freq_mhz(), 720.0);
+    }
+
+    #[test]
+    fn gpu_voltage_freq_monotone_increasing() {
+        for w in GpuDpm::ALL.windows(2) {
+            assert!(w[1].voltage() > w[0].voltage());
+            assert!(w[1].freq_mhz() > w[0].freq_mhz());
+        }
+    }
+
+    #[test]
+    fn gpu_measured_subset() {
+        assert_eq!(GpuDpm::MEASURED.len(), 3);
+        for s in GpuDpm::MEASURED {
+            assert!(GpuDpm::ALL.contains(&s));
+        }
+    }
+
+    #[test]
+    fn gpu_faster_slower_chain() {
+        assert_eq!(GpuDpm::Dpm4.faster(), None);
+        assert_eq!(GpuDpm::Dpm0.slower(), None);
+        assert_eq!(GpuDpm::Dpm2.faster(), Some(GpuDpm::Dpm3));
+        assert_eq!(GpuDpm::Dpm2.slower(), Some(GpuDpm::Dpm1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CpuPState::P5.to_string(), "P5");
+        assert_eq!(NbState::Nb2.to_string(), "NB2");
+        assert_eq!(GpuDpm::Dpm4.to_string(), "DPM4");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the hardware model's algebra.
+
+use gpm_hw::{ConfigSpace, CpuPState, CuCount, GpuDpm, HwConfig, Knob, KnobDirection, NbState};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = HwConfig> {
+    (0usize..7, 0usize..4, 0usize..5, 0usize..4).prop_map(|(c, n, g, u)| {
+        HwConfig::new(
+            CpuPState::from_index(c).unwrap(),
+            NbState::from_index(n).unwrap(),
+            GpuDpm::from_index(g).unwrap(),
+            CuCount::from_index(u).unwrap(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn dense_index_roundtrips(cfg in any_config()) {
+        prop_assert_eq!(HwConfig::from_dense_index(cfg.dense_index()), Some(cfg));
+    }
+
+    #[test]
+    fn step_then_reverse_is_identity(cfg in any_config(), knob_idx in 0usize..4) {
+        let knob = Knob::ALL[knob_idx];
+        for dir in [KnobDirection::Up, KnobDirection::Down] {
+            if let Some(stepped) = knob.step(cfg, dir) {
+                // A successful step can always be undone.
+                let back = knob.step(stepped, dir.reverse());
+                prop_assert_eq!(back, Some(cfg));
+            }
+        }
+    }
+
+    #[test]
+    fn stepping_stays_in_full_space(cfg in any_config(), knob_idx in 0usize..4) {
+        let knob = Knob::ALL[knob_idx];
+        let space = ConfigSpace::full();
+        for dir in [KnobDirection::Up, KnobDirection::Down] {
+            if let Some(stepped) = knob.step(cfg, dir) {
+                prop_assert!(space.contains(stepped));
+            }
+        }
+    }
+
+    #[test]
+    fn up_steps_increase_the_knobs_speed(cfg in any_config(), knob_idx in 0usize..4) {
+        let knob = Knob::ALL[knob_idx];
+        if let Some(up) = knob.step(cfg, KnobDirection::Up) {
+            match knob {
+                Knob::CpuPState => prop_assert!(up.cpu.freq_ghz() > cfg.cpu.freq_ghz()),
+                Knob::NbState => prop_assert!(up.nb.freq_ghz() > cfg.nb.freq_ghz()),
+                Knob::GpuDpm => prop_assert!(up.gpu.freq_mhz() > cfg.gpu.freq_mhz()),
+                Knob::CuCount => prop_assert!(up.cu.get() > cfg.cu.get()),
+            }
+        }
+    }
+
+    #[test]
+    fn rail_voltage_bounds(cfg in any_config()) {
+        let v = cfg.rail_voltage();
+        prop_assert!(v >= cfg.gpu.voltage());
+        prop_assert!(v >= cfg.nb.rail_request());
+        prop_assert!(v == cfg.gpu.voltage() || v == cfg.nb.rail_request());
+    }
+
+    #[test]
+    fn rail_voltage_monotone_in_gpu_state(cfg in any_config()) {
+        if let Some(faster) = cfg.gpu.faster() {
+            let mut up = cfg;
+            up.gpu = faster;
+            prop_assert!(up.rail_voltage() >= cfg.rail_voltage());
+        }
+    }
+
+    #[test]
+    fn sweep_contains_current_setting(cfg in any_config(), knob_idx in 0usize..4) {
+        let knob = Knob::ALL[knob_idx];
+        let sweep = knob.sweep(cfg);
+        prop_assert!(sweep.contains(&cfg));
+        // All sweep entries differ only in the swept knob.
+        for s in sweep {
+            match knob {
+                Knob::CpuPState => {
+                    prop_assert_eq!((s.nb, s.gpu, s.cu), (cfg.nb, cfg.gpu, cfg.cu))
+                }
+                Knob::NbState => {
+                    prop_assert_eq!((s.cpu, s.gpu, s.cu), (cfg.cpu, cfg.gpu, cfg.cu))
+                }
+                Knob::GpuDpm => prop_assert_eq!((s.cpu, s.nb, s.cu), (cfg.cpu, cfg.nb, cfg.cu)),
+                Knob::CuCount => {
+                    prop_assert_eq!((s.cpu, s.nb, s.gpu), (cfg.cpu, cfg.nb, cfg.gpu))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_is_subset_of_full(cfg in any_config()) {
+        if ConfigSpace::paper_campaign().contains(cfg) {
+            prop_assert!(ConfigSpace::full().contains(cfg));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Training-set construction from a simulated measurement campaign.
+//!
+//! Mirrors the paper's methodology (Section V): every training kernel is
+//! "executed" at each configuration of the campaign space while CodeXL-style
+//! counters and power are captured. One training sample pairs the kernel's
+//! profiling counters with a target configuration and the measured
+//! time/power at that configuration.
+//!
+//! Counters are captured once per kernel at a fixed profiling configuration
+//! (the fail-safe state). At *prediction* time the stored counters may come
+//! from whatever configuration the kernel last executed at — a realistic
+//! train/serve mismatch that, together with measurement noise, produces
+//! model error comparable to the paper's reported MAPE.
+
+use crate::features::encode_features;
+use gpm_hw::{ConfigSpace, HwConfig};
+use gpm_sim::{ApuSimulator, KernelCharacteristics};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One training sample: features plus measured targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Encoded feature vector (see [`crate::features`]).
+    pub features: Vec<f64>,
+    /// Measured kernel execution time, seconds.
+    pub time_s: f64,
+    /// Measured GPU-domain power, watts.
+    pub gpu_power_w: f64,
+    /// Name of the kernel the sample came from (for leave-one-out splits).
+    pub kernel: String,
+}
+
+/// A collection of training samples.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::{ConfigSpace, HwConfig};
+/// use gpm_model::Dataset;
+/// use gpm_sim::{ApuSimulator, KernelCharacteristics};
+///
+/// let sim = ApuSimulator::default();
+/// let kernels = vec![KernelCharacteristics::compute_bound("k", 10.0)];
+/// let space = ConfigSpace::nb_cu_sweep(gpm_hw::CpuPState::P5, gpm_hw::GpuDpm::Dpm4);
+/// let ds = Dataset::from_campaign(&sim, &kernels, &space, HwConfig::FAIL_SAFE);
+/// assert_eq!(ds.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Runs the measurement campaign: profiles each kernel at
+    /// `profile_cfg`, then measures it at every configuration in `space`.
+    pub fn from_campaign(
+        sim: &ApuSimulator,
+        kernels: &[KernelCharacteristics],
+        space: &ConfigSpace,
+        profile_cfg: HwConfig,
+    ) -> Dataset {
+        let mut samples = Vec::with_capacity(kernels.len() * space.len());
+        for kernel in kernels {
+            let profile = sim.evaluate(kernel, profile_cfg);
+            for cfg in space {
+                let out = sim.evaluate(kernel, cfg);
+                samples.push(Sample {
+                    features: encode_features(&profile.counters, cfg),
+                    time_s: out.time_s,
+                    gpu_power_w: out.power.gpu_domain_w(),
+                    kernel: kernel.name().to_string(),
+                });
+            }
+        }
+        Dataset { samples }
+    }
+
+    /// Builds a dataset directly from samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Dataset {
+        Dataset { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Feature matrix.
+    pub fn xs(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.features.clone()).collect()
+    }
+
+    /// `ln(time)` target vector — time spans orders of magnitude across
+    /// kernels, so the forest regresses its logarithm.
+    pub fn ys_log_time(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.time_s.max(1e-12).ln()).collect()
+    }
+
+    /// GPU power target vector, watts.
+    pub fn ys_power(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.gpu_power_w).collect()
+    }
+
+    /// Random split into (train, test) with the given test fraction.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = ((self.samples.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(self.samples.len()));
+        let pick = |ids: &[usize]| Dataset {
+            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+        };
+        (pick(train_idx), pick(test_idx))
+    }
+
+    /// Leave-one-kernel-out split: samples of `kernel_name` become the test
+    /// set. This is the honest evaluation for a predictor that will face
+    /// kernels it never trained on.
+    pub fn split_leave_kernel_out(&self, kernel_name: &str) -> (Dataset, Dataset) {
+        let (test, train): (Vec<Sample>, Vec<Sample>) =
+            self.samples.iter().cloned().partition(|s| s.kernel == kernel_name);
+        (Dataset { samples: train }, Dataset { samples: test })
+    }
+
+    /// Merges another dataset into this one.
+    pub fn extend(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::NUM_FEATURES;
+    use gpm_hw::{CpuPState, GpuDpm};
+
+    fn tiny_dataset() -> Dataset {
+        let sim = ApuSimulator::default();
+        let kernels = vec![
+            KernelCharacteristics::compute_bound("cb", 10.0),
+            KernelCharacteristics::memory_bound("mb", 1.0),
+        ];
+        let space = ConfigSpace::nb_cu_sweep(CpuPState::P5, GpuDpm::Dpm4);
+        Dataset::from_campaign(&sim, &kernels, &space, HwConfig::FAIL_SAFE)
+    }
+
+    #[test]
+    fn campaign_size_is_kernels_times_configs() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.len(), 2 * 16);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn samples_have_full_feature_vectors_and_positive_targets() {
+        let ds = tiny_dataset();
+        for s in ds.samples() {
+            assert_eq!(s.features.len(), NUM_FEATURES);
+            assert!(s.time_s > 0.0);
+            assert!(s.gpu_power_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn log_time_targets_are_finite() {
+        let ds = tiny_dataset();
+        for y in ds.ys_log_time() {
+            assert!(y.is_finite());
+        }
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.25, 3);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(test.len(), 8);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = tiny_dataset();
+        let (a, _) = ds.split(0.25, 3);
+        let (b, _) = ds.split(0.25, 3);
+        assert_eq!(a.samples()[0], b.samples()[0]);
+    }
+
+    #[test]
+    fn leave_kernel_out_isolates_kernel() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split_leave_kernel_out("cb");
+        assert_eq!(test.len(), 16);
+        assert!(test.samples().iter().all(|s| s.kernel == "cb"));
+        assert!(train.samples().iter().all(|s| s.kernel != "cb"));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut ds = tiny_dataset();
+        let n = ds.len();
+        ds.extend(tiny_dataset());
+        assert_eq!(ds.len(), 2 * n);
+    }
+}

@@ -1,0 +1,213 @@
+//! Oracle predictors with injected half-normal error (Figure 13).
+//!
+//! To study sensitivity to model accuracy, the paper compares its Random
+//! Forest against hypothetical predictors whose errors follow a
+//! half-normal distribution with a given mean absolute error:
+//! `Err_15%_10%` (15% time / 10% power, after Wu et al.), `Err_5%`
+//! (Paul et al.), and `Err_0%` (perfect). This module reproduces those
+//! predictors by perturbing the oracle deterministically.
+
+use gpm_hw::HwConfig;
+use gpm_sim::predictor::{KernelSnapshot, PowerPerfEstimate, PowerPerfPredictor};
+use gpm_sim::{ApuSimulator, OraclePredictor};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Mean absolute relative error targets for an [`ErrorInjectedPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSpec {
+    /// Mean absolute relative error of time predictions (0.15 = 15%).
+    pub time_mae: f64,
+    /// Mean absolute relative error of power predictions.
+    pub power_mae: f64,
+}
+
+impl ErrorSpec {
+    /// The `Err_15%_10%` model of Figure 13 (Wu et al. accuracy).
+    pub const ERR_15_10: ErrorSpec = ErrorSpec { time_mae: 0.15, power_mae: 0.10 };
+
+    /// The `Err_5%` model of Figure 13 (Paul et al. accuracy).
+    pub const ERR_5: ErrorSpec = ErrorSpec { time_mae: 0.05, power_mae: 0.05 };
+
+    /// The `Err_0%` perfect-prediction model of Figure 13.
+    pub const ERR_0: ErrorSpec = ErrorSpec { time_mae: 0.0, power_mae: 0.0 };
+}
+
+/// Oracle prediction perturbed by deterministic half-normal relative error.
+///
+/// The error magnitude `|e|` follows a half-normal distribution whose mean
+/// equals the spec's MAE (so `σ = mae·√(π/2)`), with an independent random
+/// sign — the "half random normal distribution" construction the paper
+/// cites. The draw is a pure function of (kernel snapshot, configuration),
+/// so repeated queries are consistent, as a real (biased) model would be.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_model::{ErrorInjectedPredictor, ErrorSpec};
+/// use gpm_sim::{ApuSimulator, PowerPerfPredictor};
+///
+/// let sim = ApuSimulator::default();
+/// let perfect = ErrorInjectedPredictor::new(&sim, ErrorSpec::ERR_0, 1);
+/// assert_eq!(perfect.name(), "err-injected");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorInjectedPredictor {
+    oracle: OraclePredictor,
+    spec: ErrorSpec,
+    seed: u64,
+}
+
+impl ErrorInjectedPredictor {
+    /// Wraps an oracle on `sim` with the given error spec.
+    pub fn new(sim: &ApuSimulator, spec: ErrorSpec, seed: u64) -> ErrorInjectedPredictor {
+        ErrorInjectedPredictor { oracle: OraclePredictor::new(sim), spec, seed }
+    }
+
+    /// The error specification in force.
+    pub fn spec(&self) -> ErrorSpec {
+        self.spec
+    }
+
+    /// Signed relative error draws (time, power) for a query.
+    fn errors(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> (f64, f64) {
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        cfg.dense_index().hash(&mut h);
+        for &v in snapshot.counters.values() {
+            v.to_bits().hash(&mut h);
+        }
+        let s = h.finish();
+        let e_time = signed_half_normal(s.wrapping_add(0x1234), self.spec.time_mae);
+        let e_power = signed_half_normal(s.wrapping_add(0x5678), self.spec.power_mae);
+        (e_time, e_power)
+    }
+}
+
+impl PowerPerfPredictor for ErrorInjectedPredictor {
+    fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> PowerPerfEstimate {
+        let exact = self.oracle.predict(snapshot, cfg);
+        if self.spec.time_mae == 0.0 && self.spec.power_mae == 0.0 {
+            return exact;
+        }
+        let (et, ep) = self.errors(snapshot, cfg);
+        PowerPerfEstimate {
+            time_s: (exact.time_s * (1.0 + et)).max(1e-9),
+            gpu_power_w: (exact.gpu_power_w * (1.0 + ep)).max(0.1),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "err-injected"
+    }
+}
+
+/// A signed half-normal draw: magnitude from `|N(0, σ)|` with
+/// `σ = mae·√(π/2)` (so `E[|e|] = mae`), sign from an independent fair bit.
+fn signed_half_normal(seed: u64, mae: f64) -> f64 {
+    if mae == 0.0 {
+        return 0.0;
+    }
+    let sigma = mae * (std::f64::consts::PI / 2.0).sqrt();
+    let u1 = splitmix_unit(seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(1));
+    let u2 = splitmix_unit(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(2));
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let sign = if splitmix_unit(seed.wrapping_add(3)) < 0.5 { -1.0 } else { 1.0 };
+    sign * z.abs() * sigma
+}
+
+fn splitmix_unit(mut z: u64) -> f64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    ((z >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_sim::KernelCharacteristics;
+
+    fn snapshot(sim: &ApuSimulator) -> KernelSnapshot {
+        let k = KernelCharacteristics::compute_bound("cb", 10.0);
+        let out = sim.evaluate_exact(&k, HwConfig::FAIL_SAFE);
+        KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k)
+    }
+
+    #[test]
+    fn err0_matches_oracle_exactly() {
+        let sim = ApuSimulator::default();
+        let snap = snapshot(&sim);
+        let perfect = ErrorInjectedPredictor::new(&sim, ErrorSpec::ERR_0, 7);
+        let oracle = OraclePredictor::new(&sim);
+        let a = perfect.predict(&snap, HwConfig::MAX_PERF);
+        let b = oracle.predict(&snap, HwConfig::MAX_PERF);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let sim = ApuSimulator::default();
+        let snap = snapshot(&sim);
+        let p = ErrorInjectedPredictor::new(&sim, ErrorSpec::ERR_15_10, 7);
+        assert_eq!(p.predict(&snap, HwConfig::MAX_PERF), p.predict(&snap, HwConfig::MAX_PERF));
+    }
+
+    #[test]
+    fn mean_absolute_error_matches_spec() {
+        // Over many (kernel, config) pairs the empirical MAE must approach
+        // the specification.
+        let sim = ApuSimulator::default();
+        let oracle = OraclePredictor::new(&sim);
+        let p = ErrorInjectedPredictor::new(&sim, ErrorSpec::ERR_15_10, 7);
+        let mut errs_t = Vec::new();
+        let mut errs_p = Vec::new();
+        for gops in 1..200 {
+            let k = KernelCharacteristics::compute_bound(format!("k{gops}"), gops as f64);
+            let out = sim.evaluate_exact(&k, HwConfig::FAIL_SAFE);
+            let snap = KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k);
+            let exact = oracle.predict(&snap, HwConfig::MAX_PERF);
+            let noisy = p.predict(&snap, HwConfig::MAX_PERF);
+            errs_t.push(((noisy.time_s - exact.time_s) / exact.time_s).abs());
+            errs_p.push(((noisy.gpu_power_w - exact.gpu_power_w) / exact.gpu_power_w).abs());
+        }
+        let mae_t = errs_t.iter().sum::<f64>() / errs_t.len() as f64;
+        let mae_p = errs_p.iter().sum::<f64>() / errs_p.len() as f64;
+        assert!((mae_t - 0.15).abs() < 0.04, "time MAE {mae_t}");
+        assert!((mae_p - 0.10).abs() < 0.03, "power MAE {mae_p}");
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let mut pos = 0;
+        let mut neg = 0;
+        for i in 0..2000u64 {
+            let e = signed_half_normal(i, 0.1);
+            if e > 0.0 {
+                pos += 1;
+            } else if e < 0.0 {
+                neg += 1;
+            }
+        }
+        let frac = pos as f64 / (pos + neg) as f64;
+        assert!((frac - 0.5).abs() < 0.05, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn error_never_makes_predictions_nonpositive() {
+        let sim = ApuSimulator::default();
+        let snap = snapshot(&sim);
+        let p = ErrorInjectedPredictor::new(
+            &sim,
+            ErrorSpec { time_mae: 0.8, power_mae: 0.8 },
+            3,
+        );
+        for idx in 0..560 {
+            let cfg = HwConfig::from_dense_index(idx).unwrap();
+            let est = p.predict(&snap, cfg);
+            assert!(est.time_s > 0.0 && est.gpu_power_w > 0.0);
+        }
+    }
+}

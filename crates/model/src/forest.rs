@@ -1,0 +1,261 @@
+//! Random Forest regression: bagged CART trees with feature subsampling
+//! (Breiman 2001, the algorithm the paper selected for its predictor).
+
+use crate::tree::{RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a [`RandomForest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees in the ensemble.
+    pub num_trees: usize,
+    /// Parameters of each tree. `feature_subsample: None` here means
+    /// "use ⌈√d⌉ features per split", the usual forest default.
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub bootstrap_fraction: f64,
+}
+
+impl Default for ForestParams {
+    fn default() -> ForestParams {
+        ForestParams {
+            num_trees: 48,
+            tree: TreeParams::default(),
+            bootstrap_fraction: 1.0,
+        }
+    }
+}
+
+/// A fitted Random Forest: the mean of its trees' predictions.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_model::{RandomForest, ForestParams};
+///
+/// let xs: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (80 - i) as f64]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+/// let forest = RandomForest::fit(&xs, &ys, &ForestParams::default(), 42);
+/// let err = (forest.predict(&[40.0, 40.0]) - 80.0).abs();
+/// assert!(err < 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    /// For each tree, the training-sample indices it saw (bootstrap
+    /// membership), kept for out-of-bag evaluation.
+    in_bag: Vec<Vec<bool>>,
+}
+
+impl RandomForest {
+    /// Fits a forest to `(xs, ys)` with deterministic randomness from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `ys.len() != xs.len()` (propagated from
+    /// tree fitting).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &ForestParams, seed: u64) -> RandomForest {
+        assert!(!xs.is_empty(), "cannot fit a forest to zero samples");
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        let num_features = xs[0].len();
+        let mut tree_params = params.tree.clone();
+        if tree_params.feature_subsample.is_none() {
+            let k = (num_features as f64).sqrt().ceil() as usize;
+            tree_params.feature_subsample = Some(k.max(1));
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample_n =
+            ((xs.len() as f64 * params.bootstrap_fraction).round() as usize).clamp(1, xs.len() * 4);
+        let mut trees = Vec::with_capacity(params.num_trees.max(1));
+        let mut in_bag = Vec::with_capacity(params.num_trees.max(1));
+        for t in 0..params.num_trees.max(1) {
+            let mut bx = Vec::with_capacity(sample_n);
+            let mut by = Vec::with_capacity(sample_n);
+            let mut bag = vec![false; xs.len()];
+            for _ in 0..sample_n {
+                let i = rng.gen_range(0..xs.len());
+                bag[i] = true;
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            trees.push(RegressionTree::fit(
+                &bx,
+                &by,
+                &tree_params,
+                seed ^ (t as u64).wrapping_mul(0x9e37),
+            ));
+            in_bag.push(bag);
+        }
+        RandomForest { trees, in_bag }
+    }
+
+    /// Mean prediction over all trees.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Per-tree predictions; exposes ensemble spread for diagnostics.
+    pub fn predict_all(&self, x: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict(x)).collect()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Out-of-bag prediction for training sample `i` of the fit: the mean
+    /// over the trees whose bootstrap did *not* contain `i`. `None` when
+    /// every tree saw the sample (possible for small ensembles).
+    pub fn oob_predict(&self, i: usize, x: &[f64]) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (tree, bag) in self.trees.iter().zip(&self.in_bag) {
+            if !bag.get(i).copied().unwrap_or(false) {
+                sum += tree.predict(x);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Out-of-bag RMSE over the training set — the free generalization
+    /// estimate classic Random Forests report (Breiman 2001). Samples seen
+    /// by every tree are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs`/`ys` differ in length from the training set.
+    pub fn oob_rmse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        assert_eq!(
+            xs.len(),
+            self.in_bag.first().map_or(xs.len(), Vec::len),
+            "out-of-bag evaluation needs the original training set"
+        );
+        let mut sse = 0.0;
+        let mut n = 0usize;
+        for (i, (x, &y)) in xs.iter().zip(ys).enumerate() {
+            if let Some(pred) = self.oob_predict(i, x) {
+                sse += (pred - y) * (pred - y);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (sse / n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_linear(seed_like: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![i as f64, ((i * 31 + seed_like) % 13) as f64])
+            .collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 0.5 * x[0] + ((x[1] as i64 % 3) as f64) * 0.1).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_fits_linear_trend() {
+        let (xs, ys) = noisy_linear(0);
+        let forest = RandomForest::fit(&xs, &ys, &ForestParams::default(), 7);
+        for probe in [10.0, 75.0, 140.0] {
+            let pred = forest.predict(&[probe, 1.0]);
+            assert!((pred - 0.5 * probe).abs() < 8.0, "probe {probe} pred {pred}");
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let (xs, ys) = noisy_linear(0);
+        let a = RandomForest::fit(&xs, &ys, &ForestParams::default(), 7);
+        let b = RandomForest::fit(&xs, &ys, &ForestParams::default(), 7);
+        assert_eq!(a.predict(&[42.0, 3.0]), b.predict(&[42.0, 3.0]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (xs, ys) = noisy_linear(0);
+        let a = RandomForest::fit(&xs, &ys, &ForestParams::default(), 7);
+        let b = RandomForest::fit(&xs, &ys, &ForestParams::default(), 8);
+        // Overwhelmingly likely to differ somewhere.
+        let differs =
+            (0..150).any(|i| a.predict(&[i as f64, 1.0]) != b.predict(&[i as f64, 1.0]));
+        assert!(differs);
+    }
+
+    #[test]
+    fn predict_all_has_num_trees_entries() {
+        let (xs, ys) = noisy_linear(0);
+        let params = ForestParams { num_trees: 12, ..ForestParams::default() };
+        let forest = RandomForest::fit(&xs, &ys, &params, 7);
+        assert_eq!(forest.num_trees(), 12);
+        assert_eq!(forest.predict_all(&[1.0, 1.0]).len(), 12);
+    }
+
+    #[test]
+    fn mean_of_predict_all_is_predict() {
+        let (xs, ys) = noisy_linear(1);
+        let forest = RandomForest::fit(&xs, &ys, &ForestParams::default(), 3);
+        let x = [55.0, 2.0];
+        let all = forest.predict_all(&x);
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((mean - forest.predict(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (xs, ys) = noisy_linear(0);
+        let params = ForestParams { num_trees: 1, ..ForestParams::default() };
+        let forest = RandomForest::fit(&xs, &ys, &params, 7);
+        assert_eq!(forest.num_trees(), 1);
+        assert!(forest.predict(&[10.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_fit_panics() {
+        let _ = RandomForest::fit(&[], &[], &ForestParams::default(), 1);
+    }
+
+    #[test]
+    fn oob_error_approximates_held_out_error() {
+        // OOB RMSE should be in the same ballpark as RMSE on a fresh
+        // held-out set drawn from the same process.
+        let (xs, ys) = noisy_linear(0);
+        let (train_x, test_x) = xs.split_at(100);
+        let (train_y, test_y) = ys.split_at(100);
+        let forest = RandomForest::fit(train_x, train_y, &ForestParams::default(), 7);
+        let oob = forest.oob_rmse(train_x, train_y);
+        let held_sse: f64 = test_x
+            .iter()
+            .zip(test_y)
+            .map(|(x, &y)| (forest.predict(x) - y) * (forest.predict(x) - y))
+            .sum();
+        let held = (held_sse / test_x.len() as f64).sqrt();
+        assert!(oob > 0.0);
+        assert!(oob < held * 3.0 + 1.0, "OOB {oob} vs held-out {held}");
+    }
+
+    #[test]
+    fn oob_predict_excludes_in_bag_trees() {
+        let (xs, ys) = noisy_linear(2);
+        let params = ForestParams { num_trees: 16, ..ForestParams::default() };
+        let forest = RandomForest::fit(&xs, &ys, &params, 3);
+        // Some sample must be out-of-bag for at least one tree.
+        let any_oob = (0..xs.len()).any(|i| forest.oob_predict(i, &xs[i]).is_some());
+        assert!(any_oob);
+    }
+}

@@ -1,0 +1,155 @@
+//! Permutation feature importance.
+//!
+//! Measures how much a fitted forest relies on each feature: shuffle one
+//! feature column across the evaluation set and record how much the error
+//! grows. Features the model ignores score ≈ 0; load-bearing features
+//! (for this problem, the GPU clock and CU count for time; the rail
+//! voltage for power) score high. Used by the `model_accuracy` binary and
+//! as a sanity check that the forest learned physics, not noise.
+
+use crate::dataset::Dataset;
+use crate::forest::RandomForest;
+use crate::metrics::rmse;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Importance of one feature: the relative RMSE increase when the feature
+/// is permuted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureImportance {
+    /// Feature index (see [`crate::features::FEATURE_NAMES`]).
+    pub feature: usize,
+    /// Baseline RMSE on the intact evaluation set.
+    pub baseline_rmse: f64,
+    /// RMSE with this feature's column permuted.
+    pub permuted_rmse: f64,
+}
+
+impl FeatureImportance {
+    /// Relative error increase; 0 = the model ignores the feature.
+    pub fn score(&self) -> f64 {
+        if self.baseline_rmse <= 0.0 {
+            return self.permuted_rmse;
+        }
+        (self.permuted_rmse - self.baseline_rmse) / self.baseline_rmse
+    }
+}
+
+/// Computes permutation importance of every feature for `forest` on
+/// `eval_set`, against the targets produced by `target_of`.
+///
+/// Returns one entry per feature, in feature order.
+///
+/// # Panics
+///
+/// Panics if the evaluation set is empty.
+pub fn permutation_importance<F>(
+    forest: &RandomForest,
+    eval_set: &Dataset,
+    target_of: F,
+    seed: u64,
+) -> Vec<FeatureImportance>
+where
+    F: Fn(&crate::dataset::Sample) -> f64,
+{
+    assert!(!eval_set.is_empty(), "cannot measure importance on an empty set");
+    let xs = eval_set.xs();
+    let ys: Vec<f64> = eval_set.samples().iter().map(&target_of).collect();
+    let preds: Vec<f64> = xs.iter().map(|x| forest.predict(x)).collect();
+    let baseline = rmse(&preds, &ys);
+    let num_features = xs[0].len();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_features)
+        .map(|f| {
+            let mut column: Vec<f64> = xs.iter().map(|x| x[f]).collect();
+            column.shuffle(&mut rng);
+            let permuted_preds: Vec<f64> = xs
+                .iter()
+                .zip(&column)
+                .map(|(x, &v)| {
+                    let mut x2 = x.clone();
+                    x2[f] = v;
+                    forest.predict(&x2)
+                })
+                .collect();
+            FeatureImportance {
+                feature: f,
+                baseline_rmse: baseline,
+                permuted_rmse: rmse(&permuted_preds, &ys),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::forest::ForestParams;
+
+    /// Synthetic data where only feature 0 matters.
+    fn dataset() -> Dataset {
+        let samples: Vec<Sample> = (0..240)
+            .map(|i| {
+                let x0 = (i % 60) as f64;
+                let noise = ((i * 37) % 17) as f64; // pure distractor
+                Sample {
+                    features: vec![x0, noise],
+                    time_s: (2.0 * x0).exp().clamp(1e-9, 1e6),
+                    gpu_power_w: 2.0 * x0 + 5.0,
+                    kernel: format!("k{}", i % 3),
+                }
+            })
+            .collect();
+        Dataset::from_samples(samples)
+    }
+
+    #[test]
+    fn informative_feature_dominates() {
+        let ds = dataset();
+        let forest =
+            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let imp = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 5);
+        assert_eq!(imp.len(), 2);
+        assert!(
+            imp[0].score() > 5.0 * imp[1].score().max(0.01),
+            "feature 0 score {} should dwarf feature 1 score {}",
+            imp[0].score(),
+            imp[1].score()
+        );
+    }
+
+    #[test]
+    fn scores_are_nonnegative_in_expectation() {
+        let ds = dataset();
+        let forest =
+            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let imp = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 5);
+        // Permuting can only help by chance; allow tiny negatives.
+        for fi in &imp {
+            assert!(fi.score() > -0.1, "feature {} score {}", fi.feature, fi.score());
+        }
+    }
+
+    #[test]
+    fn importance_is_deterministic_per_seed() {
+        let ds = dataset();
+        let forest =
+            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let a = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 9);
+        let b = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_set_panics() {
+        let ds = dataset();
+        let forest =
+            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let _ = permutation_importance(&forest, &Dataset::default(), |s| s.gpu_power_w, 1);
+    }
+}

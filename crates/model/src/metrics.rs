@@ -1,0 +1,126 @@
+//! Regression error metrics.
+//!
+//! The paper reports its Random Forest's **Mean Absolute Percentage Error**
+//! (25% for performance, 12% for power over its 15 benchmarks,
+//! Section VI-D); these helpers let the reproduction check the same
+//! quantities.
+
+/// Mean Absolute Percentage Error of `pred` against `truth`, as a fraction
+/// (0.25 = 25%).
+///
+/// Pairs whose truth is zero are skipped (a percentage error is undefined
+/// there). Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_model::mape;
+/// let err = mape(&[110.0, 90.0], &[100.0, 100.0]);
+/// assert!((err - 0.10).abs() < 1e-12);
+/// ```
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "pred and truth must have equal length");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &t) in pred.iter().zip(truth) {
+        if t != 0.0 {
+            sum += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "pred and truth must have equal length");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    (sse / pred.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R².
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean predictor. Returns 0 when `truth` has zero variance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "pred and truth must have equal length");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        assert_eq!(mape(&[100.0], &[100.0]), 0.0);
+        assert!((mape(&[120.0], &[100.0]) - 0.2).abs() < 1e-12);
+        assert!((mape(&[80.0], &[100.0]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let err = mape(&[5.0, 110.0], &[0.0, 100.0]);
+        assert!((err - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_empty_is_zero() {
+        assert_eq!(mape(&[], &[]), 0.0);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(rmse(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+        assert!((rmse(&[0.0, 2.0], &[0.0, 0.0]) - (2.0f64.powi(2) / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2(&truth, &truth) - 1.0).abs() < 1e-12);
+        let mean = [2.5; 4];
+        assert!(r2(&mean, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_zero_variance_truth() {
+        assert_eq!(r2(&[1.0, 2.0], &[3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+}

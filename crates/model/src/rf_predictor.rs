@@ -1,0 +1,225 @@
+//! The trained Random-Forest predictor behind the
+//! [`PowerPerfPredictor`] interface.
+
+use crate::dataset::Dataset;
+use crate::features::encode_features;
+use crate::forest::{ForestParams, RandomForest};
+use crate::metrics;
+use gpm_hw::HwConfig;
+use gpm_sim::predictor::{KernelSnapshot, PowerPerfEstimate, PowerPerfPredictor};
+use serde::{Deserialize, Serialize};
+
+/// Held-out accuracy of a trained predictor, in the units the paper
+/// reports (MAPE fractions; Section VI-D quotes 25% performance and 12%
+/// power).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// MAPE of execution-time predictions on the held-out set.
+    pub time_mape: f64,
+    /// MAPE of GPU-power predictions on the held-out set.
+    pub power_mape: f64,
+    /// R² of log-time predictions.
+    pub time_r2: f64,
+    /// R² of power predictions.
+    pub power_r2: f64,
+    /// Training samples used.
+    pub train_samples: usize,
+    /// Held-out samples evaluated.
+    pub test_samples: usize,
+}
+
+/// Random-Forest power/performance predictor (Section IV-A3).
+///
+/// Two forests: one regressing `ln(time)`, one regressing GPU power.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_hw::{ConfigSpace, HwConfig, CpuPState, GpuDpm};
+/// use gpm_model::{Dataset, ForestParams, RandomForestPredictor};
+/// use gpm_sim::{ApuSimulator, KernelCharacteristics};
+///
+/// let sim = ApuSimulator::default();
+/// let kernels = vec![KernelCharacteristics::compute_bound("k", 10.0)];
+/// let space = ConfigSpace::nb_cu_sweep(CpuPState::P5, GpuDpm::Dpm4);
+/// let ds = Dataset::from_campaign(&sim, &kernels, &space, HwConfig::FAIL_SAFE);
+/// let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 1);
+/// # let _ = rf;
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestPredictor {
+    time_forest: RandomForest,
+    power_forest: RandomForest,
+}
+
+impl RandomForestPredictor {
+    /// Trains both forests on `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(dataset: &Dataset, params: &ForestParams, seed: u64) -> RandomForestPredictor {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let xs = dataset.xs();
+        let time_forest = RandomForest::fit(&xs, &dataset.ys_log_time(), params, seed);
+        let power_forest =
+            RandomForest::fit(&xs, &dataset.ys_power(), params, seed.wrapping_add(1));
+        RandomForestPredictor { time_forest, power_forest }
+    }
+
+    /// Evaluates held-out accuracy on `test`.
+    pub fn evaluate(&self, test: &Dataset, train_samples: usize) -> TrainReport {
+        let mut time_pred = Vec::with_capacity(test.len());
+        let mut power_pred = Vec::with_capacity(test.len());
+        let mut time_truth = Vec::with_capacity(test.len());
+        let mut power_truth = Vec::with_capacity(test.len());
+        let mut log_time_pred = Vec::with_capacity(test.len());
+        let mut log_time_truth = Vec::with_capacity(test.len());
+        for s in test.samples() {
+            let lt = self.time_forest.predict(&s.features);
+            log_time_pred.push(lt);
+            log_time_truth.push(s.time_s.max(1e-12).ln());
+            time_pred.push(lt.exp());
+            time_truth.push(s.time_s);
+            power_pred.push(self.power_forest.predict(&s.features));
+            power_truth.push(s.gpu_power_w);
+        }
+        TrainReport {
+            time_mape: metrics::mape(&time_pred, &time_truth),
+            power_mape: metrics::mape(&power_pred, &power_truth),
+            time_r2: metrics::r2(&log_time_pred, &log_time_truth),
+            power_r2: metrics::r2(&power_pred, &power_truth),
+            train_samples,
+            test_samples: test.len(),
+        }
+    }
+
+    /// The fitted `ln(time)` forest (for diagnostics such as permutation
+    /// importance).
+    pub fn time_forest(&self) -> &RandomForest {
+        &self.time_forest
+    }
+
+    /// The fitted GPU-power forest.
+    pub fn power_forest(&self) -> &RandomForest {
+        &self.power_forest
+    }
+
+    /// Convenience: split, train, and report in one call.
+    pub fn train_and_evaluate(
+        dataset: &Dataset,
+        params: &ForestParams,
+        test_fraction: f64,
+        seed: u64,
+    ) -> (RandomForestPredictor, TrainReport) {
+        let (train, test) = dataset.split(test_fraction, seed);
+        let rf = RandomForestPredictor::train(&train, params, seed);
+        let report = rf.evaluate(&test, train.len());
+        (rf, report)
+    }
+}
+
+impl PowerPerfPredictor for RandomForestPredictor {
+    fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> PowerPerfEstimate {
+        let features = encode_features(&snapshot.counters, cfg);
+        let time_s = self.time_forest.predict(&features).exp().max(1e-9);
+        let gpu_power_w = self.power_forest.predict(&features).max(0.1);
+        PowerPerfEstimate { time_s, gpu_power_w }
+    }
+
+    fn name(&self) -> &str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_hw::{ConfigSpace, CpuPState, GpuDpm};
+    use gpm_sim::{ApuSimulator, KernelCharacteristics};
+
+    fn campaign() -> (ApuSimulator, Vec<KernelCharacteristics>, Dataset) {
+        let sim = ApuSimulator::default();
+        let kernels = vec![
+            KernelCharacteristics::compute_bound("cb", 15.0),
+            KernelCharacteristics::memory_bound("mb", 1.5),
+            KernelCharacteristics::peak("pk", 8.0),
+            KernelCharacteristics::unscalable("us", 0.01),
+        ];
+        let space = ConfigSpace::paper_campaign();
+        let ds = Dataset::from_campaign(&sim, &kernels, &space, HwConfig::FAIL_SAFE);
+        (sim, kernels, ds)
+    }
+
+    #[test]
+    fn training_produces_usable_accuracy() {
+        let (_, _, ds) = campaign();
+        let (_, report) =
+            RandomForestPredictor::train_and_evaluate(&ds, &ForestParams::default(), 0.2, 11);
+        // In-distribution accuracy should beat the paper's out-of-sample
+        // 25%/12% MAPE comfortably.
+        assert!(report.time_mape < 0.25, "time MAPE {}", report.time_mape);
+        assert!(report.power_mape < 0.15, "power MAPE {}", report.power_mape);
+        assert!(report.time_r2 > 0.8, "time R² {}", report.time_r2);
+        assert_eq!(report.train_samples + report.test_samples, ds.len());
+    }
+
+    #[test]
+    fn predictor_tracks_config_trends() {
+        let (sim, kernels, ds) = campaign();
+        let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 11);
+        let cb = &kernels[0];
+        let out = sim.evaluate(cb, HwConfig::FAIL_SAFE);
+        let snap = gpm_sim::predictor::KernelSnapshot::counters_only(
+            out.counters,
+            HwConfig::FAIL_SAFE,
+            cb.ginstructions(),
+        );
+        // Compute-bound kernel: 8 CUs at DPM4 must be predicted faster than
+        // 2 CUs at DPM0.
+        let fast = rf.predict(&snap, HwConfig::MAX_PERF);
+        let slow_cfg = HwConfig::new(
+            CpuPState::P7,
+            gpm_hw::NbState::Nb3,
+            GpuDpm::Dpm0,
+            gpm_hw::CuCount::MIN,
+        );
+        let slow = rf.predict(&snap, slow_cfg);
+        assert!(fast.time_s < slow.time_s, "fast {} slow {}", fast.time_s, slow.time_s);
+        assert!(fast.gpu_power_w > slow.gpu_power_w);
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let (_, _, ds) = campaign();
+        let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 11);
+        let snap = gpm_sim::predictor::KernelSnapshot::counters_only(
+            gpm_sim::CounterSet::default(),
+            HwConfig::FAIL_SAFE,
+            1.0,
+        );
+        let a = rf.predict(&snap, HwConfig::MAX_PERF);
+        let b = rf.predict(&snap, HwConfig::MAX_PERF);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predictions_are_positive_even_on_garbage() {
+        let (_, _, ds) = campaign();
+        let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 11);
+        let snap = gpm_sim::predictor::KernelSnapshot::counters_only(
+            gpm_sim::CounterSet::from_values([0.0; 8]),
+            HwConfig::FAIL_SAFE,
+            1.0,
+        );
+        let est = rf.predict(&snap, HwConfig::FAIL_SAFE);
+        assert!(est.time_s > 0.0);
+        assert!(est.gpu_power_w > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let _ = RandomForestPredictor::train(&Dataset::default(), &ForestParams::default(), 1);
+    }
+}

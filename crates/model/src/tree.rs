@@ -1,0 +1,344 @@
+//! CART regression trees with variance-reduction splitting.
+//!
+//! Each tree greedily chooses, at every node, the (feature, threshold) pair
+//! that minimizes the summed squared error of the two children. Thresholds
+//! are drawn from up to [`TreeParams::threshold_candidates`] quantiles of
+//! the feature values at the node, which keeps fitting `O(n)` per candidate
+//! instead of `O(n log n)` full sorts per feature.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a single regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth; the root is depth 0.
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split (`None` = all). Random
+    /// forests set this to roughly √d to decorrelate trees.
+    pub feature_subsample: Option<usize>,
+    /// Candidate split thresholds examined per feature.
+    pub threshold_candidates: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> TreeParams {
+        TreeParams {
+            max_depth: 12,
+            min_samples_leaf: 2,
+            feature_subsample: None,
+            threshold_candidates: 24,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_model::{RegressionTree, TreeParams};
+///
+/// let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 20.0 { 1.0 } else { 5.0 }).collect();
+/// let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 1);
+/// assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
+/// assert!((tree.predict(&[33.0]) - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(xs, ys)`.
+    ///
+    /// `seed` drives feature subsampling; trees with
+    /// `feature_subsample: None` are deterministic regardless of seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty, `ys.len() != xs.len()`, or feature vectors
+    /// have inconsistent lengths.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &TreeParams, seed: u64) -> RegressionTree {
+        assert!(!xs.is_empty(), "cannot fit a tree to zero samples");
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        let num_features = xs[0].len();
+        assert!(
+            xs.iter().all(|x| x.len() == num_features),
+            "inconsistent feature dimensionality"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RegressionTree { nodes: Vec::new(), num_features };
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        tree.build(xs, ys, idx, 0, params, &mut rng);
+        tree
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different dimensionality than the training data.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_features, "feature dimensionality mismatch");
+        let mut node = 0usize;
+        loop {
+            match self.nodes[node] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+        let stop = depth >= params.max_depth
+            || idx.len() < 2 * params.min_samples_leaf
+            || idx.iter().all(|&i| (ys[i] - mean).abs() < 1e-15);
+        if stop {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        let split = self.best_split(xs, ys, &idx, params, rng);
+        let Some((feature, threshold)) = split else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| xs[i][feature] <= threshold);
+        // Reserve this node's slot before recursing.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        let left = self.build(xs, ys, left_idx, depth + 1, params, rng);
+        let right = self.build(xs, ys, right_idx, depth + 1, params, rng);
+        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        slot
+    }
+
+    fn best_split(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: &[usize],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let mut features: Vec<usize> = (0..self.num_features).collect();
+        if let Some(k) = params.feature_subsample {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(self.num_features));
+        }
+
+        let n = idx.len() as f64;
+        let sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+        let sum_sq: f64 = idx.iter().map(|&i| ys[i] * ys[i]).sum();
+        let parent_sse_base = sum_sq - sum * sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &f in &features {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let step = (vals.len() - 1).max(1) as f64 / params.threshold_candidates as f64;
+            let mut thresholds: Vec<f64> = Vec::new();
+            let mut t = step;
+            while t < (vals.len() - 1) as f64 + 1e-9 && thresholds.len() < params.threshold_candidates {
+                let k = (t as usize).min(vals.len() - 2);
+                thresholds.push((vals[k] + vals[k + 1]) / 2.0);
+                t += step.max(1e-9);
+            }
+            thresholds.dedup();
+
+            for &thr in &thresholds {
+                let mut nl = 0.0f64;
+                let mut sl = 0.0f64;
+                let mut ql = 0.0f64;
+                for &i in idx {
+                    if xs[i][f] <= thr {
+                        nl += 1.0;
+                        sl += ys[i];
+                        ql += ys[i] * ys[i];
+                    }
+                }
+                let nr = n - nl;
+                if (nl as usize) < params.min_samples_leaf || (nr as usize) < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let sr = sum - sl;
+                let qr = sum_sq - ql;
+                let sse = (ql - sl * sl / nl) + (qr - sr * sr / nr);
+                if sse < parent_sse_base - 1e-12
+                    && best.is_none_or(|(_, _, b)| sse < b)
+                {
+                    best = Some((f, thr, sse));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 50.0 { -2.0 } else { 4.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 1);
+        assert!((tree.predict(&[10.0, 0.0]) + 2.0).abs() < 1e-9);
+        assert!((tree.predict(&[80.0, 0.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.5; 20];
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 1);
+        assert!(tree.is_empty());
+        assert_eq!(tree.predict(&[123.0]), 7.5);
+    }
+
+    #[test]
+    fn depth_zero_is_mean_predictor() {
+        let (xs, ys) = step_data();
+        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let tree = RegressionTree::fit(&xs, &ys, &params, 1);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((tree.predict(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let (xs, ys) = step_data();
+        let params = TreeParams { min_samples_leaf: 60, ..TreeParams::default() };
+        let tree = RegressionTree::fit(&xs, &ys, &params, 1);
+        // 100 samples cannot split into two leaves of ≥60.
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn deeper_trees_fit_finer_structure() {
+        let xs: Vec<Vec<f64>> = (0..128).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] / 16.0).floor()).collect();
+        let shallow = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeParams { max_depth: 1, ..TreeParams::default() },
+            1,
+        );
+        let deep = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeParams { max_depth: 8, ..TreeParams::default() },
+            1,
+        );
+        let sse = |t: &RegressionTree| -> f64 {
+            xs.iter().zip(&ys).map(|(x, y)| (t.predict(x) - y).powi(2)).sum()
+        };
+        assert!(sse(&deep) < sse(&shallow) * 0.2);
+        assert!(deep.depth() > shallow.depth());
+    }
+
+    #[test]
+    fn multifeature_splits_pick_informative_feature() {
+        // Feature 1 is pure noise; feature 0 carries the signal.
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i / 2) as f64, (i * 37 % 11) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 50.0 { 0.0 } else { 10.0 }).collect();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 1);
+        assert!((tree.predict(&[10.0, 5.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict(&[90.0, 5.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_fit_panics() {
+        let _ = RegressionTree::fit(&[], &[], &TreeParams::default(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], &TreeParams::default(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn predict_wrong_arity_panics() {
+        let tree = RegressionTree::fit(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]], &[1.0, 2.0, 3.0, 4.0], &TreeParams::default(), 1);
+        let _ = tree.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fit_is_deterministic_without_subsampling() {
+        let (xs, ys) = step_data();
+        let a = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 1);
+        let b = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 999);
+        for x in &xs {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+}

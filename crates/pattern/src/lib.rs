@@ -1,0 +1,42 @@
+//! Kernel pattern extraction (Section IV-A2 of the paper).
+//!
+//! GPGPU applications launch kernels in largely regular orders. The pattern
+//! extractor watches the stream of retired kernels, identifies distinct
+//! kernels by a *signature* over their performance counters, records the
+//! execution order, and — on subsequent invocations of the application —
+//! tells the optimizer which kernels to expect next, along with their
+//! stored counters.
+//!
+//! Three pieces, mirroring the paper's three steps:
+//!
+//! * [`signature`] — log-binned counter signatures that identify a kernel
+//!   (and its input regime) across invocations;
+//! * [`store`] — the 80-bytes-per-distinct-kernel record store (8 counters
+//!   + time + power as f64), updated from runtime feedback;
+//! * [`extractor`] — the execution-order recorder and future-kernel
+//!   lookahead, plus on-line repetition detection in the style of Totoni
+//!   et al.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpm_hw::HwConfig;
+//! use gpm_pattern::PatternExtractor;
+//! use gpm_sim::{ApuSimulator, KernelCharacteristics};
+//!
+//! let sim = ApuSimulator::default();
+//! let k = KernelCharacteristics::compute_bound("k", 10.0);
+//! let out = sim.evaluate(&k, HwConfig::FAIL_SAFE);
+//!
+//! let mut extractor = PatternExtractor::new();
+//! let id = extractor.observe(&out, HwConfig::FAIL_SAFE, None);
+//! assert_eq!(extractor.run_so_far(), &[id]);
+//! ```
+
+pub mod extractor;
+pub mod signature;
+pub mod store;
+
+pub use extractor::{detect_period, KernelId, PatternExtractor};
+pub use signature::KernelSignature;
+pub use store::{KernelRecord, KernelStore};

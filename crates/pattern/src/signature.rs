@@ -1,0 +1,159 @@
+//! Log-binned kernel signatures.
+//!
+//! The paper identifies kernels at runtime by binning performance counters
+//! with `binᵢ = ⌊log u⌋` and using the tuple of bins as the signature.
+//! Kernels with similar counters — the same kernel, or the same kernel in
+//! the same input regime — collide into one signature; kernels whose
+//! inputs change enough to shift performance land in new signatures (as
+//! with hybridsort's `mergeSortPass` F1–F9).
+//!
+//! One refinement over a literal reading of the paper: only the four
+//! *configuration-invariant* counters participate in the identity —
+//! `GlobalWorkSize`, `VFetchInsts`, `ScratchRegs`, and `VALUInsts`, which
+//! are properties of the kernel and its input. The other four
+//! (`MemUnitStalled`, `CacheHit`, `LDSBankConflict`, `FetchSize`) vary
+//! with the DVFS state and CU count the kernel happens to execute at;
+//! binning them would fragment one kernel into several identities as the
+//! governor moves it across configurations (observed as spurious ~50%
+//! "pattern mispredictions" on single-kernel benchmarks). All eight
+//! counters are still *stored* per kernel for the predictor (Table III).
+
+use gpm_sim::CounterSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Indices (into Table III order) of the configuration-invariant counters
+/// used for identity.
+const IDENTITY_COUNTERS: [usize; 4] = [0, 3, 4, 6];
+
+/// A kernel identity: the tuple of log-binned configuration-invariant
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_pattern::KernelSignature;
+/// use gpm_sim::CounterSet;
+///
+/// let a = KernelSignature::from_counters(&CounterSet::from_values(
+///     [1000.0, 10.0, 80.0, 2.0, 8.0, 1.0, 64.0, 512.0]));
+/// let same = KernelSignature::from_counters(&CounterSet::from_values(
+///     [1010.0, 55.0, 20.0, 2.1, 8.0, 9.9, 70.0, 2048.0]));
+/// // Same kernel observed at a different configuration: the stall/cache
+/// // counters moved, the identity did not.
+/// assert_eq!(a, same);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelSignature([i32; IDENTITY_COUNTERS.len()]);
+
+impl KernelSignature {
+    /// Computes the signature of a counter set.
+    ///
+    /// Each identity counter is binned as `⌊log₂(u + 1)⌋`; the `+1` keeps
+    /// zero counters well-defined (the paper's `⌊log u⌋` presumes positive
+    /// values).
+    pub fn from_counters(counters: &CounterSet) -> KernelSignature {
+        let values = counters.values();
+        let mut bins = [0i32; IDENTITY_COUNTERS.len()];
+        for (bin, &idx) in bins.iter_mut().zip(IDENTITY_COUNTERS.iter()) {
+            *bin = (values[idx].max(0.0) + 1.0).log2().floor() as i32;
+        }
+        KernelSignature(bins)
+    }
+
+    /// The raw bins.
+    pub fn bins(&self) -> &[i32] {
+        &self.0
+    }
+
+    /// Number of bins in which two signatures differ; 0 means identical.
+    pub fn distance(&self, other: &KernelSignature) -> usize {
+        self.0.iter().zip(other.0.iter()).filter(|(a, b)| a != b).count()
+    }
+}
+
+impl fmt::Display for KernelSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(scale: f64) -> CounterSet {
+        CounterSet::from_values([
+            1024.0 * scale,
+            10.0,
+            80.0,
+            4.0 * scale,
+            8.0,
+            1.0,
+            64.0 * scale,
+            512.0 * scale,
+        ])
+    }
+
+    #[test]
+    fn identical_counters_identical_signature() {
+        assert_eq!(
+            KernelSignature::from_counters(&counters(1.0)),
+            KernelSignature::from_counters(&counters(1.0))
+        );
+    }
+
+    #[test]
+    fn small_perturbations_collide() {
+        let a = KernelSignature::from_counters(&counters(1.0));
+        let b = KernelSignature::from_counters(&counters(1.05));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_input_changes_separate() {
+        let a = KernelSignature::from_counters(&counters(1.0));
+        let b = KernelSignature::from_counters(&counters(16.0));
+        assert_ne!(a, b);
+        assert!(a.distance(&b) >= 3);
+    }
+
+    #[test]
+    fn config_dependent_counters_do_not_affect_identity() {
+        // The same kernel measured at two configurations: stall %, cache
+        // hit %, LDS %, and fetch traffic all move; identity must not.
+        let at_8cu = CounterSet::from_values([1024.0, 60.0, 47.0, 4.0, 8.0, 2.0, 64.0, 4000.0]);
+        let at_2cu = CounterSet::from_values([1024.0, 12.0, 95.0, 4.0, 8.0, 0.5, 64.0, 300.0]);
+        assert_eq!(
+            KernelSignature::from_counters(&at_8cu),
+            KernelSignature::from_counters(&at_2cu)
+        );
+    }
+
+    #[test]
+    fn zero_counters_are_well_defined() {
+        let sig = KernelSignature::from_counters(&CounterSet::from_values([0.0; 8]));
+        assert_eq!(sig.bins(), &[0i32; 4]);
+    }
+
+    #[test]
+    fn distance_is_zero_iff_equal() {
+        let a = KernelSignature::from_counters(&counters(1.0));
+        assert_eq!(a.distance(&a), 0);
+        let b = KernelSignature::from_counters(&counters(100.0));
+        assert!(a.distance(&b) > 0);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        let sig = KernelSignature::from_counters(&CounterSet::from_values([0.0; 8]));
+        assert_eq!(sig.to_string(), "(0,0,0,0)");
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-kernel record storage.
+//!
+//! For each *dissimilar* kernel (distinct signature) the extractor stores
+//! the eight Table III counters plus kernel time and power as
+//! double-precision values — the 80 bytes/kernel the paper budgets — along
+//! with bookkeeping the optimizer needs (instruction count, the
+//! configuration the counters were captured at, and optionally the ground
+//! truth for oracle studies).
+
+use crate::signature::KernelSignature;
+use gpm_hw::HwConfig;
+use gpm_sim::predictor::KernelSnapshot;
+use gpm_sim::{CounterSet, KernelCharacteristics};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stored knowledge about one distinct kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// The identifying signature.
+    pub signature: KernelSignature,
+    /// Latest observed counters.
+    pub counters: CounterSet,
+    /// Configuration the counters were captured at.
+    pub measured_at: HwConfig,
+    /// Latest observed execution time, seconds.
+    pub time_s: f64,
+    /// Latest observed GPU-domain power, watts.
+    pub gpu_power_w: f64,
+    /// Instructions for the throughput metric, giga-instructions.
+    pub ginstructions: f64,
+    /// Times this kernel has been observed.
+    pub observations: u64,
+    /// Ground truth, carried only in oracle-predictor studies.
+    pub truth: Option<KernelCharacteristics>,
+}
+
+impl KernelRecord {
+    /// Builds the snapshot an optimizer hands to a predictor.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        KernelSnapshot {
+            counters: self.counters,
+            measured_at: self.measured_at,
+            ginstructions: self.ginstructions,
+            truth: self.truth.clone(),
+        }
+    }
+
+    /// The paper's storage estimate for this record: 8 counters + time +
+    /// power at 8 bytes each = 80 bytes.
+    pub const STORED_BYTES: usize = 80;
+}
+
+/// Signature-indexed store of [`KernelRecord`]s.
+///
+/// Records are addressed by dense [`KernelId`](crate::KernelId)s (insertion
+/// order), which the execution lists reference.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelStore {
+    records: Vec<KernelRecord>,
+    #[serde(skip)]
+    index: HashMap<KernelSignature, usize>,
+}
+
+impl KernelStore {
+    /// An empty store.
+    pub fn new() -> KernelStore {
+        KernelStore::default()
+    }
+
+    /// Inserts a new observation or updates the existing record with the
+    /// freshest counters/time/power (the paper's "dynamically updates the
+    /// stored kernel performance counter values based on the performance
+    /// counter feedback of the last executed kernel"). Returns the record's
+    /// id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn upsert(
+        &mut self,
+        signature: KernelSignature,
+        counters: CounterSet,
+        measured_at: HwConfig,
+        time_s: f64,
+        gpu_power_w: f64,
+        ginstructions: f64,
+        truth: Option<KernelCharacteristics>,
+    ) -> usize {
+        if let Some(&id) = self.index.get(&signature) {
+            let rec = &mut self.records[id];
+            rec.counters = counters;
+            rec.measured_at = measured_at;
+            rec.time_s = time_s;
+            rec.gpu_power_w = gpu_power_w;
+            rec.ginstructions = ginstructions;
+            rec.observations += 1;
+            if truth.is_some() {
+                rec.truth = truth;
+            }
+            id
+        } else {
+            let id = self.records.len();
+            self.records.push(KernelRecord {
+                signature,
+                counters,
+                measured_at,
+                time_s,
+                gpu_power_w,
+                ginstructions,
+                observations: 1,
+                truth,
+            });
+            self.index.insert(signature, id);
+            id
+        }
+    }
+
+    /// Looks up a record by id.
+    pub fn get(&self, id: usize) -> Option<&KernelRecord> {
+        self.records.get(id)
+    }
+
+    /// Looks up a record id by signature.
+    pub fn id_of(&self, signature: &KernelSignature) -> Option<usize> {
+        self.index.get(signature).copied()
+    }
+
+    /// Number of distinct kernels stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in id order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Total storage the paper's accounting would charge: 80 bytes per
+    /// distinct kernel.
+    pub fn storage_bytes(&self) -> usize {
+        self.records.len() * KernelRecord::STORED_BYTES
+    }
+
+    /// Rebuilds the signature index (needed after deserialization, where
+    /// the index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index =
+            self.records.iter().enumerate().map(|(i, r)| (r.signature, i)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_sim::CounterSet;
+
+    fn sig(seed: f64) -> (KernelSignature, CounterSet) {
+        let c = CounterSet::from_values([seed * 1000.0, 10.0, 80.0, 2.0, 8.0, 1.0, 64.0, 512.0]);
+        (KernelSignature::from_counters(&c), c)
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let mut store = KernelStore::new();
+        let (s, c) = sig(1.0);
+        let id = store.upsert(s, c, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, None);
+        assert_eq!(store.len(), 1);
+        let id2 = store.upsert(s, c, HwConfig::MAX_PERF, 0.4, 25.0, 1.0, None);
+        assert_eq!(id, id2);
+        assert_eq!(store.len(), 1);
+        let rec = store.get(id).unwrap();
+        assert_eq!(rec.time_s, 0.4);
+        assert_eq!(rec.measured_at, HwConfig::MAX_PERF);
+        assert_eq!(rec.observations, 2);
+    }
+
+    #[test]
+    fn distinct_signatures_get_distinct_ids() {
+        let mut store = KernelStore::new();
+        let (s1, c1) = sig(1.0);
+        let (s2, c2) = sig(64.0);
+        assert_ne!(s1, s2);
+        let a = store.upsert(s1, c1, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, None);
+        let b = store.upsert(s2, c2, HwConfig::FAIL_SAFE, 0.7, 22.0, 2.0, None);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.id_of(&s2), Some(b));
+    }
+
+    #[test]
+    fn storage_matches_paper_budget() {
+        let mut store = KernelStore::new();
+        for i in 0..6 {
+            let (s, c) = sig((1 << i) as f64 * 4.0);
+            store.upsert(s, c, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, None);
+        }
+        assert_eq!(store.storage_bytes(), store.len() * 80);
+    }
+
+    #[test]
+    fn truth_is_retained_once_set() {
+        let mut store = KernelStore::new();
+        let (s, c) = sig(1.0);
+        let truth = KernelCharacteristics::compute_bound("k", 5.0);
+        let id = store.upsert(s, c, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, Some(truth.clone()));
+        // An update without truth must not erase it.
+        store.upsert(s, c, HwConfig::FAIL_SAFE, 0.6, 21.0, 1.0, None);
+        assert_eq!(store.get(id).unwrap().truth.as_ref().unwrap().name(), truth.name());
+    }
+
+    #[test]
+    fn snapshot_carries_record_fields() {
+        let mut store = KernelStore::new();
+        let (s, c) = sig(2.0);
+        let id = store.upsert(s, c, HwConfig::MAX_PERF, 0.5, 20.0, 3.5, None);
+        let snap = store.get(id).unwrap().snapshot();
+        assert_eq!(snap.counters, c);
+        assert_eq!(snap.measured_at, HwConfig::MAX_PERF);
+        assert_eq!(snap.ginstructions, 3.5);
+        assert!(snap.truth.is_none());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut store = KernelStore::new();
+        let (s, c) = sig(1.0);
+        store.upsert(s, c, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, None);
+        let mut clone = KernelStore { records: store.records.clone(), index: HashMap::new() };
+        assert_eq!(clone.id_of(&s), None);
+        clone.rebuild_index();
+        assert_eq!(clone.id_of(&s), Some(0));
+    }
+}

@@ -1,0 +1,232 @@
+//! The eight GPU performance counters of Table III.
+//!
+//! The pattern extractor stores these per kernel; the Random-Forest
+//! predictor consumes them as features. On real hardware they come from
+//! CodeXL; here they are synthesized from the kernel's characteristics and
+//! the configuration it executed at.
+
+use crate::kernel::KernelCharacteristics;
+use crate::perf::TimeBreakdown;
+use gpm_hw::HwConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Number of representative counters (Table III).
+pub const NUM_COUNTERS: usize = 8;
+
+/// Counter names in storage order, matching Table III.
+pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
+    "GlobalWorkSize",
+    "MemUnitStalled",
+    "CacheHit",
+    "VFetchInsts",
+    "ScratchRegs",
+    "LDSBankConflict",
+    "VALUInsts",
+    "FetchSize",
+];
+
+/// A sampled set of the eight Table III counters.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::{CounterSet, COUNTER_NAMES};
+///
+/// let c = CounterSet::from_values([1024.0, 10.0, 80.0, 2.0, 8.0, 1.0, 64.0, 512.0]);
+/// assert_eq!(c.get(COUNTER_NAMES[2]), Some(80.0));
+/// assert_eq!(c.cache_hit_pct(), 80.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CounterSet([f64; NUM_COUNTERS]);
+
+impl CounterSet {
+    /// Builds a counter set from raw values in Table III order.
+    pub fn from_values(values: [f64; NUM_COUNTERS]) -> CounterSet {
+        CounterSet(values)
+    }
+
+    /// Synthesizes the counters a profiler would report for `kernel`
+    /// executing at `cfg` with time behaviour `time`.
+    pub fn synthesize(
+        kernel: &KernelCharacteristics,
+        cfg: HwConfig,
+        time: &TimeBreakdown,
+    ) -> CounterSet {
+        let gws = kernel.global_work_size();
+        let busy = (time.total_s - time.launch_s - time.fixed_s).max(1e-12);
+        // Percentage of GPU time the memory unit is stalled.
+        let mem_unit_stalled = (time.memory_s / busy * 100.0).clamp(0.0, 100.0);
+        let cache_hit = kernel.cache_hit_at(cfg.cu.get()) * 100.0;
+        // Average vector-fetch instructions per work-item (64 B granules).
+        let vfetch = kernel.memory_gb() * 1e9 / 64.0 / gws;
+        let scratch = kernel.scratch_regs();
+        let lds = kernel.lds_conflict() * 100.0;
+        // Average vector-ALU instructions per work-item.
+        let valu = kernel.compute_gops() * 1e9 / gws;
+        // Total kB fetched from video (here: system) memory.
+        let fetch_kb = time.dram_traffic_gb * 1e6;
+        CounterSet([gws, mem_unit_stalled, cache_hit, vfetch, scratch, lds, valu, fetch_kb])
+    }
+
+    /// Raw values in Table III order.
+    pub fn values(&self) -> &[f64; NUM_COUNTERS] {
+        &self.0
+    }
+
+    /// Looks a counter up by its Table III name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        COUNTER_NAMES.iter().position(|&n| n == name).map(|i| self.0[i])
+    }
+
+    /// `GlobalWorkSize`: work-items in the NDRange.
+    pub fn global_work_size(&self) -> f64 {
+        self.0[0]
+    }
+
+    /// `MemUnitStalled`: % of GPU time the memory unit is stalled.
+    pub fn mem_unit_stalled_pct(&self) -> f64 {
+        self.0[1]
+    }
+
+    /// `CacheHit`: % of cache-able accesses that hit.
+    pub fn cache_hit_pct(&self) -> f64 {
+        self.0[2]
+    }
+
+    /// `VFetchInsts`: average vector fetch instructions per work-item.
+    pub fn vfetch_insts(&self) -> f64 {
+        self.0[3]
+    }
+
+    /// `ScratchRegs`: scratch registers used.
+    pub fn scratch_regs(&self) -> f64 {
+        self.0[4]
+    }
+
+    /// `LDSBankConflict`: % of GPU time LDS is stalled by bank conflicts.
+    pub fn lds_bank_conflict_pct(&self) -> f64 {
+        self.0[5]
+    }
+
+    /// `VALUInsts`: average vector ALU instructions per work-item.
+    pub fn valu_insts(&self) -> f64 {
+        self.0[6]
+    }
+
+    /// `FetchSize`: total kB fetched from memory.
+    pub fn fetch_size_kb(&self) -> f64 {
+        self.0[7]
+    }
+
+    /// Euclidean distance in log-space, a scale-robust dissimilarity used
+    /// by tests and diagnostics.
+    pub fn log_distance(&self, other: &CounterSet) -> f64 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| {
+                let la = (a.abs() + 1.0).ln();
+                let lb = (b.abs() + 1.0).ln();
+                (la - lb) * (la - lb)
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Index<usize> for CounterSet {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, v)) in COUNTER_NAMES.iter().zip(self.0.iter()).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {v:.3}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SimParams;
+    use crate::perf::execution_time;
+    use gpm_hw::{CpuPState, CuCount, GpuDpm, NbState};
+
+    fn synth(kernel: &KernelCharacteristics, cu: u32) -> CounterSet {
+        let p = SimParams::noiseless();
+        let cfg = HwConfig::new(CpuPState::P1, NbState::Nb0, GpuDpm::Dpm4, CuCount::new(cu).unwrap());
+        let t = execution_time(&p, kernel, cfg);
+        CounterSet::synthesize(kernel, cfg, &t)
+    }
+
+    #[test]
+    fn names_cover_all_slots() {
+        assert_eq!(COUNTER_NAMES.len(), NUM_COUNTERS);
+        let c = CounterSet::from_values([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            assert_eq!(c.get(name), Some((i + 1) as f64));
+        }
+        assert_eq!(c.get("NotACounter"), None);
+    }
+
+    #[test]
+    fn memory_bound_stalls_more_than_compute_bound() {
+        let mb = synth(&KernelCharacteristics::memory_bound("m", 1.0), 8);
+        let cb = synth(&KernelCharacteristics::compute_bound("c", 20.0), 8);
+        assert!(mb.mem_unit_stalled_pct() > cb.mem_unit_stalled_pct());
+    }
+
+    #[test]
+    fn peak_kernel_cache_hit_drops_with_cus() {
+        let k = KernelCharacteristics::peak("p", 10.0);
+        assert!(synth(&k, 8).cache_hit_pct() < synth(&k, 2).cache_hit_pct());
+        assert!(synth(&k, 8).fetch_size_kb() > synth(&k, 2).fetch_size_kb());
+    }
+
+    #[test]
+    fn percent_counters_bounded() {
+        for k in [
+            KernelCharacteristics::compute_bound("a", 10.0),
+            KernelCharacteristics::memory_bound("b", 2.0),
+            KernelCharacteristics::peak("c", 10.0),
+            KernelCharacteristics::unscalable("d", 0.01),
+        ] {
+            for cu in [2u32, 8] {
+                let c = synth(&k, cu);
+                assert!((0.0..=100.0).contains(&c.mem_unit_stalled_pct()));
+                assert!((0.0..=100.0).contains(&c.cache_hit_pct()));
+                assert!((0.0..=100.0).contains(&c.lds_bank_conflict_pct()));
+            }
+        }
+    }
+
+    #[test]
+    fn log_distance_zero_iff_equal() {
+        let k = KernelCharacteristics::compute_bound("a", 10.0);
+        let a = synth(&k, 4);
+        assert_eq!(a.log_distance(&a), 0.0);
+        let b = synth(&KernelCharacteristics::memory_bound("b", 2.0), 4);
+        assert!(a.log_distance(&b) > 0.1);
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let c = CounterSet::default();
+        let s = c.to_string();
+        for name in COUNTER_NAMES {
+            assert!(s.contains(name));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Results of simulating one kernel invocation.
+
+use crate::counters::CounterSet;
+pub use crate::perf::TimeBreakdown;
+pub use crate::power::PowerBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by one kernel invocation, split the way the paper
+/// reports it, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EnergyBreakdown {
+    /// CPU energy (dynamic + leakage).
+    pub cpu_j: f64,
+    /// GPU-domain energy: GPU + NB dynamic plus GPU leakage — what the
+    /// APU's power controller attributes to the GPU rail.
+    pub gpu_j: f64,
+    /// DRAM energy.
+    pub dram_j: f64,
+    /// Remaining SoC energy.
+    pub other_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Integrates a power breakdown over `time_s` seconds.
+    pub fn from_power(power: &PowerBreakdown, time_s: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            cpu_j: power.cpu_domain_w() * time_s,
+            gpu_j: power.gpu_domain_w() * time_s,
+            dram_j: power.dram_w * time_s,
+            other_j: power.other_w * time_s,
+        }
+    }
+
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.cpu_j + self.gpu_j + self.dram_j + self.other_j
+    }
+
+    /// Component-wise sum; useful for accumulating application totals.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.cpu_j += other.cpu_j;
+        self.gpu_j += other.gpu_j;
+        self.dram_j += other.dram_j;
+        self.other_j += other.other_j;
+    }
+}
+
+/// Complete observed outcome of one kernel invocation: what a governor
+/// learns after the kernel retires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelOutcome {
+    /// End-to-end kernel time in seconds (with measurement noise).
+    pub time_s: f64,
+    /// Noiseless time decomposition from the analytical model.
+    pub time_breakdown: TimeBreakdown,
+    /// Average power over the invocation (with measurement noise applied to
+    /// the GPU domain).
+    pub power: PowerBreakdown,
+    /// Energy integrated over the (noisy) invocation time.
+    pub energy: EnergyBreakdown,
+    /// Synthesized Table III performance counters.
+    pub counters: CounterSet,
+    /// Instructions executed, in giga-instructions (the `I_i` of Eq. 1).
+    pub ginstructions: f64,
+}
+
+impl KernelOutcome {
+    /// Kernel instruction throughput in giga-instructions per second, the
+    /// paper's performance metric.
+    pub fn throughput(&self) -> f64 {
+        self.ginstructions / self.time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power() -> PowerBreakdown {
+        PowerBreakdown {
+            cpu_dyn_w: 10.0,
+            gpu_dyn_w: 20.0,
+            nb_dyn_w: 5.0,
+            dram_w: 3.0,
+            cpu_leak_w: 2.0,
+            gpu_leak_w: 4.0,
+            other_w: 1.0,
+            temp_c: 50.0,
+        }
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let e = EnergyBreakdown::from_power(&power(), 2.0);
+        assert!((e.cpu_j - 24.0).abs() < 1e-12); // (10 + 2) × 2
+        assert!((e.gpu_j - 58.0).abs() < 1e-12); // (20 + 5 + 4) × 2
+        assert!((e.dram_j - 6.0).abs() < 1e-12);
+        assert!((e.other_j - 2.0).abs() < 1e-12);
+        assert!((e.total_j() - power().total_w() * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_componentwise() {
+        let mut acc = EnergyBreakdown::default();
+        let e = EnergyBreakdown::from_power(&power(), 1.0);
+        acc.accumulate(&e);
+        acc.accumulate(&e);
+        assert!((acc.total_j() - 2.0 * e.total_j()).abs() < 1e-12);
+        assert!((acc.cpu_j - 2.0 * e.cpu_j).abs() < 1e-12);
+    }
+}

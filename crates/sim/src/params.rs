@@ -1,0 +1,181 @@
+//! Calibration constants for the APU model.
+//!
+//! The defaults are calibrated so that chip-level numbers land in the
+//! A10-7850K's envelope: a 95 W TDP, ~20–25 W of busy-wait CPU power at P1,
+//! ~30–40 W of GPU dynamic power at DPM4 with 8 CUs, and a memory system
+//! that saturates at 12.8 GB/s with the 800 MHz DRAM clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the performance, power, and thermal models.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::SimParams;
+///
+/// let mut p = SimParams::default();
+/// p.tdp_w = 65.0; // model a lower-power part
+/// assert!(p.tdp_w < SimParams::default().tdp_w);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    // ---- performance ----
+    /// SIMD lanes per compute unit (GCN: 4 SIMDs × 16 lanes).
+    pub lanes_per_cu: f64,
+    /// Peak DRAM bytes/s per MHz of memory clock (dual-channel DDR3:
+    /// 800 MHz → 12.8 GB/s).
+    pub dram_gbps_per_mhz: f64,
+    /// NB/interconnect bandwidth in GB/s per GHz of NB clock. Chosen so the
+    /// link just saturates DRAM at NB2 (1.4 GHz), matching the plateau of
+    /// Figure 2(b).
+    pub nb_link_gbps_per_ghz: f64,
+    /// L2 bandwidth in GB/s per CU per GHz of GPU clock.
+    pub l2_gbps_per_cu_ghz: f64,
+    /// Fraction of the shorter of (compute, memory) phases that does *not*
+    /// overlap with the longer phase (0 = perfect overlap).
+    pub overlap_penalty: f64,
+    /// Multiplier on memory latency when LDS bank conflicts occur.
+    pub lds_conflict_penalty: f64,
+
+    // ---- power ----
+    /// GPU dynamic power coefficient, W per (CU · V² · GHz).
+    pub gpu_cv2f_w: f64,
+    /// NB dynamic power coefficient, W per (V² · GHz).
+    pub nb_cv2f_w: f64,
+    /// DRAM static power, W.
+    pub dram_static_w: f64,
+    /// DRAM access energy, J per GB actually transferred.
+    pub dram_j_per_gb: f64,
+    /// CPU package dynamic power at P1 with 100% activity, W.
+    pub cpu_dyn_max_w: f64,
+    /// CPU activity factor while busy-waiting on the GPU.
+    pub cpu_busywait_activity: f64,
+    /// GPU leakage at nominal voltage/temperature, W per powered CU.
+    pub gpu_leak_w_per_cu: f64,
+    /// GPU uncore leakage (always-on), W.
+    pub gpu_uncore_leak_w: f64,
+    /// CPU leakage at nominal voltage/temperature, W.
+    pub cpu_leak_w: f64,
+    /// Remaining board/SoC power not attributed to CPU/GPU/NB/DRAM, W.
+    pub soc_other_w: f64,
+    /// Thermal design power of the package, W.
+    pub tdp_w: f64,
+
+    // ---- thermal ----
+    /// Ambient-referenced die temperature at zero power, °C.
+    pub temp_idle_c: f64,
+    /// Die temperature rise per watt of package power, °C/W.
+    pub temp_c_per_w: f64,
+    /// Leakage increase per °C above 45 °C (fractional).
+    pub leak_per_c: f64,
+
+    // ---- measurement ----
+    /// Relative standard deviation of multiplicative measurement noise
+    /// applied to time and power (0 disables noise).
+    pub noise_rel_std: f64,
+    /// Seed mixed into the per-(kernel, config) noise streams.
+    pub noise_seed: u64,
+
+    // ---- transitions ----
+    /// Multiplier on DVFS state-transition latencies
+    /// (see [`crate::transition`]); 0 disables the model, matching the
+    /// paper's free-transition assumption.
+    pub dvfs_transition_scale: f64,
+}
+
+impl Default for SimParams {
+    fn default() -> SimParams {
+        SimParams {
+            lanes_per_cu: 64.0,
+            dram_gbps_per_mhz: 0.016,
+            nb_link_gbps_per_ghz: 9.15,
+            l2_gbps_per_cu_ghz: 28.0,
+            overlap_penalty: 0.18,
+            lds_conflict_penalty: 0.35,
+
+            gpu_cv2f_w: 4.0,
+            nb_cv2f_w: 2.4,
+            dram_static_w: 1.2,
+            dram_j_per_gb: 0.45,
+            cpu_dyn_max_w: 32.0,
+            cpu_busywait_activity: 0.65,
+            gpu_leak_w_per_cu: 0.55,
+            gpu_uncore_leak_w: 2.0,
+            cpu_leak_w: 5.5,
+            soc_other_w: 3.0,
+            tdp_w: 95.0,
+
+            temp_idle_c: 38.0,
+            temp_c_per_w: 0.42,
+            leak_per_c: 0.011,
+
+            noise_rel_std: 0.02,
+            noise_seed: 0x9e3779b97f4a7c15,
+
+            dvfs_transition_scale: 0.0,
+        }
+    }
+}
+
+impl SimParams {
+    /// Parameters with measurement noise disabled; useful for analytic
+    /// tests that require exact model arithmetic.
+    pub fn noiseless() -> SimParams {
+        SimParams { noise_rel_std: 0.0, ..SimParams::default() }
+    }
+
+    /// Peak DRAM bandwidth in GB/s at the given memory clock in MHz.
+    pub fn dram_bandwidth_gbps(&self, mem_freq_mhz: f64) -> f64 {
+        self.dram_gbps_per_mhz * mem_freq_mhz
+    }
+
+    /// NB link bandwidth in GB/s at the given NB clock in GHz.
+    pub fn nb_link_bandwidth_gbps(&self, nb_freq_ghz: f64) -> f64 {
+        self.nb_link_gbps_per_ghz * nb_freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_hw::NbState;
+
+    #[test]
+    fn dram_bandwidth_at_800mhz_is_12_8() {
+        let p = SimParams::default();
+        assert!((p.dram_bandwidth_gbps(800.0) - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nb2_link_saturates_dram() {
+        // The defining property behind the Figure 2(b) plateau: from NB2 on,
+        // the NB link is at least as fast as DRAM, so NB0–NB2 perform alike
+        // for memory-bound kernels.
+        let p = SimParams::default();
+        let dram = p.dram_bandwidth_gbps(NbState::Nb2.mem_freq_mhz());
+        let link = p.nb_link_bandwidth_gbps(NbState::Nb2.freq_ghz());
+        assert!(link >= dram, "link {link} must saturate dram {dram}");
+    }
+
+    #[test]
+    fn nb3_is_dram_limited() {
+        let p = SimParams::default();
+        let dram = p.dram_bandwidth_gbps(NbState::Nb3.mem_freq_mhz());
+        let link = p.nb_link_bandwidth_gbps(NbState::Nb3.freq_ghz());
+        assert!(dram < link);
+        assert!(dram < 6.0);
+    }
+
+    #[test]
+    fn noiseless_disables_noise_only() {
+        let p = SimParams::noiseless();
+        assert_eq!(p.noise_rel_std, 0.0);
+        assert_eq!(p.tdp_w, SimParams::default().tdp_w);
+    }
+
+    #[test]
+    fn default_tdp_matches_part() {
+        assert_eq!(SimParams::default().tdp_w, 95.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Kernel execution-time model.
+//!
+//! A roofline-style model with explicit compute and memory phases:
+//!
+//! * **Compute phase** — total ALU work divided by the aggregate issue rate
+//!   of the active CUs, with Amdahl-style scaling across CUs and an LDS
+//!   bank-conflict penalty.
+//! * **Memory phase** — DRAM traffic (after cache filtering, including the
+//!   CU-dependent interference of "peak" kernels) divided by the effective
+//!   memory bandwidth, which is the minimum of the DRAM peak (set by the NB
+//!   state's memory clock) and the NB link bandwidth (set by the NB clock).
+//!   Cache-served traffic pays an L2 term that scales with CU count and GPU
+//!   clock.
+//!
+//! The phases partially overlap: the kernel's busy time is the longer phase
+//! plus a fixed fraction of the shorter one. Launch overhead and any
+//! hardware-independent serial latency are added on top.
+
+use crate::kernel::KernelCharacteristics;
+use crate::params::SimParams;
+use gpm_hw::{CpuPState, HwConfig};
+use serde::{Deserialize, Serialize};
+
+/// Decomposition of a kernel invocation's execution time.
+///
+/// Produced by [`execution_time`]; all fields in seconds except the two
+/// utilization fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Pure compute-phase time.
+    pub compute_s: f64,
+    /// Pure memory-phase time (DRAM + L2).
+    pub memory_s: f64,
+    /// Hardware-independent serial latency.
+    pub fixed_s: f64,
+    /// Kernel launch overhead.
+    pub launch_s: f64,
+    /// End-to-end invocation time.
+    pub total_s: f64,
+    /// Fraction of the busy period the vector ALUs are active, in [0, 1].
+    pub alu_activity: f64,
+    /// Fraction of peak DRAM bandwidth consumed over the whole invocation,
+    /// in [0, 1].
+    pub mem_util: f64,
+    /// DRAM traffic actually transferred, in GB.
+    pub dram_traffic_gb: f64,
+}
+
+/// Effective memory bandwidth in GB/s at configuration `cfg`.
+///
+/// The minimum of DRAM peak bandwidth (from the NB state's memory clock)
+/// and NB link bandwidth (from the NB clock). With default parameters the
+/// link saturates DRAM from NB2 onward, reproducing Figure 2(b)'s plateau.
+pub fn effective_memory_bandwidth(params: &SimParams, cfg: HwConfig) -> f64 {
+    let dram = params.dram_bandwidth_gbps(cfg.nb.mem_freq_mhz());
+    let link = params.nb_link_bandwidth_gbps(cfg.nb.freq_ghz());
+    dram.min(link)
+}
+
+/// Computes the execution-time breakdown of `kernel` at `cfg`.
+///
+/// This is the noiseless analytical model; measurement noise is applied by
+/// [`ApuSimulator::evaluate`](crate::ApuSimulator::evaluate).
+pub fn execution_time(
+    params: &SimParams,
+    kernel: &KernelCharacteristics,
+    cfg: HwConfig,
+) -> TimeBreakdown {
+    let cu = f64::from(cfg.cu.get());
+    let f_gpu_ghz = cfg.gpu.freq_mhz() / 1000.0;
+
+    // Compute phase: Amdahl across CUs, LDS conflicts stretch ALU issue.
+    let per_cu_gops = params.lanes_per_cu * f_gpu_ghz * kernel.occupancy();
+    let p = kernel.parallel_fraction();
+    let scaling = (1.0 - p) + p / cu;
+    let lds_stretch = 1.0 + kernel.lds_conflict() * params.lds_conflict_penalty;
+    let compute_s = kernel.compute_gops() / per_cu_gops * scaling * lds_stretch;
+
+    // Memory phase: cache-filtered DRAM traffic plus an L2 term.
+    let hit = kernel.cache_hit_at(cfg.cu.get());
+    let dram_traffic_gb = kernel.memory_gb() * (1.0 - hit);
+    let mem_bw = effective_memory_bandwidth(params, cfg);
+    let dram_s = dram_traffic_gb / mem_bw;
+    let l2_bw = params.l2_gbps_per_cu_ghz * cu * f_gpu_ghz;
+    let l2_s = kernel.memory_gb() * hit / l2_bw;
+    let memory_s = dram_s + l2_s;
+
+    // Partial overlap of the two phases.
+    let longer = compute_s.max(memory_s);
+    let shorter = compute_s.min(memory_s);
+    let busy_s = longer + params.overlap_penalty * shorter;
+
+    // Launch overhead and part of the serial latency are host-side driver
+    // work: they stretch when the CPU is clocked down. This is the one
+    // place kernel time depends on the CPU P-state, and it is what makes
+    // "catching up" from performance debt genuinely expensive — recovery
+    // configurations want CPU boost, whose busy-wait power is large.
+    let cpu_slowdown = CpuPState::P1.freq_ghz() / cfg.cpu.freq_ghz();
+    let launch_s = kernel.launch_overhead_s() * (0.3 + 0.7 * cpu_slowdown);
+    let fixed_s = kernel.fixed_time_s() * (0.6 + 0.4 * cpu_slowdown);
+    let total_s = busy_s + launch_s + fixed_s;
+
+    let alu_activity = if busy_s > 0.0 { (compute_s / busy_s).clamp(0.0, 1.0) } else { 0.0 };
+    let mem_util = if total_s > 0.0 {
+        (dram_traffic_gb / mem_bw / total_s).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    TimeBreakdown {
+        compute_s,
+        memory_s,
+        fixed_s,
+        launch_s,
+        total_s,
+        alu_activity,
+        mem_util,
+        dram_traffic_gb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCharacteristics;
+    use gpm_hw::{CpuPState, CuCount, GpuDpm, NbState};
+
+    fn cfg(nb: NbState, gpu: GpuDpm, cu: u32) -> HwConfig {
+        HwConfig::new(CpuPState::P1, nb, gpu, CuCount::new(cu).unwrap())
+    }
+
+    #[test]
+    fn compute_bound_scales_with_cus() {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::compute_bound("cb", 40.0);
+        let t2 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 2)).total_s;
+        let t8 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
+        let speedup = t2 / t8;
+        assert!(speedup > 2.8, "speedup {speedup} too low for compute-bound");
+    }
+
+    #[test]
+    fn compute_bound_insensitive_to_nb() {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::compute_bound("cb", 40.0);
+        let t_nb0 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
+        let t_nb3 = execution_time(&p, &k, cfg(NbState::Nb3, GpuDpm::Dpm4, 8)).total_s;
+        assert!(t_nb3 / t_nb0 < 1.10, "ratio {}", t_nb3 / t_nb0);
+    }
+
+    #[test]
+    fn compute_bound_scales_with_gpu_freq() {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::compute_bound("cb", 40.0);
+        let t_lo = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm0, 8)).total_s;
+        let t_hi = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
+        let speedup = t_lo / t_hi;
+        let freq_ratio = GpuDpm::Dpm4.freq_mhz() / GpuDpm::Dpm0.freq_mhz();
+        assert!((speedup - freq_ratio).abs() < 0.2 * freq_ratio);
+    }
+
+    #[test]
+    fn memory_bound_saturates_from_nb2() {
+        // Figure 2(b): NB2 through NB0 have the same DRAM bandwidth.
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::memory_bound("mb", 2.0);
+        let t0 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
+        let t2 = execution_time(&p, &k, cfg(NbState::Nb2, GpuDpm::Dpm4, 8)).total_s;
+        let t3 = execution_time(&p, &k, cfg(NbState::Nb3, GpuDpm::Dpm4, 8)).total_s;
+        assert!((t2 / t0 - 1.0).abs() < 0.02, "NB2 should match NB0, ratio {}", t2 / t0);
+        assert!(t3 / t0 > 1.8, "NB3 should be much slower, ratio {}", t3 / t0);
+    }
+
+    #[test]
+    fn memory_bound_insensitive_to_cus() {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::memory_bound("mb", 2.0);
+        let t2 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 2)).total_s;
+        let t8 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
+        assert!(t2 / t8 < 1.5, "memory-bound CU speedup {} too high", t2 / t8);
+    }
+
+    #[test]
+    fn peak_kernel_peaks_below_max_cus() {
+        // Figure 2(c): destructive cache interference makes 8 CUs slower
+        // than the sweet spot.
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::peak("pk", 20.0);
+        let times: Vec<f64> = [2u32, 4, 6, 8]
+            .iter()
+            .map(|&cu| execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, cu)).total_s)
+            .collect();
+        let best = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(best == 1 || best == 2, "peak at index {best}, times {times:?}");
+        assert!(times[3] > times[best] * 1.05, "8 CUs should be clearly worse");
+    }
+
+    #[test]
+    fn unscalable_kernel_is_config_insensitive() {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::unscalable("astar", 0.02);
+        let t_max = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
+        let t_min = execution_time(&p, &k, cfg(NbState::Nb3, GpuDpm::Dpm0, 2)).total_s;
+        assert!(t_min / t_max < 1.35, "unscalable varies too much: {}", t_min / t_max);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts_with_overlap() {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::builder("k", 10.0).memory_gb(0.5).build();
+        let b = execution_time(&p, &k, cfg(NbState::Nb1, GpuDpm::Dpm2, 4));
+        let expect = b.compute_s.max(b.memory_s)
+            + p.overlap_penalty * b.compute_s.min(b.memory_s)
+            + b.launch_s
+            + b.fixed_s;
+        assert!((b.total_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activities_are_fractions() {
+        let p = SimParams::noiseless();
+        for k in [
+            KernelCharacteristics::compute_bound("a", 10.0),
+            KernelCharacteristics::memory_bound("b", 1.0),
+            KernelCharacteristics::peak("c", 10.0),
+            KernelCharacteristics::unscalable("d", 0.01),
+        ] {
+            let b = execution_time(&p, &k, cfg(NbState::Nb2, GpuDpm::Dpm2, 4));
+            assert!((0.0..=1.0).contains(&b.alu_activity));
+            assert!((0.0..=1.0).contains(&b.mem_util));
+            assert!(b.total_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn lds_conflicts_slow_compute() {
+        let p = SimParams::noiseless();
+        let clean = KernelCharacteristics::builder("k", 10.0).lds_conflict(0.0).build();
+        let conflicted = KernelCharacteristics::builder("k", 10.0).lds_conflict(0.8).build();
+        let c = cfg(NbState::Nb0, GpuDpm::Dpm4, 8);
+        assert!(
+            execution_time(&p, &conflicted, c).compute_s
+                > execution_time(&p, &clean, c).compute_s
+        );
+    }
+}

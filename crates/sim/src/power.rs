@@ -1,0 +1,265 @@
+//! Chip power model.
+//!
+//! Dynamic power follows `C·V²·f` per domain, with the GPU and NB sharing a
+//! voltage rail ([`HwConfig::rail_voltage`]). The CPU busy-waits during
+//! kernel execution, so its power is its `V²f`-scaled busy-wait dissipation
+//! (the same normalized-`V²f` model the paper uses for CPU prediction).
+//! Leakage is resolved against temperature by [`crate::thermal`].
+
+use crate::params::SimParams;
+use crate::perf::TimeBreakdown;
+use crate::thermal;
+use gpm_hw::{CpuPState, HwConfig};
+use serde::{Deserialize, Serialize};
+
+/// Per-domain power during a kernel invocation, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// CPU dynamic power (busy-wait).
+    pub cpu_dyn_w: f64,
+    /// GPU core dynamic power.
+    pub gpu_dyn_w: f64,
+    /// Northbridge dynamic power (shares the GPU rail).
+    pub nb_dyn_w: f64,
+    /// DRAM static + access power.
+    pub dram_w: f64,
+    /// CPU leakage after thermal coupling.
+    pub cpu_leak_w: f64,
+    /// GPU + uncore leakage after thermal coupling.
+    pub gpu_leak_w: f64,
+    /// Remaining SoC power.
+    pub other_w: f64,
+    /// Die temperature reached, °C.
+    pub temp_c: f64,
+}
+
+impl PowerBreakdown {
+    /// Total chip + DRAM power.
+    pub fn total_w(&self) -> f64 {
+        self.cpu_dyn_w
+            + self.gpu_dyn_w
+            + self.nb_dyn_w
+            + self.dram_w
+            + self.cpu_leak_w
+            + self.gpu_leak_w
+            + self.other_w
+    }
+
+    /// Power on the package (excludes DRAM devices), the quantity a TDP
+    /// governor constrains.
+    pub fn package_w(&self) -> f64 {
+        self.total_w() - self.dram_w
+    }
+
+    /// The "GPU power" a tool like CodeXL would report on this part: the
+    /// GPU rail including the NB, plus GPU leakage (Section V: "The NB
+    /// power is included in the GPU measurement, since they share the same
+    /// voltage rail").
+    pub fn gpu_domain_w(&self) -> f64 {
+        self.gpu_dyn_w + self.nb_dyn_w + self.gpu_leak_w
+    }
+
+    /// CPU-attributed power (dynamic + leakage).
+    pub fn cpu_domain_w(&self) -> f64 {
+        self.cpu_dyn_w + self.cpu_leak_w
+    }
+}
+
+/// CPU busy-wait power at P-state `cpu`, the normalized `V²f` model of
+/// Section IV-A3.
+pub fn cpu_busywait_power(params: &SimParams, cpu: CpuPState) -> f64 {
+    params.cpu_dyn_max_w * params.cpu_busywait_activity * cpu.v2f_rel()
+}
+
+/// CPU power while actively running optimizer code (no busy-wait idling),
+/// used to charge MPC/PPK overheads.
+pub fn cpu_active_power(params: &SimParams, cpu: CpuPState) -> f64 {
+    params.cpu_dyn_max_w * cpu.v2f_rel()
+}
+
+/// Nominal (45 °C) leakage for configuration `cfg`: per-CU GPU leakage
+/// scaled by rail voltage, uncore leakage, and CPU leakage scaled by core
+/// voltage. Inactive CUs are power-gated.
+pub fn nominal_leakage(params: &SimParams, cfg: HwConfig) -> (f64, f64) {
+    let v_rail = cfg.rail_voltage();
+    let gpu_leak = params.gpu_uncore_leak_w * (v_rail / 1.225)
+        + params.gpu_leak_w_per_cu * f64::from(cfg.cu.get()) * (v_rail / 1.225);
+    let cpu_leak = params.cpu_leak_w * (cfg.cpu.voltage() / 1.325);
+    (cpu_leak, gpu_leak)
+}
+
+/// Computes the power breakdown of a kernel invocation whose time behaviour
+/// is `time` at configuration `cfg`.
+pub fn kernel_power(params: &SimParams, cfg: HwConfig, time: &TimeBreakdown) -> PowerBreakdown {
+    let v_rail = cfg.rail_voltage();
+    let f_gpu_ghz = cfg.gpu.freq_mhz() / 1000.0;
+    let cu = f64::from(cfg.cu.get());
+
+    // Clock distribution keeps some switching even when ALUs stall.
+    let gpu_activity = 0.25 + 0.75 * time.alu_activity;
+    let gpu_dyn_w = params.gpu_cv2f_w * cu * v_rail * v_rail * f_gpu_ghz * gpu_activity;
+
+    let nb_activity = 0.3 + 0.7 * time.mem_util;
+    let nb_dyn_w = params.nb_cv2f_w * v_rail * v_rail * cfg.nb.freq_ghz() * nb_activity;
+
+    let dram_bw_used = if time.total_s > 0.0 { time.dram_traffic_gb / time.total_s } else { 0.0 };
+    let dram_w = params.dram_static_w + params.dram_j_per_gb * dram_bw_used;
+
+    let cpu_dyn_w = cpu_busywait_power(params, cfg.cpu);
+
+    let (cpu_leak_nom, gpu_leak_nom) = nominal_leakage(params, cfg);
+    let dynamic_package = cpu_dyn_w + gpu_dyn_w + nb_dyn_w + params.soc_other_w;
+    let th = thermal::solve(params, dynamic_package, cpu_leak_nom + gpu_leak_nom);
+    let leak_total = th.leak_w;
+    let nom_total = cpu_leak_nom + gpu_leak_nom;
+    let (cpu_leak_w, gpu_leak_w) = if nom_total > 0.0 {
+        (leak_total * cpu_leak_nom / nom_total, leak_total * gpu_leak_nom / nom_total)
+    } else {
+        (0.0, 0.0)
+    };
+
+    PowerBreakdown {
+        cpu_dyn_w,
+        gpu_dyn_w,
+        nb_dyn_w,
+        dram_w,
+        cpu_leak_w,
+        gpu_leak_w,
+        other_w: params.soc_other_w,
+        temp_c: th.temp_c,
+    }
+}
+
+/// Package power when the GPU is idle and the CPU is running optimizer
+/// code at P-state `cpu` — the situation during an MPC optimization pass
+/// between kernels. GPU static power continues to burn (the "static energy
+/// overhead of the GPU during MPC optimization", Section VI-A).
+pub fn optimizer_power(params: &SimParams, cfg: HwConfig) -> PowerBreakdown {
+    let cpu_dyn_w = cpu_active_power(params, cfg.cpu);
+    let (cpu_leak_nom, gpu_leak_nom) = nominal_leakage(params, cfg);
+    let dynamic_package = cpu_dyn_w + params.soc_other_w;
+    let th = thermal::solve(params, dynamic_package, cpu_leak_nom + gpu_leak_nom);
+    let nom_total = cpu_leak_nom + gpu_leak_nom;
+    let (cpu_leak_w, gpu_leak_w) = if nom_total > 0.0 {
+        (th.leak_w * cpu_leak_nom / nom_total, th.leak_w * gpu_leak_nom / nom_total)
+    } else {
+        (0.0, 0.0)
+    };
+    PowerBreakdown {
+        cpu_dyn_w,
+        gpu_dyn_w: 0.0,
+        nb_dyn_w: 0.4 * params.nb_cv2f_w * cfg.rail_voltage() * cfg.rail_voltage(),
+        dram_w: params.dram_static_w,
+        cpu_leak_w,
+        gpu_leak_w,
+        other_w: params.soc_other_w,
+        temp_c: th.temp_c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCharacteristics;
+    use crate::perf::execution_time;
+    use gpm_hw::{CuCount, GpuDpm, NbState};
+
+    fn breakdown(cfg: HwConfig) -> PowerBreakdown {
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::compute_bound("cb", 40.0);
+        let t = execution_time(&p, &k, cfg);
+        kernel_power(&p, cfg, &t)
+    }
+
+    #[test]
+    fn all_components_positive() {
+        let b = breakdown(HwConfig::MAX_PERF);
+        assert!(b.cpu_dyn_w > 0.0);
+        assert!(b.gpu_dyn_w > 0.0);
+        assert!(b.nb_dyn_w > 0.0);
+        assert!(b.dram_w > 0.0);
+        assert!(b.cpu_leak_w > 0.0);
+        assert!(b.gpu_leak_w > 0.0);
+        assert!(b.temp_c > 30.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let b = breakdown(HwConfig::MAX_PERF);
+        let sum = b.cpu_dyn_w + b.gpu_dyn_w + b.nb_dyn_w + b.dram_w + b.cpu_leak_w + b.gpu_leak_w + b.other_w;
+        assert!((b.total_w() - sum).abs() < 1e-12);
+        assert!((b.package_w() - (sum - b.dram_w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_perf_power_in_tdp_envelope() {
+        // Busy-wait CPU at P1 plus a fully loaded GPU should land near but
+        // not wildly above the 95 W TDP.
+        let b = breakdown(HwConfig::MAX_PERF);
+        assert!(b.package_w() > 50.0, "package {}", b.package_w());
+        assert!(b.package_w() < 110.0, "package {}", b.package_w());
+    }
+
+    #[test]
+    fn lower_cpu_state_cuts_cpu_power() {
+        let hi = breakdown(HwConfig::MAX_PERF);
+        let mut cfg = HwConfig::MAX_PERF;
+        cfg.cpu = CpuPState::P7;
+        let lo = breakdown(cfg);
+        assert!(lo.cpu_dyn_w < 0.25 * hi.cpu_dyn_w);
+        // Thermal coupling: GPU leakage also drops slightly (Section II-A).
+        assert!(lo.gpu_leak_w < hi.gpu_leak_w);
+        assert!(lo.gpu_dyn_w == hi.gpu_dyn_w);
+    }
+
+    #[test]
+    fn high_nb_state_blocks_gpu_voltage_drop() {
+        // At NB0 the shared rail stays at the NB request even when the GPU
+        // drops to DPM0, limiting power savings (Section II-A).
+        let p = SimParams::noiseless();
+        let k = KernelCharacteristics::compute_bound("cb", 40.0);
+        let mk = |nb, gpu| {
+            let cfg = HwConfig::new(CpuPState::P7, nb, gpu, CuCount::MAX);
+            let t = execution_time(&p, &k, cfg);
+            (cfg, kernel_power(&p, cfg, &t))
+        };
+        let (cfg_nb0, _) = mk(NbState::Nb0, GpuDpm::Dpm0);
+        let (cfg_nb3, _) = mk(NbState::Nb3, GpuDpm::Dpm0);
+        assert!(cfg_nb0.rail_voltage() > cfg_nb3.rail_voltage());
+    }
+
+    #[test]
+    fn gpu_domain_includes_nb() {
+        let b = breakdown(HwConfig::MAX_PERF);
+        assert!((b.gpu_domain_w() - (b.gpu_dyn_w + b.nb_dyn_w + b.gpu_leak_w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_busywait_power_scales_with_v2f() {
+        let p = SimParams::noiseless();
+        let p1 = cpu_busywait_power(&p, CpuPState::P1);
+        let p7 = cpu_busywait_power(&p, CpuPState::P7);
+        assert!((p7 / p1 - CpuPState::P7.v2f_rel()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimizer_power_below_kernel_power() {
+        let p = SimParams::noiseless();
+        let opt = optimizer_power(&p, HwConfig::MPC_HOST);
+        let b = breakdown(HwConfig::MAX_PERF);
+        assert!(opt.total_w() < b.total_w());
+        assert_eq!(opt.gpu_dyn_w, 0.0);
+        assert!(opt.gpu_leak_w > 0.0, "GPU static power still burns");
+    }
+
+    #[test]
+    fn fewer_cus_leak_less() {
+        let p = SimParams::noiseless();
+        let full = nominal_leakage(&p, HwConfig::MAX_PERF);
+        let mut cfg = HwConfig::MAX_PERF;
+        cfg.cu = CuCount::MIN;
+        let gated = nominal_leakage(&p, cfg);
+        assert!(gated.1 < full.1);
+        assert_eq!(gated.0, full.0);
+    }
+}

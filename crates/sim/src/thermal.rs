@@ -1,0 +1,87 @@
+//! Temperature and leakage fixed point.
+//!
+//! Leakage power depends on die temperature, which depends on total power,
+//! which includes leakage. We resolve the loop with a short fixed-point
+//! iteration (the map is a mild contraction for realistic parameters).
+//!
+//! This coupling is what makes lowering the CPU DVFS state "slightly reduce
+//! the GPU power due to a reduction in temperature and leakage"
+//! (Section II-A of the paper).
+
+use crate::params::SimParams;
+use serde::{Deserialize, Serialize};
+
+/// Result of the thermal fixed point: die temperature and total leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    /// Die temperature, °C.
+    pub temp_c: f64,
+    /// Leakage power at that temperature, W.
+    pub leak_w: f64,
+}
+
+/// Leakage at temperature `temp_c` given nominal (45 °C) leakage
+/// `leak_nominal_w`.
+pub fn leakage_at(params: &SimParams, leak_nominal_w: f64, temp_c: f64) -> f64 {
+    leak_nominal_w * (1.0 + params.leak_per_c * (temp_c - 45.0)).max(0.2)
+}
+
+/// Solves the temperature/leakage fixed point for a package dissipating
+/// `dynamic_w` of dynamic power with `leak_nominal_w` of leakage at 45 °C.
+///
+/// Iterates `T = T_idle + k·(P_dyn + P_leak(T))` a few times; convergence
+/// is geometric with ratio `k · leak_per_c · leak_nominal`, far below 1 for
+/// default parameters.
+pub fn solve(params: &SimParams, dynamic_w: f64, leak_nominal_w: f64) -> ThermalState {
+    let mut temp_c = params.temp_idle_c + params.temp_c_per_w * dynamic_w;
+    let mut leak_w = leakage_at(params, leak_nominal_w, temp_c);
+    for _ in 0..4 {
+        temp_c = params.temp_idle_c + params.temp_c_per_w * (dynamic_w + leak_w);
+        leak_w = leakage_at(params, leak_nominal_w, temp_c);
+    }
+    ThermalState { temp_c, leak_w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let p = SimParams::default();
+        assert!(leakage_at(&p, 10.0, 80.0) > leakage_at(&p, 10.0, 50.0));
+    }
+
+    #[test]
+    fn leakage_floor_is_positive() {
+        let p = SimParams::default();
+        assert!(leakage_at(&p, 10.0, -200.0) > 0.0);
+    }
+
+    #[test]
+    fn fixed_point_is_consistent() {
+        let p = SimParams::default();
+        let st = solve(&p, 60.0, 12.0);
+        let t_check = p.temp_idle_c + p.temp_c_per_w * (60.0 + st.leak_w);
+        assert!((st.temp_c - t_check).abs() < 0.05, "temp residual too large");
+        let l_check = leakage_at(&p, 12.0, st.temp_c);
+        assert!((st.leak_w - l_check).abs() < 0.05);
+    }
+
+    #[test]
+    fn more_dynamic_power_means_more_leakage() {
+        let p = SimParams::default();
+        let low = solve(&p, 20.0, 12.0);
+        let high = solve(&p, 80.0, 12.0);
+        assert!(high.temp_c > low.temp_c);
+        assert!(high.leak_w > low.leak_w);
+    }
+
+    #[test]
+    fn zero_power_is_near_idle_temp() {
+        let p = SimParams::default();
+        let st = solve(&p, 0.0, 0.0);
+        assert!((st.temp_c - p.temp_idle_c).abs() < 1e-9);
+        assert_eq!(st.leak_w, 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! DVFS state-transition costs.
+//!
+//! Real hardware pays for every power-state change: PLL relock and voltage
+//! ramp for clock domains, DRAM retraining when the memory clock moves,
+//! and CU power-gating wake-up. The paper's evaluation (like most DVFS
+//! studies) treats transitions as free; this module makes the cost a
+//! first-class, *default-off* model so its effect on kernel-granularity
+//! governors can be quantified (`transition_cost` binary).
+//!
+//! Costs are charged per changed domain, scaled by
+//! [`SimParams::dvfs_transition_scale`] (0 disables the model, 1 uses the
+//! nominal latencies below).
+
+use crate::params::SimParams;
+use gpm_hw::HwConfig;
+
+/// Nominal CPU P-state change latency (voltage ramp), seconds.
+pub const CPU_TRANSITION_S: f64 = 30e-6;
+
+/// Nominal NB clock change latency, seconds.
+pub const NB_TRANSITION_S: f64 = 60e-6;
+
+/// Additional latency when the *memory* clock changes (DRAM retraining —
+/// only on the NB3 boundary, where the bus drops to 333 MHz), seconds.
+pub const MEM_RETRAIN_S: f64 = 250e-6;
+
+/// Nominal GPU DPM change latency, seconds.
+pub const GPU_TRANSITION_S: f64 = 50e-6;
+
+/// Nominal CU power-gate/un-gate latency, seconds.
+pub const CU_TRANSITION_S: f64 = 20e-6;
+
+/// Wall-clock cost of switching the chip from `from` to `to`, seconds.
+///
+/// Domains change independently (they have separate sequencers), so the
+/// charge is the *maximum* of the changed domains' latencies — except
+/// memory retraining, which serializes with everything.
+pub fn transition_cost_s(params: &SimParams, from: HwConfig, to: HwConfig) -> f64 {
+    if params.dvfs_transition_scale == 0.0 || from == to {
+        return 0.0;
+    }
+    let mut parallel: f64 = 0.0;
+    if from.cpu != to.cpu {
+        parallel = parallel.max(CPU_TRANSITION_S);
+    }
+    if from.nb != to.nb {
+        parallel = parallel.max(NB_TRANSITION_S);
+    }
+    if from.gpu != to.gpu {
+        parallel = parallel.max(GPU_TRANSITION_S);
+    }
+    if from.cu != to.cu {
+        parallel = parallel.max(CU_TRANSITION_S);
+    }
+    let retrain = if from.nb.mem_freq_mhz() != to.nb.mem_freq_mhz() { MEM_RETRAIN_S } else { 0.0 };
+    params.dvfs_transition_scale * (parallel + retrain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_hw::{CpuPState, CuCount, GpuDpm, NbState};
+
+    fn params(scale: f64) -> SimParams {
+        SimParams { dvfs_transition_scale: scale, ..SimParams::noiseless() }
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let p = SimParams::default();
+        assert_eq!(p.dvfs_transition_scale, 0.0);
+        assert_eq!(transition_cost_s(&p, HwConfig::FAIL_SAFE, HwConfig::MAX_PERF), 0.0);
+    }
+
+    #[test]
+    fn same_config_is_free() {
+        let p = params(1.0);
+        assert_eq!(transition_cost_s(&p, HwConfig::MAX_PERF, HwConfig::MAX_PERF), 0.0);
+    }
+
+    #[test]
+    fn single_domain_costs_its_latency() {
+        let p = params(1.0);
+        let a = HwConfig::MAX_PERF;
+        let mut b = a;
+        b.gpu = GpuDpm::Dpm0;
+        assert_eq!(transition_cost_s(&p, a, b), GPU_TRANSITION_S);
+        let mut c = a;
+        c.cu = CuCount::MIN;
+        assert_eq!(transition_cost_s(&p, a, c), CU_TRANSITION_S);
+    }
+
+    #[test]
+    fn parallel_domains_take_the_max() {
+        let p = params(1.0);
+        let a = HwConfig::MAX_PERF;
+        let b = HwConfig::new(CpuPState::P7, NbState::Nb1, GpuDpm::Dpm0, CuCount::MIN);
+        // CPU+NB+GPU+CU all change; NB (60 µs) dominates; no retrain
+        // (both NB0→NB1 keep the 800 MHz memory clock).
+        assert_eq!(transition_cost_s(&p, a, b), NB_TRANSITION_S);
+    }
+
+    #[test]
+    fn memory_retraining_serializes() {
+        let p = params(1.0);
+        let a = HwConfig::MAX_PERF; // NB0, 800 MHz
+        let mut b = a;
+        b.nb = NbState::Nb3; // 333 MHz
+        assert_eq!(transition_cost_s(&p, a, b), NB_TRANSITION_S + MEM_RETRAIN_S);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let a = HwConfig::MAX_PERF;
+        let mut b = a;
+        b.gpu = GpuDpm::Dpm0;
+        assert_eq!(
+            transition_cost_s(&params(3.0), a, b),
+            3.0 * transition_cost_s(&params(1.0), a, b)
+        );
+    }
+}

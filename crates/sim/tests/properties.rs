@@ -1,0 +1,127 @@
+//! Property tests of the analytical APU model.
+
+use gpm_hw::{CpuPState, CuCount, GpuDpm, HwConfig, NbState};
+use gpm_sim::{ApuSimulator, KernelCharacteristics, SimParams};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = HwConfig> {
+    (0usize..7, 0usize..4, 0usize..5, 0usize..4).prop_map(|(c, n, g, u)| {
+        HwConfig::new(
+            CpuPState::from_index(c).unwrap(),
+            NbState::from_index(n).unwrap(),
+            GpuDpm::from_index(g).unwrap(),
+            CuCount::from_index(u).unwrap(),
+        )
+    })
+}
+
+fn any_kernel() -> impl Strategy<Value = KernelCharacteristics> {
+    (
+        0.5f64..80.0,
+        0.0f64..4.0,
+        0.0f64..1.0,
+        0.0f64..0.12,
+        0.2f64..1.0,
+        0.05f64..1.0,
+        0.0f64..0.08,
+        0.0f64..1.0,
+    )
+        .prop_map(|(gops, gb, hit, intf, pf, occ, fixed, lds)| {
+            KernelCharacteristics::builder("prop", gops)
+                .memory_gb(gb)
+                .cache_hit(hit)
+                .cache_interference(intf)
+                .parallel_fraction(pf)
+                .occupancy(occ)
+                .fixed_time(fixed)
+                .lds_conflict(lds)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn more_work_never_runs_faster(k in any_kernel(), cfg in any_config(), scale in 1.0f64..8.0) {
+        let sim = ApuSimulator::noiseless();
+        let big = k.with_input_scale(scale);
+        let t_small = sim.evaluate(&k, cfg).time_s;
+        let t_big = sim.evaluate(&big, cfg).time_s;
+        prop_assert!(t_big >= t_small * 0.999, "scale {scale}: {t_big} < {t_small}");
+    }
+
+    #[test]
+    fn measurement_noise_is_bounded_and_deterministic(k in any_kernel(), cfg in any_config()) {
+        let sim = ApuSimulator::default();
+        let exact = sim.evaluate_exact(&k, cfg);
+        let a = sim.evaluate(&k, cfg);
+        let b = sim.evaluate(&k, cfg);
+        prop_assert_eq!(a.time_s, b.time_s);
+        let ratio = a.time_s / exact.time_s;
+        prop_assert!((0.7..=1.3).contains(&ratio), "noise ratio {ratio}");
+    }
+
+    #[test]
+    fn counters_are_physical(k in any_kernel(), cfg in any_config()) {
+        let sim = ApuSimulator::noiseless();
+        let c = sim.evaluate(&k, cfg).counters;
+        prop_assert!(c.global_work_size() >= 1.0);
+        prop_assert!((0.0..=100.0).contains(&c.mem_unit_stalled_pct()));
+        prop_assert!((0.0..=100.0).contains(&c.cache_hit_pct()));
+        prop_assert!((0.0..=100.0).contains(&c.lds_bank_conflict_pct()));
+        prop_assert!(c.fetch_size_kb() >= 0.0);
+        prop_assert!(c.valu_insts() >= 0.0);
+    }
+
+    #[test]
+    fn package_power_is_within_physical_bounds(k in any_kernel(), cfg in any_config()) {
+        let sim = ApuSimulator::noiseless();
+        let p = sim.evaluate(&k, cfg).power;
+        prop_assert!(p.package_w() > 3.0, "implausibly low {:?}", p.package_w());
+        prop_assert!(p.package_w() < 150.0, "implausibly high {:?}", p.package_w());
+        prop_assert!(p.temp_c > 30.0 && p.temp_c < 120.0);
+    }
+
+    #[test]
+    fn lower_cpu_state_never_increases_power(k in any_kernel(), cfg in any_config()) {
+        let sim = ApuSimulator::noiseless();
+        if let Some(slower) = cfg.cpu.slower() {
+            let mut down = cfg;
+            down.cpu = slower;
+            let p_hi = sim.evaluate(&k, cfg).power.total_w();
+            let p_lo = sim.evaluate(&k, down).power.total_w();
+            prop_assert!(p_lo <= p_hi * 1.0001, "p_lo {p_lo} vs p_hi {p_hi}");
+        }
+    }
+
+    #[test]
+    fn energy_identity_holds_for_all_inputs(k in any_kernel(), cfg in any_config()) {
+        let sim = ApuSimulator::default();
+        let out = sim.evaluate(&k, cfg);
+        prop_assert!((out.energy.total_j() - out.power.total_w() * out.time_s).abs() < 1e-6);
+        let parts =
+            out.energy.cpu_j + out.energy.gpu_j + out.energy.dram_j + out.energy.other_j;
+        prop_assert!((parts - out.energy.total_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_matches_noiseless_sim(k in any_kernel(), cfg in any_config()) {
+        use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
+        use gpm_sim::OraclePredictor;
+        let sim = ApuSimulator::default();
+        let exact = ApuSimulator::noiseless().evaluate_exact(&k, cfg);
+        let snap = KernelSnapshot::with_truth(exact.counters, cfg, k);
+        let oracle = OraclePredictor::new(&sim);
+        let est = oracle.predict(&snap, cfg);
+        prop_assert_eq!(est.time_s, exact.time_s);
+    }
+
+    #[test]
+    fn thermal_solution_is_a_fixed_point(dyn_w in 0.0f64..120.0, leak_nom in 0.0f64..20.0) {
+        let p = SimParams::default();
+        let st = gpm_sim::thermal::solve(&p, dyn_w, leak_nom);
+        let t_check = p.temp_idle_c + p.temp_c_per_w * (dyn_w + st.leak_w);
+        prop_assert!((st.temp_c - t_check).abs() < 0.2, "residual {}", (st.temp_c - t_check).abs());
+    }
+}

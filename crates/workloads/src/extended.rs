@@ -1,0 +1,271 @@
+//! The extended tier: ten further well-known benchmarks from the suites
+//! the paper studied.
+//!
+//! The paper examined 73 benchmarks across 9 suites and *sampled* 15 for
+//! its figures. This module models ten more of the commonly-cited ones so
+//! studies can draw from a broader population than the figure set; they
+//! follow the same category statistics (mostly irregular, many
+//! input-varying).
+
+use crate::workload::{Category, Workload};
+use gpm_sim::{KernelCharacteristics, KernelClass};
+
+fn repeat(k: &KernelCharacteristics, n: usize) -> Vec<KernelCharacteristics> {
+    (0..n).map(|_| k.clone()).collect()
+}
+
+/// Rodinia `backprop`: two alternating layer kernels, fixed sizes.
+pub fn backprop() -> Workload {
+    let fwd = KernelCharacteristics::builder("bpnn_layerforward", 12.0)
+        .class(KernelClass::Balanced)
+        .memory_gb(0.6)
+        .cache_hit(0.55)
+        .parallel_fraction(0.97)
+        .occupancy(0.6)
+        .build();
+    let adj = KernelCharacteristics::memory_bound("bpnn_adjust_weights", 1.1);
+    let mut seq = Vec::new();
+    for _ in 0..6 {
+        seq.push(fwd.clone());
+        seq.push(adj.clone());
+    }
+    Workload::new("backprop", Category::IrregularRepeating, "(AB)6", seq).with_suite("Rodinia")
+}
+
+/// Rodinia `hotspot`: one stencil kernel iterating; compute-leaning.
+pub fn hotspot() -> Workload {
+    let k = KernelCharacteristics::builder("calculate_temp", 18.0)
+        .class(KernelClass::ComputeBound)
+        .memory_gb(0.45)
+        .cache_hit(0.82)
+        .parallel_fraction(0.985)
+        .occupancy(0.75)
+        .build();
+    Workload::new("hotspot", Category::Regular, "A12", repeat(&k, 12)).with_suite("Rodinia")
+}
+
+/// Rodinia `pathfinder`: dynamic-programming rows of shrinking width.
+pub fn pathfinder() -> Workload {
+    let base = KernelCharacteristics::builder("dynproc_kernel", 8.0)
+        .class(KernelClass::Balanced)
+        .memory_gb(0.5)
+        .cache_hit(0.6)
+        .parallel_fraction(0.95)
+        .occupancy(0.55)
+        .build();
+    let seq = (0..10)
+        .map(|i| {
+            let scale = 1.6 * (0.85f64).powi(i);
+            base.with_input_scale(scale).renamed(format!("dynproc_{i}"))
+        })
+        .collect();
+    Workload::new("pathfinder", Category::IrregularInputVarying, "A1..A10 (shrinking)", seq)
+        .with_suite("Rodinia")
+}
+
+/// Rodinia `gaussian`: elimination steps over a shrinking trailing matrix,
+/// alternating a tiny pivot kernel with a large update kernel.
+pub fn gaussian() -> Workload {
+    let pivot = KernelCharacteristics::builder("Fan1", 0.4)
+        .class(KernelClass::Unscalable)
+        .memory_gb(0.02)
+        .cache_hit(0.8)
+        .parallel_fraction(0.4)
+        .occupancy(0.15)
+        .fixed_time(0.006)
+        .build();
+    let update = KernelCharacteristics::builder("Fan2", 16.0)
+        .class(KernelClass::ComputeBound)
+        .memory_gb(0.5)
+        .cache_hit(0.75)
+        .parallel_fraction(0.98)
+        .occupancy(0.7)
+        .build();
+    let mut seq = Vec::new();
+    for i in 0..7 {
+        let scale = (0.8f64).powi(i);
+        seq.push(pivot.renamed(format!("Fan1_{i}")));
+        seq.push(update.with_input_scale(scale).renamed(format!("Fan2_{i}")));
+    }
+    Workload::new("gaussian", Category::IrregularInputVarying, "(ab)7 (shrinking)", seq)
+        .with_suite("Rodinia")
+}
+
+/// Rodinia `nw` (Needleman-Wunsch): anti-diagonals growing then shrinking.
+pub fn needleman_wunsch() -> Workload {
+    let base = KernelCharacteristics::builder("needle_kernel", 6.0)
+        .class(KernelClass::MemoryBound)
+        .memory_gb(0.7)
+        .cache_hit(0.4)
+        .parallel_fraction(0.93)
+        .occupancy(0.45)
+        .fixed_time(0.008)
+        .build();
+    let scales = [0.3, 0.8, 1.5, 2.2, 2.6, 2.2, 1.5, 0.8, 0.3];
+    let seq = scales
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| base.with_input_scale(s).renamed(format!("needle_{i}")))
+        .collect();
+    Workload::new("nw", Category::IrregularInputVarying, "A1..A9 (diamond)", seq)
+        .with_suite("Rodinia")
+}
+
+/// Rodinia `streamcluster`: distance evaluations, memory-streaming.
+pub fn streamcluster() -> Workload {
+    let k = KernelCharacteristics::memory_bound("pgain_kernel", 1.6);
+    Workload::new("streamcluster", Category::Regular, "A14", repeat(&k, 14)).with_suite("Rodinia")
+}
+
+/// Rodinia `cfd`: unstructured-mesh flux computation, three kernels per
+/// timestep.
+pub fn cfd() -> Workload {
+    let flux = KernelCharacteristics::builder("compute_flux", 22.0)
+        .class(KernelClass::Balanced)
+        .memory_gb(1.3)
+        .cache_hit(0.45)
+        .parallel_fraction(0.975)
+        .occupancy(0.6)
+        .build();
+    let step = KernelCharacteristics::compute_bound("time_step", 9.0);
+    let rk = KernelCharacteristics::memory_bound("cuda_rk", 0.8);
+    let mut seq = Vec::new();
+    for _ in 0..4 {
+        seq.extend([flux.clone(), step.clone(), rk.clone()]);
+    }
+    Workload::new("cfd", Category::IrregularRepeating, "(ABC)4", seq).with_suite("Rodinia")
+}
+
+/// Rodinia `bfs`: level-synchronous traversal with a frontier bulge.
+pub fn bfs_rodinia() -> Workload {
+    let base = KernelCharacteristics::builder("Kernel", 5.0)
+        .class(KernelClass::MemoryBound)
+        .memory_gb(0.6)
+        .cache_hit(0.3)
+        .parallel_fraction(0.9)
+        .occupancy(0.35)
+        .fixed_time(0.009)
+        .build();
+    let scales = [0.15, 0.4, 1.1, 2.5, 3.0, 1.8, 0.6, 0.2];
+    let seq = scales
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| base.with_input_scale(s).renamed(format!("bfs_level{i}")))
+        .collect();
+    Workload::new("bfs-rodinia", Category::IrregularInputVarying, "A1..A8 (frontier)", seq)
+        .with_suite("Rodinia")
+}
+
+/// SHOC `FFT`: butterfly stages, compute-heavy with strided access.
+pub fn fft() -> Workload {
+    let k = KernelCharacteristics::builder("fft1D_512", 26.0)
+        .class(KernelClass::ComputeBound)
+        .memory_gb(0.6)
+        .cache_hit(0.7)
+        .parallel_fraction(0.985)
+        .occupancy(0.8)
+        .lds_conflict(0.25)
+        .build();
+    Workload::new("fft", Category::Regular, "A10", repeat(&k, 10)).with_suite("SHOC")
+}
+
+/// SHOC `Reduction`: bandwidth-bound tree reduction with a serial tail.
+pub fn reduction() -> Workload {
+    let big = KernelCharacteristics::memory_bound("reduce_stage1", 1.8);
+    let tail = KernelCharacteristics::builder("reduce_tail", 0.1)
+        .class(KernelClass::Unscalable)
+        .memory_gb(0.01)
+        .cache_hit(0.9)
+        .parallel_fraction(0.3)
+        .occupancy(0.1)
+        .fixed_time(0.004)
+        .build();
+    let mut seq = Vec::new();
+    for _ in 0..6 {
+        seq.push(big.clone());
+        seq.push(tail.clone());
+    }
+    Workload::new("reduction", Category::IrregularRepeating, "(AB)6", seq).with_suite("SHOC")
+}
+
+/// The extended tier: ten additional modelled benchmarks.
+pub fn extended_suite() -> Vec<Workload> {
+    vec![
+        backprop(),
+        hotspot(),
+        pathfinder(),
+        gaussian(),
+        needleman_wunsch(),
+        streamcluster(),
+        cfd(),
+        bfs_rodinia(),
+        fft(),
+        reduction(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_hw::HwConfig;
+    use gpm_sim::ApuSimulator;
+
+    #[test]
+    fn extended_suite_has_ten_unique_benchmarks() {
+        let s = extended_suite();
+        assert_eq!(s.len(), 10);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn no_name_collision_with_the_figure_suite() {
+        let figure: Vec<String> =
+            crate::suite().iter().map(|w| w.name().to_string()).collect();
+        for w in extended_suite() {
+            assert!(!figure.contains(&w.name().to_string()), "{} collides", w.name());
+        }
+    }
+
+    #[test]
+    fn population_statistics_stay_paper_like() {
+        // Combined 25 benchmarks: at most ~1/3 regular, like the paper's
+        // "75% irregular" population.
+        let mut all = crate::suite();
+        all.extend(extended_suite());
+        let regular =
+            all.iter().filter(|w| w.category() == Category::Regular).count() as f64;
+        assert!(regular / all.len() as f64 <= 0.34, "regular fraction too high");
+    }
+
+    #[test]
+    fn extended_kernels_are_simulable_in_sane_ranges() {
+        let sim = ApuSimulator::noiseless();
+        for w in extended_suite() {
+            for k in w.kernels() {
+                let t = sim.evaluate(k, HwConfig::MAX_PERF).time_s;
+                assert!(t > 5e-4 && t < 2.0, "{} kernel {} time {t}", w.name(), k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_benchmarks_have_phase_transitions() {
+        let sim = ApuSimulator::noiseless();
+        for w in [bfs_rodinia(), needleman_wunsch()] {
+            let outs: Vec<f64> = w
+                .kernels()
+                .iter()
+                .map(|k| {
+                    let o = sim.evaluate(k, HwConfig::MAX_PERF);
+                    o.throughput()
+                })
+                .collect();
+            let max = outs.iter().cloned().fold(f64::MIN, f64::max);
+            let min = outs.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max / min > 1.5, "{} spread {max}/{min}", w.name());
+        }
+    }
+}

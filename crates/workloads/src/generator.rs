@@ -1,0 +1,224 @@
+//! Seeded random workload generation.
+//!
+//! The paper studies 73 benchmarks and samples 15 with representative
+//! behaviour (75% irregular, 44% of kernels input-varying). This generator
+//! produces arbitrarily many *additional* applications with the same
+//! statistical mix, for two uses:
+//!
+//! * **Generalization studies** — the Random Forest trains on the fixed
+//!   15-benchmark suite; generated applications contain kernels the model
+//!   never saw (the `generalization` binary).
+//! * **Fuzzing governors** — property tests can drive every policy over
+//!   thousands of applications with known invariants.
+
+use crate::workload::{Category, Workload};
+use gpm_sim::KernelCharacteristics;
+#[cfg(test)]
+use gpm_sim::KernelClass;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Shape parameters of the generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorParams {
+    /// Minimum kernel invocations per application.
+    pub min_kernels: usize,
+    /// Maximum kernel invocations per application.
+    pub max_kernels: usize,
+    /// Probability the application is regular (single repeating kernel);
+    /// the paper's population is ~25% regular.
+    pub regular_fraction: f64,
+    /// Probability an irregular application's kernels vary with input
+    /// (~44% of the paper's kernels do).
+    pub input_varying_fraction: f64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> GeneratorParams {
+        GeneratorParams {
+            min_kernels: 6,
+            max_kernels: 28,
+            regular_fraction: 0.25,
+            input_varying_fraction: 0.44,
+        }
+    }
+}
+
+/// A random kernel drawn from the four Figure 2 scaling classes.
+fn random_kernel(rng: &mut StdRng, name: String) -> KernelCharacteristics {
+    match rng.gen_range(0..4) {
+        0 => KernelCharacteristics::compute_bound(name, rng.gen_range(8.0..45.0)),
+        1 => KernelCharacteristics::memory_bound(name, rng.gen_range(0.4..2.5)),
+        2 => KernelCharacteristics::peak(name, rng.gen_range(6.0..18.0)),
+        _ => KernelCharacteristics::unscalable(name, rng.gen_range(0.01..0.06)),
+    }
+}
+
+/// Generates one application with the paper's population statistics.
+///
+/// Deterministic per `(params, seed)`.
+pub fn generate_workload(params: &GeneratorParams, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(params.min_kernels..=params.max_kernels);
+    let tag = format!("gen{seed:x}");
+
+    if rng.gen_bool(params.regular_fraction.clamp(0.0, 1.0)) {
+        // Regular: one kernel, n iterations.
+        let k = random_kernel(&mut rng, format!("{tag}_k"));
+        let seq = (0..n).map(|_| k.clone()).collect();
+        return Workload::new(tag.clone(), Category::Regular, format!("A{n}"), seq);
+    }
+
+    if rng.gen_bool(params.input_varying_fraction.clamp(0.0, 1.0)) {
+        // Input-varying: one or two base kernels, scales wandering.
+        let bases: Vec<KernelCharacteristics> = (0..rng.gen_range(1..=2))
+            .map(|b| random_kernel(&mut rng, format!("{tag}_b{b}")))
+            .collect();
+        let mut scale: f64 = rng.gen_range(0.5..2.0);
+        let seq = (0..n)
+            .map(|i| {
+                scale = (scale * rng.gen_range(0.5..1.9)).clamp(0.05, 6.0);
+                bases[i % bases.len()]
+                    .with_input_scale(scale)
+                    .renamed(format!("{tag}_v{i}"))
+            })
+            .collect();
+        return Workload::new(
+            tag.clone(),
+            Category::IrregularInputVarying,
+            format!("A1..A{n} (generated)"),
+            seq,
+        );
+    }
+
+    // Irregular with a (possibly repeating) multi-kernel pattern.
+    let distinct = rng.gen_range(2..=4.min(n));
+    let pool: Vec<KernelCharacteristics> =
+        (0..distinct).map(|k| random_kernel(&mut rng, format!("{tag}_p{k}"))).collect();
+    let repeating = rng.gen_bool(0.5);
+    let seq: Vec<KernelCharacteristics> = if repeating {
+        (0..n).map(|i| pool[i % distinct].clone()).collect()
+    } else {
+        // Phase-structured: consecutive blocks of each kernel.
+        let block = n.div_ceil(distinct);
+        (0..n).map(|i| pool[(i / block).min(distinct - 1)].clone()).collect()
+    };
+    let category =
+        if repeating { Category::IrregularRepeating } else { Category::IrregularNonRepeating };
+    let pattern = if repeating {
+        format!("({})^{}", "AB CD".split_whitespace().next().unwrap_or("AB"), n / distinct)
+    } else {
+        format!("{distinct} phases x {block} ", block = n.div_ceil(distinct))
+    };
+    Workload::new(tag, category, pattern, seq)
+}
+
+/// Generates a population of `count` applications with seeds
+/// `base_seed..base_seed + count`.
+pub fn generate_population(
+    params: &GeneratorParams,
+    base_seed: u64,
+    count: usize,
+) -> Vec<Workload> {
+    (0..count as u64).map(|i| generate_workload(params, base_seed + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GeneratorParams::default();
+        let a = generate_workload(&p, 42);
+        let b = generate_workload(&p, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = GeneratorParams::default();
+        let a = generate_workload(&p, 1);
+        let b = generate_workload(&p, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let p = GeneratorParams { min_kernels: 5, max_kernels: 9, ..GeneratorParams::default() };
+        for seed in 0..50 {
+            let w = generate_workload(&p, seed);
+            assert!((5..=9).contains(&w.len()), "seed {seed}: {} kernels", w.len());
+        }
+    }
+
+    #[test]
+    fn population_matches_requested_statistics_roughly() {
+        let p = GeneratorParams::default();
+        let pop = generate_population(&p, 1000, 300);
+        assert_eq!(pop.len(), 300);
+        let regular =
+            pop.iter().filter(|w| w.category() == Category::Regular).count() as f64 / 300.0;
+        assert!((regular - 0.25).abs() < 0.10, "regular fraction {regular}");
+        let varying = pop
+            .iter()
+            .filter(|w| w.category() == Category::IrregularInputVarying)
+            .count() as f64
+            / 300.0;
+        assert!(varying > 0.15 && varying < 0.55, "input-varying fraction {varying}");
+    }
+
+    #[test]
+    fn generated_names_are_unique_across_population() {
+        let p = GeneratorParams::default();
+        let pop = generate_population(&p, 7, 40);
+        let mut names: Vec<&str> = pop.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 40);
+    }
+
+    #[test]
+    fn generated_kernels_are_simulable() {
+        use gpm_hw::HwConfig;
+        use gpm_sim::ApuSimulator;
+        let sim = ApuSimulator::default();
+        let p = GeneratorParams::default();
+        for seed in 0..20 {
+            let w = generate_workload(&p, seed);
+            for k in w.kernels() {
+                let out = sim.evaluate(k, HwConfig::FAIL_SAFE);
+                assert!(out.time_s > 0.0 && out.time_s < 5.0, "{}: {}", w.name(), k.name());
+                assert!(out.power.total_w() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_represented() {
+        let p = GeneratorParams::default();
+        let pop = generate_population(&p, 99, 60);
+        let mut classes = std::collections::HashSet::new();
+        for w in &pop {
+            for k in w.kernels() {
+                classes.insert(format!("{:?}", k.class()));
+            }
+        }
+        assert!(classes.len() >= 3, "only {classes:?}");
+    }
+
+    #[test]
+    fn used_class_labels_match_shapes() {
+        // Spot check: generated unscalable kernels really are latency-bound.
+        let p = GeneratorParams::default();
+        for seed in 0..30 {
+            let w = generate_workload(&p, seed);
+            for k in w.kernels() {
+                if k.class() == KernelClass::Unscalable {
+                    assert!(k.fixed_time_s() > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The four Figure 2 characterization kernels.
+//!
+//! Each exemplifies one scaling class: `MaxFlops` (compute-bound, SHOC),
+//! `readGlobalMemoryCoalesced` (memory-bound, SHOC),
+//! `writeCandidates` (peak — shared-cache interference), and `astar`
+//! (unscalable).
+
+use gpm_sim::KernelCharacteristics;
+
+/// SHOC's `MaxFlops`: pure ALU throughput, negligible memory traffic
+/// (Figure 2(a)). Scales with CUs and GPU clock; insensitive to NB state.
+pub fn max_flops() -> KernelCharacteristics {
+    KernelCharacteristics::builder("MaxFlops", 30.0)
+        .class(gpm_sim::KernelClass::ComputeBound)
+        .memory_gb(0.02)
+        .cache_hit(0.95)
+        .parallel_fraction(0.995)
+        .occupancy(0.92)
+        .global_work_size(2.0 * (1u32 << 20) as f64)
+        .build()
+}
+
+/// SHOC's `readGlobalMemoryCoalesced`: streaming reads that saturate DRAM
+/// (Figure 2(b)). Performance plateaus from NB2 onward (same DRAM clock).
+pub fn read_global_memory_coalesced() -> KernelCharacteristics {
+    KernelCharacteristics::builder("readGlobalMemoryCoalesced", 1.6)
+        .class(gpm_sim::KernelClass::MemoryBound)
+        .memory_gb(1.0)
+        .cache_hit(0.10)
+        .parallel_fraction(0.97)
+        .occupancy(0.45)
+        .global_work_size((1u32 << 22) as f64)
+        .build()
+}
+
+/// `writeCandidates`: a "peak" kernel whose performance and energy optima
+/// sit below 8 CUs because more CUs destroy shared-cache locality
+/// (Figure 2(c)).
+pub fn write_candidates() -> KernelCharacteristics {
+    KernelCharacteristics::builder("writeCandidates", 14.0)
+        .class(gpm_sim::KernelClass::Peak)
+        .memory_gb(2.2)
+        .cache_hit(0.96)
+        .cache_interference(0.10)
+        .parallel_fraction(0.985)
+        .occupancy(0.8)
+        .global_work_size((1u32 << 21) as f64)
+        .build()
+}
+
+/// `astar`: serial-latency-dominated graph search; performance is
+/// insensitive to hardware configuration, so the lowest GPU configuration
+/// is the most energy-efficient (Figure 2(d)).
+pub fn astar() -> KernelCharacteristics {
+    KernelCharacteristics::builder("astar", 0.15)
+        .class(gpm_sim::KernelClass::Unscalable)
+        .memory_gb(0.02)
+        .cache_hit(0.6)
+        .parallel_fraction(0.25)
+        .occupancy(0.12)
+        .fixed_time(0.018)
+        .global_work_size((1u32 << 14) as f64)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_hw::{ConfigSpace, CpuPState, GpuDpm, HwConfig};
+    use gpm_sim::ApuSimulator;
+
+    /// Finds the energy-optimal (NB, CU) point of Figure 2's sweep.
+    fn energy_optimal(kernel: &KernelCharacteristics) -> HwConfig {
+        let sim = ApuSimulator::noiseless();
+        ConfigSpace::nb_cu_sweep(CpuPState::P7, GpuDpm::Dpm4)
+            .iter()
+            .min_by(|&a, &b| {
+                sim.evaluate(kernel, a)
+                    .energy
+                    .total_j()
+                    .partial_cmp(&sim.evaluate(kernel, b).energy.total_j())
+                    .unwrap()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn max_flops_optimal_at_many_cus_low_nb() {
+        let opt = energy_optimal(&max_flops());
+        assert_eq!(opt.cu.get(), 8);
+        assert!(opt.nb.index() >= 2, "optimal NB was {}", opt.nb);
+    }
+
+    #[test]
+    fn memory_kernel_needs_nb2_or_better() {
+        let opt = energy_optimal(&read_global_memory_coalesced());
+        assert!(opt.nb.index() <= 2, "optimal NB was {}", opt.nb);
+    }
+
+    #[test]
+    fn write_candidates_peaks_below_max_cus() {
+        let opt = energy_optimal(&write_candidates());
+        assert!(opt.cu.get() < 8, "optimal CU was {}", opt.cu);
+    }
+
+    #[test]
+    fn astar_optimal_at_bottom_of_sweep() {
+        let sim = ApuSimulator::noiseless();
+        let k = astar();
+        // Unscalable: the lowest GPU configuration wins on energy across
+        // the full space (GPU knobs barely move performance).
+        let lowest = HwConfig::new(
+            CpuPState::P7,
+            gpm_hw::NbState::Nb3,
+            GpuDpm::Dpm0,
+            gpm_hw::CuCount::MIN,
+        );
+        let e_lowest = sim.evaluate(&k, lowest).energy.total_j();
+        let e_highest = sim.evaluate(&k, HwConfig::MAX_PERF).energy.total_j();
+        assert!(e_lowest < 0.7 * e_highest);
+    }
+
+    #[test]
+    fn classes_are_labelled() {
+        use gpm_sim::KernelClass;
+        assert_eq!(max_flops().class(), KernelClass::ComputeBound);
+        assert_eq!(read_global_memory_coalesced().class(), KernelClass::MemoryBound);
+        assert_eq!(write_candidates().class(), KernelClass::Peak);
+        assert_eq!(astar().class(), KernelClass::Unscalable);
+    }
+}

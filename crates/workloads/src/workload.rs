@@ -1,0 +1,237 @@
+//! The workload type: a named, categorized kernel-invocation sequence.
+
+use gpm_sim::KernelCharacteristics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's four benchmark categories (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// A single kernel iterating multiple times (e.g. `A20`).
+    Regular,
+    /// Multiple kernels in a repeating pattern (e.g. `(AB)5`).
+    IrregularRepeating,
+    /// Multiple kernels, non-repeating pattern (e.g. `A10 B10 C10`).
+    IrregularNonRepeating,
+    /// Iterations of kernels that vary with input arguments.
+    IrregularInputVarying,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Regular => "regular",
+            Category::IrregularRepeating => "irregular w/ repeating pattern",
+            Category::IrregularNonRepeating => "irregular w/ non-repeating pattern",
+            Category::IrregularInputVarying => "irregular w/ kernels varying with input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A benchmark: an ordered sequence of kernel invocations.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_sim::KernelCharacteristics;
+/// use gpm_workloads::{Category, Workload};
+///
+/// let k = KernelCharacteristics::compute_bound("A", 10.0);
+/// let w = Workload::new("toy", Category::Regular, "A3", vec![k.clone(), k.clone(), k]);
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.pattern(), "A3");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    category: Category,
+    pattern: String,
+    source_suite: String,
+    kernels: Vec<KernelCharacteristics>,
+    /// Host CPU-phase duration preceding each kernel launch, seconds.
+    /// Empty = back-to-back kernels (the paper's worst-case assumption).
+    #[serde(default)]
+    cpu_phases_s: Vec<f64>,
+}
+
+impl Workload {
+    /// Creates a workload from its invocation sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        category: Category,
+        pattern: impl Into<String>,
+        kernels: Vec<KernelCharacteristics>,
+    ) -> Workload {
+        assert!(!kernels.is_empty(), "a workload needs at least one kernel invocation");
+        Workload {
+            name: name.into(),
+            category,
+            pattern: pattern.into(),
+            source_suite: String::new(),
+            kernels,
+            cpu_phases_s: Vec::new(),
+        }
+    }
+
+    /// Sets the host CPU-phase durations preceding each kernel launch
+    /// (Figure 1's CPU/data-transfer segments). A governor's optimization
+    /// overhead can hide inside these phases (Section VI-E: "GPGPU
+    /// application kernels may be separated by CPU phases with an
+    /// available CPU, which can hide the MPC overheads").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is non-empty and its length differs from the
+    /// kernel count.
+    pub fn with_cpu_phases(mut self, phases: Vec<f64>) -> Workload {
+        assert!(
+            phases.is_empty() || phases.len() == self.kernels.len(),
+            "need one CPU phase per kernel invocation"
+        );
+        self.cpu_phases_s = phases;
+        self
+    }
+
+    /// CPU-phase time preceding the kernel at `position`, seconds
+    /// (0 when phases are not modelled).
+    pub fn cpu_phase_s(&self, position: usize) -> f64 {
+        self.cpu_phases_s.get(position).copied().unwrap_or(0.0)
+    }
+
+    /// Total CPU-phase time across the application, seconds.
+    pub fn total_cpu_phase_s(&self) -> f64 {
+        self.cpu_phases_s.iter().sum()
+    }
+
+    /// Annotates the benchmark suite the workload models (Table IV's
+    /// "Benchmark Suite" column).
+    pub fn with_suite(mut self, source_suite: impl Into<String>) -> Workload {
+        self.source_suite = source_suite.into();
+        self
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table IV category.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// Human-readable execution pattern (Table IV's regex column).
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Source suite the original benchmark came from.
+    pub fn source_suite(&self) -> &str {
+        &self.source_suite
+    }
+
+    /// The invocation sequence.
+    pub fn kernels(&self) -> &[KernelCharacteristics] {
+        &self.kernels
+    }
+
+    /// Number of kernel invocations (`N` in the paper).
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Workloads are never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of *distinct* kernel names in the sequence.
+    pub fn distinct_kernels(&self) -> usize {
+        let mut names: Vec<&str> = self.kernels.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {} ({} invocations)", self.name, self.category, self.pattern, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Workload {
+        let a = KernelCharacteristics::compute_bound("A", 10.0);
+        let b = KernelCharacteristics::memory_bound("B", 1.0);
+        Workload::new("toy", Category::IrregularRepeating, "(AB)2", vec![a.clone(), b.clone(), a, b])
+            .with_suite("unit-test")
+    }
+
+    #[test]
+    fn accessors() {
+        let w = toy();
+        assert_eq!(w.name(), "toy");
+        assert_eq!(w.category(), Category::IrregularRepeating);
+        assert_eq!(w.pattern(), "(AB)2");
+        assert_eq!(w.source_suite(), "unit-test");
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.distinct_kernels(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_workload_panics() {
+        let _ = Workload::new("bad", Category::Regular, "", vec![]);
+    }
+
+    #[test]
+    fn cpu_phases_default_to_zero() {
+        let w = toy();
+        assert_eq!(w.cpu_phase_s(0), 0.0);
+        assert_eq!(w.total_cpu_phase_s(), 0.0);
+    }
+
+    #[test]
+    fn cpu_phases_are_per_position() {
+        let w = toy().with_cpu_phases(vec![0.01, 0.02, 0.03, 0.04]);
+        assert_eq!(w.cpu_phase_s(1), 0.02);
+        assert!((w.total_cpu_phase_s() - 0.10).abs() < 1e-12);
+        assert_eq!(w.cpu_phase_s(99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CPU phase per kernel")]
+    fn mismatched_phase_length_panics() {
+        let _ = toy().with_cpu_phases(vec![0.01]);
+    }
+
+    #[test]
+    fn display_mentions_name_and_count() {
+        let s = toy().to_string();
+        assert!(s.contains("toy") && s.contains("4 invocations"));
+    }
+
+    #[test]
+    fn categories_display_distinctly() {
+        let all = [
+            Category::Regular,
+            Category::IrregularRepeating,
+            Category::IrregularNonRepeating,
+            Category::IrregularInputVarying,
+        ];
+        let mut strs: Vec<String> = all.iter().map(|c| c.to_string()).collect();
+        strs.sort();
+        strs.dedup();
+        assert_eq!(strs.len(), 4);
+    }
+}

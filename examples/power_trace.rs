@@ -1,0 +1,65 @@
+//! Capture the 1 ms power trace of a governed run — the view the paper's
+//! power-management controller gives (Section V) — and render it as an
+//! ASCII strip chart comparing Turbo Core against MPC.
+//!
+//! ```text
+//! cargo run --release --example power_trace [benchmark]
+//! ```
+
+use gpm::harness::traces::power_segments;
+use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::mpc::HorizonMode;
+use gpm::sim::sampling::{sample_trace, trace_energy_j, PowerSample};
+use gpm::workloads::workload_by_name;
+
+fn strip_chart(title: &str, trace: &[PowerSample], max_w: f64) {
+    println!("{title}");
+    // Downsample to ~40 rows for the terminal.
+    let step = (trace.len() / 40).max(1);
+    for s in trace.iter().step_by(step) {
+        let bar = (s.total_w / max_w * 50.0).round().clamp(0.0, 60.0) as usize;
+        println!(
+            "  {:>7.1} ms  {:>5.1} W  {}{}",
+            s.t_s * 1e3,
+            s.total_w,
+            "#".repeat(bar),
+            if s.label == "mpc-optimizer" { "  <- optimizer" } else { "" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".to_string());
+    let ctx = EvalContext::build(EvalOptions::fast());
+    let workload = workload_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}, falling back to kmeans");
+        workload_by_name("kmeans").unwrap()
+    });
+
+    let tc = evaluate_scheme(&ctx, &workload, Scheme::TurboCore);
+    let mpc = evaluate_scheme(&ctx, &workload, Scheme::MpcRf { horizon: HorizonMode::default() });
+
+    let tc_segments = power_segments(&ctx.sim, &workload, &tc.measured);
+    let mpc_segments = power_segments(&ctx.sim, &workload, &mpc.measured);
+    let interval = 1e-3; // the paper's 1 ms controller sampling
+    let tc_trace = sample_trace(&tc_segments, interval);
+    let mpc_trace = sample_trace(&mpc_segments, interval);
+
+    let max_w = tc_trace
+        .iter()
+        .chain(&mpc_trace)
+        .map(|s| s.total_w)
+        .fold(f64::MIN, f64::max);
+
+    strip_chart(&format!("Turbo Core power trace — {}", workload.name()), &tc_trace, max_w);
+    strip_chart(&format!("MPC power trace — {}", workload.name()), &mpc_trace, max_w);
+
+    println!(
+        "integrated from 1 ms samples: Turbo Core {:.2} J, MPC {:.2} J ({:.1}% savings)",
+        trace_energy_j(&tc_trace, interval),
+        trace_energy_j(&mpc_trace, interval),
+        (1.0 - trace_energy_j(&mpc_trace, interval) / trace_energy_j(&tc_trace, interval))
+            * 100.0
+    );
+}

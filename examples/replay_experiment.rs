@@ -1,0 +1,71 @@
+//! Run an experiment the way the paper actually did: record a measurement
+//! campaign once, then evaluate governors purely by *replaying* the
+//! recorded table — no analytical model in the loop.
+//!
+//! ```text
+//! cargo run --release --example replay_experiment
+//! ```
+
+use gpm::governors::{PerfTarget, TurboCore};
+use gpm::harness::run_once;
+use gpm::hw::ConfigSpace;
+use gpm::mpc::{MpcConfig, MpcGovernor};
+use gpm::sim::{ApuSimulator, OraclePredictor, Platform, ReplayPlatform, SimParams};
+use gpm::workloads::workload_by_name;
+
+fn main() {
+    let workload = workload_by_name("Spmv").unwrap();
+
+    // 1. The measurement campaign: run each kernel at every configuration
+    //    once and freeze the results (Section V's data capture; the full
+    //    lattice so hill climbing can roam all five DPM states).
+    let sim = ApuSimulator::default();
+    let replay = ReplayPlatform::record(&sim, workload.kernels(), &ConfigSpace::full());
+    println!(
+        "recorded {} measurements for {} distinct kernels",
+        replay.len(),
+        workload.distinct_kernels()
+    );
+
+    // 2. From here on, only the recorded table is consulted.
+    let table: &dyn Platform = &replay;
+
+    // Baseline: Turbo Core, which also defines the performance target.
+    let mut tc = TurboCore::new(table.params().tdp_w);
+    let base = run_once(table, &workload, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
+    println!(
+        "Turbo Core (replayed): {:.2} J over {:.1} ms",
+        base.total_energy_j(),
+        base.wall_time_s() * 1e3
+    );
+
+    // MPC with perfect prediction, profiling run then steady state.
+    let mut mpc = MpcGovernor::new(
+        OraclePredictor::new(&sim),
+        SimParams::default(),
+        MpcConfig { store_truth: true, ..MpcConfig::default() },
+    );
+    run_once(table, &workload, &mut mpc, target, 0, true);
+    let measured = run_once(table, &workload, &mut mpc, target, 1, true);
+    println!(
+        "MPC        (replayed): {:.2} J over {:.1} ms — {:.1}% savings, speedup {:.3}",
+        measured.total_energy_j(),
+        measured.wall_time_s() * 1e3,
+        (1.0 - measured.total_energy_j() / base.total_energy_j()) * 100.0,
+        base.wall_time_s() / measured.wall_time_s()
+    );
+
+    // 3. The table is a portable artifact: serialize, restore, re-verify.
+    let json = replay.to_json();
+    let restored = ReplayPlatform::from_json(&json).expect("roundtrip");
+    let again = {
+        let mut tc = TurboCore::new(restored.params().tdp_w);
+        run_once(&restored, &workload, &mut tc, PerfTarget::new(1.0, 1.0), 0, false)
+    };
+    assert_eq!(again.total_energy_j(), base.total_energy_j());
+    println!(
+        "restored table reproduces the baseline bit-for-bit ({} KiB of JSON)",
+        json.len() / 1024
+    );
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full experiment protocol from
+//! measurement campaign to scheme comparison.
+
+use gpm::harness::metrics::Comparison;
+use gpm::harness::{
+    evaluate_scheme, run_once, turbo_core_baseline, EvalContext, EvalOptions, Scheme,
+};
+use gpm::hw::HwConfig;
+use gpm::mpc::HorizonMode;
+use gpm::workloads::{suite, workload_by_name};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| EvalContext::build(EvalOptions::fast()))
+}
+
+#[test]
+fn trained_model_is_in_papers_accuracy_regime() {
+    let r = ctx().rf_report;
+    assert!(r.time_mape < 0.45, "time MAPE {}", r.time_mape);
+    assert!(r.power_mape < 0.25, "power MAPE {}", r.power_mape);
+    assert!(r.power_r2 > 0.5, "power R² {}", r.power_r2);
+}
+
+#[test]
+fn evaluate_scheme_is_deterministic() {
+    let w = workload_by_name("EigenValue").unwrap();
+    let scheme = Scheme::MpcRf { horizon: HorizonMode::default() };
+    let a = evaluate_scheme(ctx(), &w, scheme);
+    let b = evaluate_scheme(ctx(), &w, scheme);
+    assert_eq!(a.measured.total_energy_j(), b.measured.total_energy_j());
+    assert_eq!(a.measured.wall_time_s(), b.measured.wall_time_s());
+    assert_eq!(
+        a.measured.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>(),
+        b.measured.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn every_scheme_saves_energy_on_every_benchmark() {
+    // All schemes park the busy-waiting CPU, so none should ever consume
+    // *more* than Turbo Core on this suite.
+    for w in suite() {
+        for scheme in [
+            Scheme::PpkRf,
+            Scheme::MpcRf { horizon: HorizonMode::default() },
+            Scheme::TheoreticallyOptimal,
+        ] {
+            let out = evaluate_scheme(ctx(), &w, scheme);
+            let c = Comparison::between(&out.baseline, &out.measured);
+            assert!(
+                c.energy_savings_pct > 0.0,
+                "{} on {} lost energy: {:.1}%",
+                out.label,
+                w.name(),
+                c.energy_savings_pct
+            );
+        }
+    }
+}
+
+#[test]
+fn mpc_keeps_suite_performance_near_target() {
+    // The adaptive scheme bounds total performance loss to roughly α = 5%.
+    for w in suite() {
+        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let c = Comparison::between(&out.baseline, &out.measured);
+        assert!(
+            c.speedup > 0.85,
+            "{}: MPC speedup {:.3} lost more than 15%",
+            w.name(),
+            c.speedup
+        );
+    }
+}
+
+#[test]
+fn to_never_misses_its_time_budget_badly() {
+    for w in suite() {
+        let out = evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal);
+        // TO plans on the noiseless model; measurement noise may cost a few
+        // percent but not more.
+        assert!(
+            out.measured.kernel_time_s <= out.target.total_time_s() * 1.08,
+            "{}: TO time {} vs budget {}",
+            w.name(),
+            out.measured.kernel_time_s,
+            out.target.total_time_s()
+        );
+    }
+}
+
+#[test]
+fn mpc_dominates_ppk_on_wall_time_suite_wide() {
+    let mut mpc_total = 0.0;
+    let mut ppk_total = 0.0;
+    for w in suite() {
+        let m = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let p = evaluate_scheme(ctx(), &w, Scheme::PpkRf);
+        mpc_total += m.measured.wall_time_s() / m.baseline.wall_time_s();
+        ppk_total += p.measured.wall_time_s() / p.baseline.wall_time_s();
+    }
+    assert!(
+        mpc_total < ppk_total,
+        "suite-normalized MPC wall {mpc_total} should beat PPK {ppk_total}"
+    );
+}
+
+#[test]
+fn baseline_runs_are_reusable_across_governors() {
+    let w = workload_by_name("Spmv").unwrap();
+    let (base, target) = turbo_core_baseline(&ctx().sim, &w);
+    // Replaying any fixed config against that target must account the same
+    // instruction totals.
+    let mut gov = gpm::governors::FixedGovernor::new(HwConfig::FAIL_SAFE);
+    let run = run_once(&ctx().sim, &w, &mut gov, target, 0, false);
+    assert!((run.ginstructions - base.ginstructions).abs() < 1e-9);
+}
+
+#[test]
+fn overheads_are_small_under_adaptive_horizon() {
+    // Figure 14's regime: sub-percent performance overhead.
+    for name in ["Spmv", "hybridsort", "XSBench"] {
+        let w = workload_by_name(name).unwrap();
+        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let p_overhead = out.measured.overhead_time_s / out.baseline.wall_time_s();
+        assert!(p_overhead < 0.05, "{name}: overhead fraction {p_overhead}");
+    }
+}
+
+#[test]
+fn profiling_run_uses_fail_safe_first_kernel() {
+    let w = workload_by_name("lud").unwrap();
+    let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let prof = out.profiling.expect("MPC profiles on run 0");
+    assert_eq!(prof.per_kernel[0].config, HwConfig::FAIL_SAFE);
+}

@@ -1,0 +1,119 @@
+//! Governor fuzzing: every policy must uphold its invariants on arbitrary
+//! generated applications, not just the curated 15-benchmark suite.
+
+use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::hw::ConfigSpace;
+use gpm::mpc::HorizonMode;
+use gpm::workloads::{generate_population, GeneratorParams};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| EvalContext::build(EvalOptions::fast()))
+}
+
+#[test]
+fn all_schemes_uphold_invariants_on_generated_workloads() {
+    let population = generate_population(&GeneratorParams::default(), 0xF00D, 12);
+    let schemes = [
+        Scheme::TurboCore,
+        Scheme::PpkRf,
+        Scheme::MpcRf { horizon: HorizonMode::default() },
+        Scheme::TheoreticallyOptimal,
+        Scheme::Equalizer { mode: gpm::governors::EqualizerMode::Efficiency },
+    ];
+    let space = ConfigSpace::full();
+    for w in &population {
+        for scheme in schemes {
+            let out = evaluate_scheme(ctx(), w, scheme);
+            let m = &out.measured;
+            // Structural invariants.
+            assert_eq!(m.per_kernel.len(), w.len(), "{}/{}", out.label, w.name());
+            assert!(m.kernel_time_s > 0.0);
+            assert!(m.total_energy_j() > 0.0);
+            assert!(m.overhead_time_s >= 0.0);
+            // Every chosen configuration is a real hardware state.
+            for k in &m.per_kernel {
+                assert!(space.contains(k.config), "{} chose {:?}", out.label, k.config);
+            }
+            // Energy accounting: totals are component sums.
+            let component_sum = m.energy.cpu_j + m.energy.gpu_j + m.energy.dram_j
+                + m.energy.other_j
+                + m.overhead_energy.total_j();
+            assert!(
+                (component_sum - m.total_energy_j()).abs() < 1e-6,
+                "{} energy accounting",
+                out.label
+            );
+            // Instructions are workload-determined, not policy-determined.
+            assert!(
+                (m.ginstructions - out.baseline.ginstructions).abs() < 1e-9,
+                "{} changed the instruction count",
+                out.label
+            );
+        }
+    }
+}
+
+#[test]
+fn mpc_horizons_stay_bounded_on_generated_workloads() {
+    let population = generate_population(&GeneratorParams::default(), 0xCAFE, 10);
+    for w in &population {
+        let out = evaluate_scheme(ctx(), w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let stats = out.mpc_stats.expect("MPC stats");
+        assert!(
+            stats.horizons.iter().all(|&h| h <= w.len()),
+            "{}: horizon exceeded N",
+            w.name()
+        );
+        assert!(stats.misprediction_rate() <= 1.0);
+    }
+}
+
+#[test]
+fn no_scheme_sustains_power_above_tdp() {
+    // The package never exceeds TDP by more than transient noise under any
+    // policy: all configurations live inside the part's envelope and Turbo
+    // Core sheds when pushed.
+    let population = generate_population(&GeneratorParams::default(), 0x7D9, 8);
+    let tdp = ctx().sim.params().tdp_w;
+    for w in &population {
+        for scheme in [
+            Scheme::TurboCore,
+            Scheme::MpcRf { horizon: HorizonMode::default() },
+            Scheme::TheoreticallyOptimal,
+        ] {
+            let out = evaluate_scheme(ctx(), w, scheme);
+            for (k, kernel) in out.measured.per_kernel.iter().zip(w.kernels()) {
+                let p = ctx().sim.evaluate(kernel, k.config).power.package_w();
+                assert!(
+                    p <= tdp * 1.10,
+                    "{} on {} ran {} at {:.1} W (TDP {tdp})",
+                    out.label,
+                    w.name(),
+                    k.config,
+                    p
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_workloads_keep_schemes_within_sane_perf_band() {
+    // No target-constrained scheme should be catastrophically slow
+    // (> 2× baseline) on any generated application.
+    let population = generate_population(&GeneratorParams::default(), 0xD1CE, 10);
+    for w in &population {
+        for scheme in [Scheme::PpkRf, Scheme::MpcRf { horizon: HorizonMode::default() }] {
+            let out = evaluate_scheme(ctx(), w, scheme);
+            let slowdown = out.measured.wall_time_s() / out.baseline.wall_time_s();
+            assert!(
+                slowdown < 2.0,
+                "{} on {}: slowdown {slowdown}",
+                out.label,
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! "Shape" tests: the qualitative claims of every paper exhibit, asserted
+//! end to end. These are the regression guard for EXPERIMENTS.md.
+
+use gpm::harness::metrics::Comparison;
+use gpm::harness::traces::{fig2_sweep, fig3_trace};
+use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::hw::NbState;
+use gpm::mpc::HorizonMode;
+use gpm::model::ErrorSpec;
+use gpm::sim::ApuSimulator;
+use gpm::workloads::{
+    astar, max_flops, read_global_memory_coalesced, suite, workload_by_name, write_candidates,
+};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| EvalContext::build(EvalOptions::fast()))
+}
+
+fn compare(scheme: Scheme, workload: &str) -> Comparison {
+    let w = workload_by_name(workload).unwrap();
+    let out = evaluate_scheme(ctx(), &w, scheme);
+    Comparison::between(&out.baseline, &out.measured)
+}
+
+// ---- Figure 2 ----
+
+#[test]
+fn fig2_classes_have_their_documented_shapes() {
+    let sim = ApuSimulator::noiseless();
+    // (a) compute-bound: CU scaling, NB-insensitive.
+    let a = fig2_sweep(&sim, &max_flops());
+    let sp = |points: &[gpm::harness::traces::SweepPoint], nb: NbState, cu: u32| {
+        points.iter().find(|p| p.nb == nb && p.cu == cu).unwrap().speedup
+    };
+    assert!(sp(&a, NbState::Nb0, 8) > 3.0);
+    // (b) memory-bound: plateau from NB2, NB3 collapse.
+    let b = fig2_sweep(&sim, &read_global_memory_coalesced());
+    assert!((sp(&b, NbState::Nb2, 8) / sp(&b, NbState::Nb0, 8) - 1.0).abs() < 0.06);
+    assert!(sp(&b, NbState::Nb3, 8) < 0.75 * sp(&b, NbState::Nb2, 8));
+    // (c) peak: interior CU optimum.
+    let c = fig2_sweep(&sim, &write_candidates());
+    let best = c.iter().max_by(|x, y| x.speedup.partial_cmp(&y.speedup).unwrap()).unwrap();
+    assert!(best.cu < 8, "peak kernel fastest at {} CUs", best.cu);
+    // (d) unscalable: < 1.35x spread over the whole sweep.
+    let d = fig2_sweep(&sim, &astar());
+    let max = d.iter().map(|p| p.speedup).fold(f64::MIN, f64::max);
+    assert!(max < 1.35, "unscalable spread {max}");
+}
+
+// ---- Figure 3 ----
+
+#[test]
+fn fig3_throughput_transitions_match_paper() {
+    let sim = ApuSimulator::noiseless();
+    let spmv = fig3_trace(&sim, &workload_by_name("Spmv").unwrap());
+    assert!(spmv[0] > 1.5 && *spmv.last().unwrap() < 0.5, "Spmv high→low");
+    let kmeans = fig3_trace(&sim, &workload_by_name("kmeans").unwrap());
+    assert!(kmeans[0] < 0.6 && kmeans[10] > 1.0, "kmeans low→high");
+    let hybrid = fig3_trace(&sim, &workload_by_name("hybridsort").unwrap());
+    // Multiple phase transitions: the sign of (v - 1) flips several times.
+    let flips = hybrid
+        .windows(2)
+        .filter(|w| (w[0] > 1.0) != (w[1] > 1.0))
+        .count();
+    assert!(flips >= 3, "hybridsort only {flips} phase transitions");
+}
+
+// ---- Figure 4 ----
+
+#[test]
+fn fig4_ppk_matches_to_on_regular_benchmarks() {
+    for name in ["mandelbulbGPU", "NBody"] {
+        let ppk = compare(Scheme::PpkOracle, name);
+        let to = compare(Scheme::TheoreticallyOptimal, name);
+        assert!(
+            (ppk.energy_savings_pct - to.energy_savings_pct).abs() < 5.0,
+            "{name}: PPK {} vs TO {}",
+            ppk.energy_savings_pct,
+            to.energy_savings_pct
+        );
+        assert!((ppk.speedup - to.speedup).abs() < 0.06);
+    }
+}
+
+#[test]
+fn fig4_ppk_trails_to_on_irregular_benchmarks() {
+    // The limit-study gap that motivates MPC: summed over the irregular
+    // set, oracle-PPK loses performance TO retains.
+    let names = ["EigenValue", "Spmv", "hybridsort", "lulesh", "XSBench"];
+    let mut ppk_speedup = 0.0;
+    let mut to_speedup = 0.0;
+    for name in names {
+        ppk_speedup += compare(Scheme::PpkOracle, name).speedup;
+        to_speedup += compare(Scheme::TheoreticallyOptimal, name).speedup;
+    }
+    assert!(
+        to_speedup > ppk_speedup + 0.15,
+        "TO {to_speedup} vs PPK {ppk_speedup} across irregular set"
+    );
+}
+
+// ---- Figure 8 / 9 ----
+
+#[test]
+fn fig8_mpc_saves_substantial_energy_with_small_perf_loss() {
+    let mut savings = 0.0;
+    let mut speedups = 0.0;
+    let all = suite();
+    for w in &all {
+        let c = compare(Scheme::MpcRf { horizon: HorizonMode::default() }, w.name());
+        savings += c.energy_savings_pct;
+        speedups += c.speedup;
+    }
+    let n = all.len() as f64;
+    let avg_savings = savings / n;
+    let avg_speedup = speedups / n;
+    // Paper: 24.8% savings, 1.8% loss. Accept the simulator's band.
+    assert!(avg_savings > 18.0, "suite savings {avg_savings}");
+    assert!(avg_speedup > 0.93, "suite speedup {avg_speedup}");
+}
+
+#[test]
+fn fig9_mpc_outperforms_ppk_on_phase_changing_benchmarks() {
+    for name in ["Spmv", "srad", "lud"] {
+        let mpc = compare(Scheme::MpcRf { horizon: HorizonMode::default() }, name);
+        let ppk = compare(Scheme::PpkRf, name);
+        assert!(
+            mpc.speedup >= ppk.speedup - 0.01,
+            "{name}: MPC {} vs PPK {}",
+            mpc.speedup,
+            ppk.speedup
+        );
+    }
+}
+
+// ---- Figure 10 ----
+
+#[test]
+fn fig10_lbm_has_the_largest_gpu_savings() {
+    // Use the oracle-predicted MPC so the shape is independent of the
+    // (test-sized) forest's quality; the realistic run is recorded in
+    // EXPERIMENTS.md from the full-fidelity context.
+    let mut best = (String::new(), f64::MIN);
+    for w in suite() {
+        let c = compare(Scheme::MpcOracle, w.name());
+        if c.gpu_energy_savings_pct > best.1 {
+            best = (w.name().to_string(), c.gpu_energy_savings_pct);
+        }
+    }
+    assert_eq!(best.0, "lbm", "largest GPU savings was {} ({:.1}%)", best.0, best.1);
+    assert!(best.1 > 15.0, "lbm GPU savings only {:.1}%", best.1);
+}
+
+#[test]
+fn fig10_cpu_dominates_chipwide_savings() {
+    // Section VI-A: most of MPC's savings come from parking the
+    // busy-waiting CPU (paper: 75% CPU / 25% GPU).
+    let w = workload_by_name("NBody").unwrap();
+    let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let cpu_saved = out.baseline.cpu_energy_j() - out.measured.cpu_energy_j();
+    let gpu_saved = out.baseline.gpu_energy_j() - out.measured.gpu_energy_j();
+    assert!(cpu_saved > gpu_saved, "CPU {cpu_saved} vs GPU {gpu_saved}");
+}
+
+// ---- Figure 12 ----
+
+#[test]
+fn fig12_oracle_mpc_captures_most_of_to() {
+    let mut mpc_sum = 0.0;
+    let mut to_sum = 0.0;
+    for name in ["Spmv", "kmeans", "EigenValue", "lbm", "hybridsort"] {
+        mpc_sum += compare(Scheme::MpcOracle, name).energy_savings_pct;
+        to_sum += compare(Scheme::TheoreticallyOptimal, name).energy_savings_pct;
+    }
+    let capture = mpc_sum / to_sum;
+    assert!(capture > 0.85, "MPC captured only {:.0}% of TO", capture * 100.0);
+}
+
+// ---- Figure 13 ----
+
+#[test]
+fn fig13_results_are_insensitive_to_moderate_prediction_error() {
+    let w = "Spmv";
+    let perfect = compare(Scheme::MpcError { spec: ErrorSpec::ERR_0 }, w);
+    let err15 = compare(Scheme::MpcError { spec: ErrorSpec::ERR_15_10 }, w);
+    assert!(
+        (perfect.energy_savings_pct - err15.energy_savings_pct).abs() < 8.0,
+        "perfect {} vs err15 {}",
+        perfect.energy_savings_pct,
+        err15.energy_savings_pct
+    );
+}
+
+// ---- Figures 14 / 15 ----
+
+#[test]
+fn fig14_adaptive_overheads_are_sub_percent_range() {
+    let mut worst = 0.0f64;
+    for w in suite() {
+        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let p = out.measured.overhead_time_s / out.baseline.wall_time_s() * 100.0;
+        worst = worst.max(p);
+    }
+    assert!(worst < 5.0, "worst-case perf overhead {worst}% exceeds the α bound");
+}
+
+#[test]
+fn fig15_long_kernel_benchmarks_use_longer_horizons() {
+    let long = evaluate_scheme(
+        ctx(),
+        &workload_by_name("XSBench").unwrap(),
+        Scheme::MpcRf { horizon: HorizonMode::default() },
+    );
+    let short = evaluate_scheme(
+        ctx(),
+        &workload_by_name("hybridsort").unwrap(),
+        Scheme::MpcRf { horizon: HorizonMode::default() },
+    );
+    let lf = long.mpc_stats.unwrap().average_horizon_fraction(6);
+    let sf = short.mpc_stats.unwrap().average_horizon_fraction(15);
+    assert!(
+        lf >= sf,
+        "XSBench horizon fraction {lf} should be at least hybridsort's {sf}"
+    );
+}

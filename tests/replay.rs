@@ -1,0 +1,84 @@
+//! End-to-end replay methodology test: governors evaluated against a
+//! recorded measurement table (the paper's actual protocol) must behave
+//! exactly as against the live model — and must never step outside the
+//! campaign's coverage.
+
+use gpm::governors::{OverheadModel, PerfTarget, PpkGovernor, TurboCore};
+use gpm::harness::run_once;
+use gpm::hw::ConfigSpace;
+use gpm::mpc::{MpcConfig, MpcGovernor};
+use gpm::sim::{ApuSimulator, OraclePredictor, Platform, ReplayPlatform, SimParams};
+use gpm::workloads::workload_by_name;
+
+/// Records the campaign table for one workload's kernels over the paper's
+/// 336-configuration space, plus the full lattice states governors may
+/// also visit (fail-safe etc. are inside the campaign already; hill
+/// climbing explores all five DPM states, so record the full space).
+fn replay_for(sim: &ApuSimulator, workload: &str) -> (gpm::workloads::Workload, ReplayPlatform) {
+    let w = workload_by_name(workload).unwrap();
+    let replay = ReplayPlatform::record(sim, w.kernels(), &ConfigSpace::full());
+    (w, replay)
+}
+
+#[test]
+fn turbo_core_replay_is_bit_identical_to_live() {
+    let sim = ApuSimulator::default();
+    let (w, replay) = replay_for(&sim, "EigenValue");
+    let run = |platform: &dyn Platform| {
+        let mut gov = TurboCore::new(95.0);
+        run_once(platform, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false)
+    };
+    let live = run(&sim);
+    let replayed = run(&replay);
+    assert_eq!(live.kernel_time_s, replayed.kernel_time_s);
+    assert_eq!(live.total_energy_j(), replayed.total_energy_j());
+    assert_eq!(live.per_kernel.len(), replayed.per_kernel.len());
+}
+
+#[test]
+fn mpc_replay_makes_identical_decisions() {
+    let sim = ApuSimulator::default();
+    let (w, replay) = replay_for(&sim, "kmeans");
+    // Target from a live Turbo Core run.
+    let mut tc = TurboCore::new(95.0);
+    let base = run_once(&sim, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
+
+    let run = |platform: &dyn Platform| {
+        let mut gov = MpcGovernor::new(
+            OraclePredictor::new(&sim),
+            SimParams::default(),
+            MpcConfig { store_truth: true, ..MpcConfig::default() },
+        );
+        run_once(platform, &w, &mut gov, target, 0, true);
+        run_once(platform, &w, &mut gov, target, 1, true)
+    };
+    let live = run(&sim);
+    let replayed = run(&replay);
+    assert_eq!(
+        live.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>(),
+        replayed.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>(),
+        "decision sequences diverged between live and replay"
+    );
+    assert_eq!(live.total_energy_j(), replayed.total_energy_j());
+}
+
+#[test]
+fn governors_stay_within_the_full_lattice_coverage() {
+    // Running PPK against a full-lattice recording must never panic —
+    // i.e. no governor fabricates configurations outside hardware states.
+    let sim = ApuSimulator::default();
+    let (w, replay) = replay_for(&sim, "hybridsort");
+    let mut tc = TurboCore::new(95.0);
+    let base = run_once(&replay, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
+    let mut ppk = PpkGovernor::new(
+        OraclePredictor::new(&sim),
+        SimParams::default(),
+        ConfigSpace::paper_campaign(),
+        OverheadModel::default(),
+    )
+    .with_truth_snapshots(true);
+    let res = run_once(&replay, &w, &mut ppk, target, 0, true);
+    assert_eq!(res.per_kernel.len(), w.len());
+}

@@ -67,7 +67,14 @@ fn bench_searches(c: &mut Criterion) {
     let cap = out.time_s * 1.1;
     let space = ConfigSpace::paper_campaign();
     c.bench_function("search/hill_climb", |b| {
-        b.iter(|| black_box(hill_climb(&eval, black_box(&snap), HwConfig::FAIL_SAFE, cap)))
+        b.iter(|| {
+            black_box(hill_climb(
+                &eval,
+                black_box(&snap),
+                HwConfig::FAIL_SAFE,
+                cap,
+            ))
+        })
     });
     c.bench_function("search/exhaustive_336", |b| {
         b.iter(|| black_box(exhaustive_best(&eval, black_box(&snap), &space, cap)))
@@ -154,7 +161,10 @@ fn bench_governor_steps(c: &mut Criterion) {
 }
 
 fn bench_transition_cost(c: &mut Criterion) {
-    let params = SimParams { dvfs_transition_scale: 1.0, ..SimParams::default() };
+    let params = SimParams {
+        dvfs_transition_scale: 1.0,
+        ..SimParams::default()
+    };
     c.bench_function("sim/transition_cost", |b| {
         b.iter(|| {
             black_box(gpm_sim::transition::transition_cost_s(

@@ -30,7 +30,9 @@ fn bench_schemes(c: &mut Criterion) {
             black_box(evaluate_scheme(
                 ctx(),
                 &w,
-                Scheme::MpcRf { horizon: HorizonMode::default() },
+                Scheme::MpcRf {
+                    horizon: HorizonMode::default(),
+                },
             ))
         })
     });
@@ -53,7 +55,9 @@ fn bench_workload_sizes(c: &mut Criterion) {
                 black_box(evaluate_scheme(
                     ctx(),
                     &w,
-                    Scheme::MpcRf { horizon: HorizonMode::default() },
+                    Scheme::MpcRf {
+                        horizon: HorizonMode::default(),
+                    },
                 ))
             })
         });

@@ -34,7 +34,9 @@ fn main() {
             let out = evaluate_scheme(
                 &ctx,
                 w,
-                Scheme::MpcRf { horizon: HorizonMode::Adaptive { alpha } },
+                Scheme::MpcRf {
+                    horizon: HorizonMode::Adaptive { alpha },
+                },
             );
             cs.push(Comparison::between(&out.baseline, &out.measured));
             let stats = out.mpc_stats.expect("MPC stats");

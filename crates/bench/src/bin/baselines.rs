@@ -15,10 +15,25 @@ use gpm_mpc::HorizonMode;
 fn main() {
     let ctx = figure_context();
     let schemes: Vec<(&str, Scheme)> = vec![
-        ("Equalizer(perf)", Scheme::Equalizer { mode: EqualizerMode::Performance }),
-        ("Equalizer(eff)", Scheme::Equalizer { mode: EqualizerMode::Efficiency }),
+        (
+            "Equalizer(perf)",
+            Scheme::Equalizer {
+                mode: EqualizerMode::Performance,
+            },
+        ),
+        (
+            "Equalizer(eff)",
+            Scheme::Equalizer {
+                mode: EqualizerMode::Efficiency,
+            },
+        ),
         ("PPK(RF)", Scheme::PpkRf),
-        ("MPC(RF)", Scheme::MpcRf { horizon: HorizonMode::default() }),
+        (
+            "MPC(RF)",
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        ),
         ("TO", Scheme::TheoreticallyOptimal),
     ];
 
@@ -29,7 +44,10 @@ fn main() {
     }
     let mut table = Table::new(headers);
 
-    let results: Vec<_> = schemes.iter().map(|(n, s)| (*n, evaluate_suite(&ctx, *s))).collect();
+    let results: Vec<_> = schemes
+        .iter()
+        .map(|(n, s)| (*n, evaluate_suite(&ctx, *s)))
+        .collect();
     let n = results[0].1.len();
     for i in 0..n {
         let mut row = vec![results[0].1[i].workload.name().to_string()];

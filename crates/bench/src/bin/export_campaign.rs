@@ -52,7 +52,11 @@ fn main() {
     println!(
         "exported {} measurements: results/campaign.json ({} KiB), results/campaign.csv ({} KiB)",
         replay.len(),
-        std::fs::metadata("results/campaign.json").map(|m| m.len() / 1024).unwrap_or(0),
-        std::fs::metadata("results/campaign.csv").map(|m| m.len() / 1024).unwrap_or(0),
+        std::fs::metadata("results/campaign.json")
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0),
+        std::fs::metadata("results/campaign.csv")
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0),
     );
 }

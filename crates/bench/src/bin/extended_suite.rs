@@ -26,7 +26,13 @@ fn main() {
     for w in extended_suite() {
         eprintln!("  extended suite: {} ...", w.name());
         let ppk = evaluate_scheme(&ctx, &w, Scheme::PpkRf);
-        let mpc = evaluate_scheme(&ctx, &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let mpc = evaluate_scheme(
+            &ctx,
+            &w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let pc = Comparison::between(&ppk.baseline, &ppk.measured);
         let mc = Comparison::between(&mpc.baseline, &mpc.measured);
         table.row(vec![

@@ -13,7 +13,12 @@ use gpm_mpc::HorizonMode;
 fn main() {
     let ctx = figure_context();
     let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-    let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
 
     let mut table = Table::new(vec![
         "benchmark",

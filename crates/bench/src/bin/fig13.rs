@@ -15,13 +15,30 @@ fn main() {
     let ctx = figure_context();
     let schemes: Vec<(&str, Scheme)> = vec![
         ("RF", Scheme::MpcRfIdealized),
-        ("Err_15%_10%", Scheme::MpcError { spec: ErrorSpec::ERR_15_10 }),
-        ("Err_5%", Scheme::MpcError { spec: ErrorSpec::ERR_5 }),
-        ("Err_0%", Scheme::MpcError { spec: ErrorSpec::ERR_0 }),
+        (
+            "Err_15%_10%",
+            Scheme::MpcError {
+                spec: ErrorSpec::ERR_15_10,
+            },
+        ),
+        (
+            "Err_5%",
+            Scheme::MpcError {
+                spec: ErrorSpec::ERR_5,
+            },
+        ),
+        (
+            "Err_0%",
+            Scheme::MpcError {
+                spec: ErrorSpec::ERR_0,
+            },
+        ),
     ];
 
-    let results: Vec<(&str, Vec<BenchRow>)> =
-        schemes.iter().map(|(name, s)| (*name, evaluate_suite(&ctx, *s))).collect();
+    let results: Vec<(&str, Vec<BenchRow>)> = schemes
+        .iter()
+        .map(|(name, s)| (*name, evaluate_suite(&ctx, *s)))
+        .collect();
 
     let mut headers = vec!["benchmark".to_string()];
     for (name, _) in &results {

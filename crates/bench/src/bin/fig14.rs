@@ -12,7 +12,12 @@ use gpm_mpc::HorizonMode;
 
 fn main() {
     let ctx = figure_context();
-    let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
 
     let mut table = Table::new(vec![
         "benchmark",
@@ -29,7 +34,12 @@ fn main() {
         let p_overhead = m.overhead_time_s / b.wall_time_s() * 100.0;
         e_sum += e_overhead;
         p_sum += p_overhead;
-        let evals = row.outcome.mpc_stats.as_ref().map(|s| s.total_evaluations()).unwrap_or(0);
+        let evals = row
+            .outcome
+            .mpc_stats
+            .as_ref()
+            .map(|s| s.total_evaluations())
+            .unwrap_or(0);
         table.row(vec![
             row.workload.name().to_string(),
             fmt(e_overhead, 3),

@@ -11,7 +11,12 @@ use gpm_mpc::HorizonMode;
 
 fn main() {
     let ctx = figure_context();
-    let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
 
     let mut table = Table::new(vec![
         "benchmark",

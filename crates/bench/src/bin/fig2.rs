@@ -33,7 +33,11 @@ fn main() {
     let sim = ApuSimulator::default();
     println!("Figure 2: GPGPU kernel scaling classes\n");
     panel(&sim, "a: compute-bound — MaxFlops", &max_flops());
-    panel(&sim, "b: memory-bound — readGlobalMemoryCoalesced", &read_global_memory_coalesced());
+    panel(
+        &sim,
+        "b: memory-bound — readGlobalMemoryCoalesced",
+        &read_global_memory_coalesced(),
+    );
     panel(&sim, "c: peak — writeCandidates", &write_candidates());
     panel(&sim, "d: unscalable — astar", &astar());
 }

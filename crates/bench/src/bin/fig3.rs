@@ -19,7 +19,10 @@ fn main() {
             println!("  {:>3}  {:>6.2}  {}", i + 1, v, bar);
         }
         println!();
-        svg_series.push(BarSeries { name: name.to_string(), values: trace });
+        svg_series.push(BarSeries {
+            name: name.to_string(),
+            values: trace,
+        });
     }
     let svg = line_chart(
         "Figure 3: kernel throughput (normalized to overall)",

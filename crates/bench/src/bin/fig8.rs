@@ -13,7 +13,12 @@ use gpm_mpc::HorizonMode;
 fn main() {
     let ctx = figure_context();
     let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-    let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
 
     let mut table = Table::new(vec![
         "benchmark",
@@ -57,11 +62,17 @@ fn main() {
         &[
             BarSeries {
                 name: "PPK".into(),
-                values: ppk.iter().map(|r| r.vs_baseline.energy_savings_pct).collect(),
+                values: ppk
+                    .iter()
+                    .map(|r| r.vs_baseline.energy_savings_pct)
+                    .collect(),
             },
             BarSeries {
                 name: "MPC".into(),
-                values: mpc.iter().map(|r| r.vs_baseline.energy_savings_pct).collect(),
+                values: mpc
+                    .iter()
+                    .map(|r| r.vs_baseline.energy_savings_pct)
+                    .collect(),
             },
         ],
         "energy savings (%)",

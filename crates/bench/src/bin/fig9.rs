@@ -13,13 +13,25 @@ use gpm_mpc::HorizonMode;
 fn main() {
     let ctx = figure_context();
     let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-    let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
     let rel = relative_rows(&mpc, &ppk);
 
-    let mut table =
-        Table::new(vec!["benchmark", "MPC energy savings over PPK (%)", "MPC speedup over PPK"]);
+    let mut table = Table::new(vec![
+        "benchmark",
+        "MPC energy savings over PPK (%)",
+        "MPC speedup over PPK",
+    ]);
     for (name, c) in &rel {
-        table.row(vec![name.clone(), fmt(c.energy_savings_pct, 1), fmt(c.speedup, 3)]);
+        table.row(vec![
+            name.clone(),
+            fmt(c.energy_savings_pct, 1),
+            fmt(c.speedup, 3),
+        ]);
     }
     let avg = summarize(&rel.iter().map(|(_, c)| *c).collect::<Vec<_>>());
     let speedups: Vec<f64> = rel.iter().map(|(_, c)| c.speedup).collect();

@@ -27,7 +27,13 @@ fn main() {
     let mut ppk_cs: Vec<Comparison> = Vec::new();
     for w in &population {
         eprintln!("  generalization on {} ...", w.name());
-        let mpc = evaluate_scheme(&ctx, w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let mpc = evaluate_scheme(
+            &ctx,
+            w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let ppk = evaluate_scheme(&ctx, w, Scheme::PpkRf);
         let mc = Comparison::between(&mpc.baseline, &mpc.measured);
         let pc = Comparison::between(&ppk.baseline, &ppk.measured);
@@ -59,5 +65,8 @@ fn main() {
         "out-of-distribution MPC: {:.1}% savings, speedup {:.3} (suite numbers: ~29% / ~1.0);",
         ma.energy_savings_pct, ma.speedup
     );
-    println!("PPK speedup {:.3} — the future-aware gap persists on unseen applications.", pa.speedup);
+    println!(
+        "PPK speedup {:.3} — the future-aware gap persists on unseen applications.",
+        pa.speedup
+    );
 }

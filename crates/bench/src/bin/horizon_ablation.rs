@@ -12,8 +12,18 @@ use gpm_mpc::HorizonMode;
 
 fn main() {
     let ctx = figure_context();
-    let adaptive = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
-    let full = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::Full });
+    let adaptive = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
+    let full = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::Full,
+        },
+    );
     let ideal = evaluate_suite(&ctx, Scheme::MpcRfIdealized); // full horizon, no overhead
 
     let mut table = Table::new(vec![
@@ -64,13 +74,24 @@ fn main() {
     // kernels, so optimizer time is ~10× larger *relative to kernel time*
     // than in our simulator. Scale the overhead model up accordingly to
     // reproduce the full-horizon collapse of Section VI-E.
-    let short = gpm_governors::OverheadModel { per_eval_s: 200e-6, base_s: 300e-6 };
+    let short = gpm_governors::OverheadModel {
+        per_eval_s: 200e-6,
+        base_s: 300e-6,
+    };
     let adaptive_short = evaluate_suite(
         &ctx,
-        Scheme::MpcRfOverhead { horizon: HorizonMode::default(), overhead: short },
+        Scheme::MpcRfOverhead {
+            horizon: HorizonMode::default(),
+            overhead: short,
+        },
     );
-    let full_short =
-        evaluate_suite(&ctx, Scheme::MpcRfOverhead { horizon: HorizonMode::Full, overhead: short });
+    let full_short = evaluate_suite(
+        &ctx,
+        Scheme::MpcRfOverhead {
+            horizon: HorizonMode::Full,
+            overhead: short,
+        },
+    );
     let asr = suite_average(&adaptive_short);
     let fsr = suite_average(&full_short);
     println!("\nshort-kernel regime (optimizer cost x10 relative to kernels):");

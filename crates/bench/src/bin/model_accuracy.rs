@@ -29,15 +29,24 @@ fn main() {
         options.test_fraction,
         options.seed,
     );
-    println!("Random split: time MAPE {:.1}%  power MAPE {:.1}%  time R2 {:.3}  power R2 {:.3}",
-        report.time_mape * 100.0, report.power_mape * 100.0, report.time_r2, report.power_r2);
+    println!(
+        "Random split: time MAPE {:.1}%  power MAPE {:.1}%  time R2 {:.3}  power R2 {:.3}",
+        report.time_mape * 100.0,
+        report.power_mape * 100.0,
+        report.time_r2,
+        report.power_r2
+    );
     println!("(paper reports 25% performance MAPE and 12% power MAPE)\n");
 
     // Leave-one-kernel-out over a representative subset.
-    let mut table =
-        Table::new(vec!["held-out kernel", "time MAPE (%)", "power MAPE (%)"]);
-    let probes =
-        ["mandelbulb", "lbm_collide_stream", "spmv_ellpackr", "kmeans_swap", "mergeSortPass_F5"];
+    let mut table = Table::new(vec!["held-out kernel", "time MAPE (%)", "power MAPE (%)"]);
+    let probes = [
+        "mandelbulb",
+        "lbm_collide_stream",
+        "spmv_ellpackr",
+        "kmeans_swap",
+        "mergeSortPass_F5",
+    ];
     let mut sums = (0.0, 0.0);
     for probe in probes {
         let (train, test) = dataset.split_leave_kernel_out(probe);
@@ -63,11 +72,9 @@ fn main() {
     // physically meaningful features?
     let (train, test) = dataset.split(0.2, options.seed);
     let rf = RandomForestPredictor::train(&train, &options.forest, options.seed);
-    let time_imp =
-        permutation_importance(rf.time_forest(), &test, |s| s.time_s.max(1e-12).ln(), 7);
+    let time_imp = permutation_importance(rf.time_forest(), &test, |s| s.time_s.max(1e-12).ln(), 7);
     let power_imp = permutation_importance(rf.power_forest(), &test, |s| s.gpu_power_w, 7);
-    let mut imp_table =
-        Table::new(vec!["feature", "time importance", "power importance"]);
+    let mut imp_table = Table::new(vec!["feature", "time importance", "power importance"]);
     for (i, name) in FEATURE_NAMES.iter().enumerate() {
         imp_table.row(vec![
             name.to_string(),

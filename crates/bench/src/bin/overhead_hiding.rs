@@ -15,7 +15,9 @@ use gpm_workloads::suite;
 fn main() {
     eprintln!("building evaluation context ...");
     let ctx = EvalContext::default();
-    let scheme = Scheme::MpcRf { horizon: HorizonMode::default() };
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
 
     let mut table = Table::new(vec![
         "benchmark",
@@ -30,8 +32,12 @@ fn main() {
         let worst = evaluate_scheme(&ctx, &w, scheme);
 
         // CPU phases of 10% of each kernel's baseline time.
-        let phases: Vec<f64> =
-            worst.baseline.per_kernel.iter().map(|k| k.time_s * 0.10).collect();
+        let phases: Vec<f64> = worst
+            .baseline
+            .per_kernel
+            .iter()
+            .map(|k| k.time_s * 0.10)
+            .collect();
         let with_phases_workload = w.clone().with_cpu_phases(phases);
         let hidden = evaluate_scheme(&ctx, &with_phases_workload, scheme);
 
@@ -39,7 +45,11 @@ fn main() {
         let h_ms = hidden.measured.overhead_time_s * 1e3;
         worst_sum += w_ms;
         hidden_sum += h_ms;
-        let pct = if w_ms > 0.0 { (1.0 - h_ms / w_ms) * 100.0 } else { 0.0 };
+        let pct = if w_ms > 0.0 {
+            (1.0 - h_ms / w_ms) * 100.0
+        } else {
+            0.0
+        };
         table.row(vec![
             w.name().to_string(),
             fmt(w_ms, 3),

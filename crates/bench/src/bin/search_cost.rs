@@ -23,8 +23,13 @@ fn main() {
     let eval = EnergyEvaluator::new(OraclePredictor::new(&sim), SimParams::noiseless());
     let space = ConfigSpace::paper_campaign();
 
-    let mut table =
-        Table::new(vec!["kernel", "exhaustive evals", "hill-climb evals", "reduction", "energy gap (%)"]);
+    let mut table = Table::new(vec![
+        "kernel",
+        "exhaustive evals",
+        "hill-climb evals",
+        "reduction",
+        "energy gap (%)",
+    ]);
     let mut kernels = Vec::new();
     for w in suite() {
         if let Some(k) = w.kernels().first() {
@@ -38,7 +43,9 @@ fn main() {
         let cap = out.time_s * 1.1;
         let (ex, ex_evals) = exhaustive_best(&eval, &snap, &space, cap);
         let (hc, hc_evals) = hill_climb(&eval, &snap, HwConfig::FAIL_SAFE, cap);
-        let (Some(ex), Some(hc)) = (ex, hc) else { continue };
+        let (Some(ex), Some(hc)) = (ex, hc) else {
+            continue;
+        };
         let reduction = ex_evals as f64 / hc_evals as f64;
         red_sum += reduction;
         n += 1;
@@ -52,11 +59,19 @@ fn main() {
     }
     println!("Search-cost ablation (per-kernel): hill climb vs exhaustive");
     println!("{}", table.render());
-    println!("average reduction: {:.1}x (paper: ~19x)\n", red_sum / n as f64);
+    println!(
+        "average reduction: {:.1}x (paper: ~19x)\n",
+        red_sum / n as f64
+    );
 
     // System level: measured MPC evaluations vs the backtracking bound.
     let ctx = figure_context();
-    let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_suite(
+        &ctx,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
     let mut table2 = Table::new(vec![
         "benchmark",
         "MPC evals (measured)",
@@ -83,5 +98,8 @@ fn main() {
     }
     println!("Search-cost ablation (system): measured MPC vs exhaustive window search");
     println!("{}", table2.render());
-    println!("average reduction: {:.0}x (paper: ~65x vs backtracking MPC)", total_ratio / mpc.len() as f64);
+    println!(
+        "average reduction: {:.0}x (paper: ~65x vs backtracking MPC)",
+        total_ratio / mpc.len() as f64
+    );
 }

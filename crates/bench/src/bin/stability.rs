@@ -13,7 +13,13 @@ use gpm_mpc::HorizonMode;
 use gpm_sim::SimParams;
 
 fn main() {
-    let seeds = [0x9e3779b97f4a7c15u64, 0x1234_5678, 0xDEAD_BEEF, 0x0F0F_F0F0, 0xABCD_EF01];
+    let seeds = [
+        0x9e3779b97f4a7c15u64,
+        0x1234_5678,
+        0xDEAD_BEEF,
+        0x0F0F_F0F0,
+        0xABCD_EF01,
+    ];
     let mut table = Table::new(vec![
         "noise seed",
         "RF time MAPE (%)",
@@ -26,11 +32,19 @@ fn main() {
     for &seed in &seeds {
         eprintln!("seed {seed:#x}: building context ...");
         let options = EvalOptions {
-            sim_params: SimParams { noise_seed: seed, ..SimParams::default() },
+            sim_params: SimParams {
+                noise_seed: seed,
+                ..SimParams::default()
+            },
             ..EvalOptions::default()
         };
         let ctx = EvalContext::build(options);
-        let mpc = evaluate_suite(&ctx, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let mpc = evaluate_suite(
+            &ctx,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
         let ma = suite_average(&mpc);
         let pa = suite_average(&ppk);

@@ -7,17 +7,29 @@ use gpm_hw::{CpuPState, GpuDpm, NbState};
 fn main() {
     let mut cpu = Table::new(vec!["CPU P-state", "Voltage (V)", "Freq (GHz)"]);
     for s in CpuPState::ALL {
-        cpu.row(vec![s.to_string(), fmt(s.voltage(), 4), fmt(s.freq_ghz(), 1)]);
+        cpu.row(vec![
+            s.to_string(),
+            fmt(s.voltage(), 4),
+            fmt(s.freq_ghz(), 1),
+        ]);
     }
 
     let mut nb = Table::new(vec!["NB P-state", "Freq (GHz)", "Memory Freq (MHz)"]);
     for s in NbState::ALL {
-        nb.row(vec![s.to_string(), fmt(s.freq_ghz(), 1), fmt(s.mem_freq_mhz(), 0)]);
+        nb.row(vec![
+            s.to_string(),
+            fmt(s.freq_ghz(), 1),
+            fmt(s.mem_freq_mhz(), 0),
+        ]);
     }
 
     let mut gpu = Table::new(vec!["GPU P-state", "Voltage (V)", "Freq (MHz)"]);
     for s in GpuDpm::ALL {
-        gpu.row(vec![s.to_string(), fmt(s.voltage(), 4), fmt(s.freq_mhz(), 0)]);
+        gpu.row(vec![
+            s.to_string(),
+            fmt(s.voltage(), 4),
+            fmt(s.freq_mhz(), 0),
+        ]);
     }
 
     println!("Table I: DVFS states on the AMD A10-7850K\n");

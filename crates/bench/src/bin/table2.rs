@@ -8,7 +8,11 @@ fn main() {
     let mut table = Table::new(vec!["Benchmark", "Kernel Execution Pattern", "Invocations"]);
     for name in ["Spmv", "kmeans", "hybridsort"] {
         let w = workload_by_name(name).expect("suite benchmark");
-        table.row(vec![w.name().to_string(), w.pattern().to_string(), w.len().to_string()]);
+        table.row(vec![
+            w.name().to_string(),
+            w.pattern().to_string(),
+            w.len().to_string(),
+        ]);
     }
     println!("Table II: execution pattern of three irregular benchmarks\n");
     println!("{}", table.render());

@@ -5,8 +5,14 @@ use gpm_harness::report::Table;
 use gpm_workloads::suite;
 
 fn main() {
-    let mut table =
-        Table::new(vec!["Category", "Benchmark", "Benchmark Suite", "Pattern", "N", "Distinct"]);
+    let mut table = Table::new(vec![
+        "Category",
+        "Benchmark",
+        "Benchmark Suite",
+        "Pattern",
+        "N",
+        "Distinct",
+    ]);
     for w in suite() {
         table.row(vec![
             w.category().to_string(),

@@ -1,0 +1,153 @@
+//! Decision-trace report: replays one workload under the full MPC scheme
+//! with the observability layer attached, prints the aggregated trace
+//! summary, and cross-checks it against the governor's own `MpcStats`
+//! (mean horizon, overhead per decision, predictor evaluations — the
+//! Figure 14/15 source numbers must be derivable from the event stream
+//! alone).
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_report [--workload NAME] [--json PATH] [--jsonl PATH] [--fast]
+//! ```
+//!
+//! `--json` exports the summary (plus energy/performance comparison) as a
+//! JSON report; `--jsonl` streams every raw event to a JSON Lines file.
+//! `--fast` (or env `GPM_BENCH_FAST=1`) uses the reduced measurement
+//! campaign, for CI smoke runs.
+//!
+//! Exits non-zero when the trace-derived statistics disagree with
+//! `MpcStats`.
+
+use gpm_harness::metrics::Comparison;
+use gpm_harness::report::trace_summary_table;
+use gpm_harness::{evaluate_scheme_traced, EvalContext, EvalOptions, Scheme};
+use gpm_mpc::HorizonMode;
+use gpm_trace::{AggregateSink, FanoutSink, JsonlSink, TraceSink, TraceSummary};
+use gpm_workloads::workload_by_name;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct TraceReport {
+    workload: String,
+    scheme: String,
+    energy_savings_pct: f64,
+    speedup: f64,
+    summary: TraceSummary,
+}
+
+struct Args {
+    workload: String,
+    json: Option<String>,
+    jsonl: Option<String>,
+    fast: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "kmeans".to_string(),
+        json: None,
+        jsonl: None,
+        fast: std::env::var("GPM_BENCH_FAST").is_ok_and(|v| v != "0"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => args.workload = it.next().expect("--workload needs a name"),
+            "--json" => args.json = Some(it.next().expect("--json needs a path")),
+            "--jsonl" => args.jsonl = Some(it.next().expect("--jsonl needs a path")),
+            "--fast" => args.fast = true,
+            other => panic!("unknown flag {other}; see module docs for usage"),
+        }
+    }
+    args
+}
+
+/// Cross-checks one trace-derived value against its `MpcStats` twin.
+fn check(label: &str, from_trace: f64, from_stats: f64) -> bool {
+    let ok = (from_trace - from_stats).abs() <= 1e-9 * from_stats.abs().max(1.0);
+    if !ok {
+        eprintln!("MISMATCH {label}: trace {from_trace} vs stats {from_stats}");
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let workload = workload_by_name(&args.workload)
+        .unwrap_or_else(|| panic!("unknown workload {:?}", args.workload));
+
+    eprintln!(
+        "building evaluation context ({})...",
+        if args.fast { "fast" } else { "full" }
+    );
+    let options = if args.fast {
+        EvalOptions::fast()
+    } else {
+        EvalOptions::default()
+    };
+    let ctx = EvalContext::build(options);
+
+    let agg = Arc::new(AggregateSink::new());
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![agg.clone()];
+    if let Some(path) = &args.jsonl {
+        let jsonl = JsonlSink::create(path).expect("create --jsonl file");
+        sinks.push(Arc::new(jsonl));
+    }
+    let sink: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(sinks));
+
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
+    let out = evaluate_scheme_traced(&ctx, &workload, scheme, &sink);
+    let summary = agg.summary();
+    let stats = out.mpc_stats.as_ref().expect("MPC scheme returns stats");
+    let vs_baseline = Comparison::between(&out.baseline, &out.measured);
+
+    println!("Decision trace: {} on {}", out.label, workload.name());
+    println!("{}", trace_summary_table(&summary).render());
+    println!(
+        "vs Turbo Core: energy savings {:+.2}%, speedup {:.3}",
+        vs_baseline.energy_savings_pct, vs_baseline.speedup
+    );
+
+    if let Some(path) = &args.json {
+        let report = TraceReport {
+            workload: workload.name().to_string(),
+            scheme: out.label.clone(),
+            energy_savings_pct: vs_baseline.energy_savings_pct,
+            speedup: vs_baseline.speedup,
+            summary: summary.clone(),
+        };
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, text).expect("write --json report");
+        eprintln!("wrote {path}");
+    }
+
+    // The acceptance cross-check: the event stream must reproduce the
+    // governor's internal accounting exactly.
+    let mut ok = true;
+    ok &= check(
+        "mean horizon",
+        summary.mean_horizon,
+        stats.average_horizon(),
+    );
+    ok &= check(
+        "overhead per decision (s)",
+        summary.overhead_per_decision_s,
+        stats.total_overhead_s() / stats.horizons.len().max(1) as f64,
+    );
+    ok &= check(
+        "horizon-decision evaluations",
+        summary.horizon_evaluations as f64,
+        stats.total_evaluations() as f64,
+    );
+    if ok {
+        eprintln!("trace/stats cross-check passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

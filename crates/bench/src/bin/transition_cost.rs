@@ -16,7 +16,10 @@ use gpm_workloads::suite;
 
 fn context_with_scale(scale: f64) -> EvalContext {
     let opts = EvalOptions {
-        sim_params: SimParams { dvfs_transition_scale: scale, ..SimParams::default() },
+        sim_params: SimParams {
+            dvfs_transition_scale: scale,
+            ..SimParams::default()
+        },
         ..EvalOptions::default()
     };
     EvalContext::build(opts)
@@ -40,8 +43,13 @@ fn main() {
             .iter()
             .map(|w| {
                 eprintln!("  {} @{}x ...", w.name(), scale);
-                let out =
-                    evaluate_scheme(&ctx, w, Scheme::MpcRf { horizon: HorizonMode::default() });
+                let out = evaluate_scheme(
+                    &ctx,
+                    w,
+                    Scheme::MpcRf {
+                        horizon: HorizonMode::default(),
+                    },
+                );
                 let c = gpm_harness::metrics::Comparison::between(&out.baseline, &out.measured);
                 (
                     w.name().to_string(),

@@ -33,7 +33,10 @@ fn main() {
         let (baseline, target) = turbo_core_baseline(&sim, &w);
         let mut row: Vec<String> = vec![w.name().to_string()];
         let mut evals = [0u64; 2];
-        for (i, solver) in [WindowSolver::Greedy, WindowSolver::ExactDp].iter().enumerate() {
+        for (i, solver) in [WindowSolver::Greedy, WindowSolver::ExactDp]
+            .iter()
+            .enumerate()
+        {
             let cfg = MpcConfig {
                 horizon_mode: HorizonMode::Full,
                 overhead: OverheadModel::free(),
@@ -50,8 +53,12 @@ fn main() {
             evals[i] = gov.stats().total_evaluations();
         }
         // Reorder: savings pair, speedup pair, eval columns.
-        let (g_sav, g_spd, e_sav, e_spd) =
-            (row[1].clone(), row[2].clone(), row[3].clone(), row[4].clone());
+        let (g_sav, g_spd, e_sav, e_spd) = (
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+            row[4].clone(),
+        );
         let ratio = evals[1] as f64 / evals[0].max(1) as f64;
         ratios.push(ratio);
         table.row(vec![

@@ -43,7 +43,11 @@ pub fn evaluate_suite(ctx: &EvalContext, scheme: Scheme) -> Vec<BenchRow> {
             eprintln!("  {} on {} ...", scheme.label(), workload.name());
             let outcome = evaluate_scheme(ctx, &workload, scheme);
             let vs_baseline = Comparison::between(&outcome.baseline, &outcome.measured);
-            BenchRow { workload, outcome, vs_baseline }
+            BenchRow {
+                workload,
+                outcome,
+                vs_baseline,
+            }
         })
         .collect()
 }
@@ -61,7 +65,11 @@ pub fn relative_rows(a: &[BenchRow], b: &[BenchRow]) -> Vec<(String, Comparison)
     a.iter()
         .zip(b.iter())
         .map(|(ra, rb)| {
-            assert_eq!(ra.workload.name(), rb.workload.name(), "suite order mismatch");
+            assert_eq!(
+                ra.workload.name(),
+                rb.workload.name(),
+                "suite order mismatch"
+            );
             let c = Comparison::between(&rb.outcome.measured, &ra.outcome.measured);
             (ra.workload.name().to_string(), c)
         })

@@ -18,13 +18,15 @@ use crate::horizon::{HorizonGenerator, HorizonMode};
 use crate::optimizer::{optimize_window, optimize_window_exact};
 use crate::search_order::{average_full_horizon, search_order, ProfiledKernel};
 use crate::stats::MpcStats;
-use gpm_governors::search::{hill_climb, EnergyEvaluator};
+use gpm_governors::search::{hill_climb_stats, EnergyEvaluator};
 use gpm_governors::{Governor, GovernorDecision, KernelContext, OverheadModel, PerfTarget};
 use gpm_hw::HwConfig;
 use gpm_pattern::PatternExtractor;
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
 use gpm_sim::{KernelCharacteristics, KernelOutcome, SimParams};
+use gpm_trace::{noop_sink, FailSafeReason, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Which window optimizer the governor runs each decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,8 +42,7 @@ pub enum WindowSolver {
 }
 
 /// Static configuration of the MPC governor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MpcConfig {
     /// Horizon policy; the paper's evaluation uses `Adaptive { alpha: 0.05 }`.
     pub horizon_mode: HorizonMode,
@@ -64,7 +65,6 @@ pub struct MpcConfig {
     pub period_lookahead: bool,
 }
 
-
 /// The adaptive-MPC power-management governor (the paper's contribution).
 ///
 /// Generic over the power/performance predictor: plug in the trained
@@ -83,6 +83,7 @@ pub struct MpcGovernor<P> {
     pending_overhead_s: f64,
     target_seen: Option<PerfTarget>,
     stats: MpcStats,
+    trace: Arc<dyn TraceSink>,
 }
 
 impl<P: PowerPerfPredictor> MpcGovernor<P> {
@@ -101,6 +102,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             pending_overhead_s: 0.0,
             target_seen: None,
             stats: MpcStats::new(),
+            trace: noop_sink(),
         }
     }
 
@@ -163,12 +165,32 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         let overhead_s = self.cfg.overhead.cost_s(plan.evaluations);
         self.t_ppk += overhead_s; // still first-invocation optimization cost
         self.pending_overhead_s = overhead_s;
-        self.stats.record_decision(period, plan.evaluations, overhead_s, plan.fail_safe);
+        self.stats
+            .record_decision(period, plan.evaluations, overhead_s, plan.fail_safe);
+        if self.trace.enabled() {
+            self.trace.record(&TraceEvent::Search {
+                run_index: ctx.run_index,
+                position: ctx.position,
+                horizon: Some(period),
+                evaluations: plan.evaluations,
+                visits: plan.search.visits,
+                pruned: plan.search.pruned,
+                overhead_s,
+            });
+            if plan.fail_safe {
+                self.trace.record(&TraceEvent::FailSafe {
+                    run_index: ctx.run_index,
+                    position: ctx.position,
+                    reason: FailSafeReason::InfeasibleWindow,
+                });
+            }
+        }
         Some(GovernorDecision {
             config: plan.config,
             overhead_s,
             evaluations: plan.evaluations,
             horizon: Some(period),
+            predicted: plan.chosen,
         })
     }
 
@@ -179,30 +201,71 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         let Some(last) = self.last_snapshot.clone() else {
             return GovernorDecision::instant(HwConfig::FAIL_SAFE);
         };
-        let cap = ctx.target.time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
-        let (best, evals) = hill_climb(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap);
+        let cap = ctx
+            .target
+            .time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
+        let (best, stats) = hill_climb_stats(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap);
         let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
-        let overhead_s = self.cfg.overhead.cost_s(evals);
+        let overhead_s = self.cfg.overhead.cost_s(stats.evaluations);
         if charge_t_ppk {
             self.t_ppk += overhead_s;
         }
         self.pending_overhead_s = overhead_s;
-        GovernorDecision { config, overhead_s, evaluations: evals, horizon: None }
+        if self.trace.enabled() {
+            self.trace.record(&TraceEvent::Search {
+                run_index: ctx.run_index,
+                position: ctx.position,
+                horizon: None,
+                evaluations: stats.evaluations,
+                visits: stats.visits,
+                pruned: stats.pruned,
+                overhead_s,
+            });
+            if best.is_none() {
+                self.trace.record(&TraceEvent::FailSafe {
+                    run_index: ctx.run_index,
+                    position: ctx.position,
+                    reason: FailSafeReason::InfeasibleCap,
+                });
+            }
+        }
+        GovernorDecision {
+            config,
+            overhead_s,
+            evaluations: stats.evaluations,
+            horizon: None,
+            predicted: best,
+        }
     }
 
     /// Full MPC decision once the reference pattern exists.
     fn mpc_decision(&mut self, ctx: &KernelContext) -> GovernorDecision {
-        let gen = self.horizon_gen.as_ref().expect("horizon generator exists post-profiling");
+        let gen = self
+            .horizon_gen
+            .as_ref()
+            .expect("horizon generator exists post-profiling");
         let h = gen.horizon_for(ctx.position);
         if h == 0 {
             // No optimization budget: run the performance-safe default.
             self.stats.record_decision(0, 0, 0.0, false);
             self.pending_overhead_s = 0.0;
+            if self.trace.enabled() {
+                self.trace.record(&TraceEvent::Search {
+                    run_index: ctx.run_index,
+                    position: ctx.position,
+                    horizon: Some(0),
+                    evaluations: 0,
+                    visits: gpm_trace::KnobVisits::default(),
+                    pruned: 0,
+                    overhead_s: 0.0,
+                });
+            }
             return GovernorDecision {
                 config: HwConfig::FAIL_SAFE,
                 overhead_s: 0.0,
                 evaluations: 0,
                 horizon: Some(0),
+                predicted: None,
             };
         }
 
@@ -243,14 +306,38 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
                 &ctx.target,
             ),
         };
-        let (config, evals, fail_safe) = match plan {
-            Some(p) => (p.config, p.evaluations, p.fail_safe),
-            None => (HwConfig::FAIL_SAFE, 0, true),
+        let (config, evals, fail_safe, search, chosen) = match plan {
+            Some(p) => (p.config, p.evaluations, p.fail_safe, p.search, p.chosen),
+            None => (HwConfig::FAIL_SAFE, 0, true, Default::default(), None),
         };
         let overhead_s = self.cfg.overhead.cost_s(evals);
         self.stats.record_decision(h, evals, overhead_s, fail_safe);
         self.pending_overhead_s = overhead_s;
-        GovernorDecision { config, overhead_s, evaluations: evals, horizon: Some(h) }
+        if self.trace.enabled() {
+            self.trace.record(&TraceEvent::Search {
+                run_index: ctx.run_index,
+                position: ctx.position,
+                horizon: Some(h),
+                evaluations: evals,
+                visits: search.visits,
+                pruned: search.pruned,
+                overhead_s,
+            });
+            if fail_safe {
+                self.trace.record(&TraceEvent::FailSafe {
+                    run_index: ctx.run_index,
+                    position: ctx.position,
+                    reason: FailSafeReason::InfeasibleWindow,
+                });
+            }
+        }
+        GovernorDecision {
+            config,
+            overhead_s,
+            evaluations: evals,
+            horizon: Some(h),
+            predicted: chosen,
+        }
     }
 }
 
@@ -288,13 +375,25 @@ impl<P: PowerPerfPredictor> Governor for MpcGovernor<P> {
         outcome: &KernelOutcome,
         truth: Option<&KernelCharacteristics>,
     ) {
-        let truth = if self.cfg.store_truth { truth.cloned() } else { None };
+        let truth = if self.cfg.store_truth {
+            truth.cloned()
+        } else {
+            None
+        };
         let expected = self.extractor.expected(ctx.position);
         let observed = self.extractor.observe(outcome, executed_at, truth.clone());
         if let Some(expected) = expected {
             self.stats.pattern_checks += 1;
             if expected != observed {
                 self.stats.pattern_mispredictions += 1;
+                if self.trace.enabled() {
+                    self.trace.record(&TraceEvent::PatternMiss {
+                        run_index: ctx.run_index,
+                        position: ctx.position,
+                        expected,
+                        observed,
+                    });
+                }
             }
         }
         self.last_snapshot = Some(KernelSnapshot {
@@ -322,13 +421,19 @@ impl<P: PowerPerfPredictor> Governor for MpcGovernor<P> {
             if let (Some(n), Some(target)) = (self.extractor.reference_len(), self.target_seen) {
                 if n > 0 {
                     self.search = Some(search_order(&self.profile, target.throughput()));
-                    self.horizon_gen = Some(HorizonGenerator::new(
+                    let mut gen = HorizonGenerator::new(
                         self.cfg.horizon_mode,
                         n,
                         average_full_horizon(n),
                         self.t_ppk,
                         target.total_time_s(),
-                    ));
+                    );
+                    // Budget each position by its share of the profiled
+                    // run time, so heterogeneous kernels are charged
+                    // what they actually cost rather than T_total/N.
+                    let weights: Vec<f64> = self.profile.iter().map(|p| p.time_s).collect();
+                    gen.set_budget_weights(&weights);
+                    self.horizon_gen = Some(gen);
                 }
             }
         }
@@ -337,6 +442,10 @@ impl<P: PowerPerfPredictor> Governor for MpcGovernor<P> {
         }
         self.last_snapshot = None;
         self.pending_overhead_s = 0.0;
+    }
+
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = sink;
     }
 }
 
@@ -465,8 +574,10 @@ mod tests {
         let kernels = irregular_app();
         let target = baseline_target(&sim, &kernels);
         // Baseline energy at max perf.
-        let base_energy: f64 =
-            kernels.iter().map(|k| sim.evaluate(k, HwConfig::MAX_PERF).energy.total_j()).sum();
+        let base_energy: f64 = kernels
+            .iter()
+            .map(|k| sim.evaluate(k, HwConfig::MAX_PERF).energy.total_j())
+            .sum();
         let base_time = target.total_time_s();
 
         let mut mpc = oracle_mpc(&sim, MpcConfig::default());
@@ -532,12 +643,19 @@ mod tests {
         }
         let target = baseline_target(&sim, &kernels);
 
-        let cfg = MpcConfig { store_truth: true, period_lookahead: true, ..MpcConfig::default() };
+        let cfg = MpcConfig {
+            store_truth: true,
+            period_lookahead: true,
+            ..MpcConfig::default()
+        };
         let mut mpc = oracle_mpc(&sim, cfg);
         drive(&mut mpc, &sim, &kernels, target, 0);
         // Some profiling decisions were windowed with the detected period.
         let period_decisions = mpc.stats().horizons.iter().filter(|&&h| h == 2).count();
-        assert!(period_decisions >= 4, "only {period_decisions} period-based decisions");
+        assert!(
+            period_decisions >= 4,
+            "only {period_decisions} period-based decisions"
+        );
     }
 
     #[test]
@@ -547,10 +665,17 @@ mod tests {
             .map(|i| KernelCharacteristics::compute_bound(format!("k{i}"), 8.0 + 4.0 * i as f64))
             .collect();
         let target = baseline_target(&sim, &kernels);
-        let cfg = MpcConfig { store_truth: true, period_lookahead: true, ..MpcConfig::default() };
+        let cfg = MpcConfig {
+            store_truth: true,
+            period_lookahead: true,
+            ..MpcConfig::default()
+        };
         let mut mpc = oracle_mpc(&sim, cfg);
         drive(&mut mpc, &sim, &kernels, target, 0);
-        assert!(mpc.stats().horizons.is_empty(), "no windowed decisions expected");
+        assert!(
+            mpc.stats().horizons.is_empty(),
+            "no windowed decisions expected"
+        );
         assert_eq!(mpc.stats().profiling_decisions, 6);
     }
 

@@ -69,6 +69,13 @@ pub struct HorizonGenerator {
     n_bar: f64,
     t_ppk: f64,
     t_total: f64,
+    /// Cumulative time budget through each position: `cum_budget[i]` is
+    /// the target elapsed time after kernel `i` retires. Uniform
+    /// (`(i+1)·T_total/N`) unless [`set_budget_weights`] installed a
+    /// profiled distribution.
+    ///
+    /// [`set_budget_weights`]: HorizonGenerator::set_budget_weights
+    cum_budget: Vec<f64>,
     /// Σ (Tⱼ + T_MPC,ⱼ) over kernels retired so far this run.
     elapsed_with_overhead_s: f64,
     /// Kernels retired so far this run.
@@ -81,18 +88,58 @@ impl HorizonGenerator {
     /// # Panics
     ///
     /// Panics if `t_total` is non-positive or `n` is zero.
-    pub fn new(mode: HorizonMode, n: usize, n_bar: f64, t_ppk: f64, t_total: f64) -> HorizonGenerator {
+    pub fn new(
+        mode: HorizonMode,
+        n: usize,
+        n_bar: f64,
+        t_ppk: f64,
+        t_total: f64,
+    ) -> HorizonGenerator {
         assert!(n > 0, "kernel count must be positive");
         assert!(t_total > 0.0, "baseline time must be positive");
+        let per_kernel = t_total / n as f64;
         HorizonGenerator {
             mode,
             n,
             n_bar: n_bar.max(1.0),
             t_ppk: t_ppk.max(0.0),
             t_total,
+            cum_budget: (1..=n).map(|i| i as f64 * per_kernel).collect(),
             elapsed_with_overhead_s: 0.0,
             retired: 0,
         }
+    }
+
+    /// Replaces the uniform per-kernel budget with one proportional to
+    /// `weights` (typically profiled execution time per position).
+    ///
+    /// The paper's Section IV-A4 inequality charges every kernel an equal
+    /// `T_total/N` share, which declares heterogeneous applications
+    /// "behind schedule" whenever a longer-than-average kernel runs at
+    /// its cap — collapsing the horizon to zero for the rest of the run
+    /// even though the plan is on target. Budgeting each position by its
+    /// profiled share of the run keeps punctuality accounting consistent
+    /// with how the application actually spends time. With uniform
+    /// weights this is exactly the paper's formula.
+    ///
+    /// Ignored unless `weights` has one positive-sum entry per kernel.
+    pub fn set_budget_weights(&mut self, weights: &[f64]) {
+        if weights.len() != self.n {
+            return;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|w| *w < 0.0 || !w.is_finite())
+        {
+            return;
+        }
+        let mut acc = 0.0;
+        self.cum_budget = weights
+            .iter()
+            .map(|w| {
+                acc += w / total * self.t_total;
+                acc
+            })
+            .collect();
     }
 
     /// The horizon for the kernel at 0-based `position`.
@@ -105,10 +152,18 @@ impl HorizonGenerator {
                     // Free optimization: no reason to shrink the horizon.
                     return self.n;
                 }
-                let i = (position + 1) as f64; // paper's 1-based index
-                let per_kernel = self.t_total / self.n as f64;
-                let allowed =
-                    (1.0 + alpha - 1.0 / i) * i * per_kernel - self.elapsed_with_overhead_s;
+                // The paper's inequality with per-position budgets Bᵢ
+                // (uniform Bᵢ = T_total/N reproduces it exactly):
+                //   Hᵢ·(N̄/N)·T_PPK + elapsed + Bᵢ ≤ (1+α)·Σⱼ₍ⱼ≤ᵢ₎Bⱼ
+                let idx = position.min(self.n - 1);
+                let cum = self.cum_budget[idx];
+                let prev = if idx == 0 {
+                    0.0
+                } else {
+                    self.cum_budget[idx - 1]
+                };
+                let b_i = cum - prev;
+                let allowed = (1.0 + alpha) * cum - b_i - self.elapsed_with_overhead_s;
                 let h = allowed * self.n as f64 / (self.n_bar * self.t_ppk);
                 if !h.is_finite() || h <= 0.0 {
                     0

@@ -10,7 +10,7 @@
 //! the window is provisional and will be re-optimized when the horizon
 //! slides.
 
-use gpm_governors::search::{hill_climb, EnergyEvaluator};
+use gpm_governors::search::{hill_climb_stats, ConfigEstimate, EnergyEvaluator, SearchStats};
 use gpm_governors::to::ToSolver;
 use gpm_governors::PerfTarget;
 use gpm_hw::{ConfigSpace, HwConfig};
@@ -30,6 +30,13 @@ pub struct WindowPlan {
     /// Whether the current kernel had to fall back to the fail-safe
     /// configuration (cap unsatisfiable or already violated).
     pub fail_safe: bool,
+    /// Aggregated search telemetry across every window position. Its
+    /// `evaluations` equals the plan-level count above (including the
+    /// budget-reservation and fallback estimates).
+    pub search: SearchStats,
+    /// The search's estimate of the configuration applied to the current
+    /// kernel, for prediction-error tracing.
+    pub chosen: Option<ConfigEstimate>,
 }
 
 /// Optimizes the window starting at `current` over `horizon` positions.
@@ -93,6 +100,8 @@ pub fn optimize_window<P: PowerPerfPredictor>(
     let mut virtual_s = elapsed_s;
     let mut window = Vec::with_capacity(order.len());
     let mut chosen_current = HwConfig::FAIL_SAFE;
+    let mut chosen_est = None;
+    let mut search = SearchStats::default();
 
     for p in order {
         let snap = &snapshots[&p];
@@ -105,8 +114,9 @@ pub fn optimize_window<P: PowerPerfPredictor>(
         // were the last one standing; never negative protection needed —
         // hill_climb handles infeasible caps by returning None.
         let cap = cap_shared;
-        let (best, evals) = hill_climb(eval, snap, HwConfig::FAIL_SAFE, cap);
-        evaluations += evals;
+        let (best, stats) = hill_climb_stats(eval, snap, HwConfig::FAIL_SAFE, cap);
+        evaluations += stats.evaluations;
+        search.merge(&stats);
         let est = match best {
             Some(best) => best,
             None => {
@@ -121,12 +131,21 @@ pub fn optimize_window<P: PowerPerfPredictor>(
         };
         if p == current {
             chosen_current = est.config;
+            chosen_est = Some(est);
         }
         window.push((p, est.config));
         virtual_s += est.time_s;
     }
 
-    Some(WindowPlan { config: chosen_current, window, evaluations, fail_safe })
+    search.evaluations = evaluations;
+    Some(WindowPlan {
+        config: chosen_current,
+        window,
+        evaluations,
+        fail_safe,
+        search,
+        chosen: chosen_est,
+    })
 }
 
 /// The *exact* window optimizer: solves Eq. 3 directly as a
@@ -156,8 +175,11 @@ pub fn optimize_window_exact<P: PowerPerfPredictor>(
 ) -> Option<WindowPlan> {
     snapshots.get(&current)?;
     let end = current + horizon.max(1);
-    let positions: Vec<usize> =
-        snapshots.keys().copied().filter(|&p| p >= current && p < end).collect();
+    let positions: Vec<usize> = snapshots
+        .keys()
+        .copied()
+        .filter(|&p| p >= current && p < end)
+        .collect();
 
     let window_gi: f64 = positions.iter().map(|p| snapshots[p].ginstructions).sum();
     let budget = target.time_cap(elapsed_gi, elapsed_s, 0.0) + window_gi / target.throughput();
@@ -192,19 +214,36 @@ pub fn optimize_window_exact<P: PowerPerfPredictor>(
         None => (vec![HwConfig::FAIL_SAFE; positions.len()], true),
     };
 
-    let window: Vec<(usize, HwConfig)> =
-        positions.iter().copied().zip(assignment.iter().copied()).collect();
+    let window: Vec<(usize, HwConfig)> = positions
+        .iter()
+        .copied()
+        .zip(assignment.iter().copied())
+        .collect();
     let config = window
         .iter()
         .find(|(p, _)| *p == current)
         .map(|(_, c)| *c)
         .unwrap_or(HwConfig::FAIL_SAFE);
-    Some(WindowPlan { config, window, evaluations, fail_safe })
+    // The exact solver prices the whole space up front, so the chosen
+    // configuration's estimate is a lookup, not an extra evaluation.
+    let chosen = Some(eval.estimate(&snapshots[&current], config));
+    Some(WindowPlan {
+        config,
+        window,
+        evaluations,
+        fail_safe,
+        search: SearchStats {
+            evaluations,
+            ..SearchStats::default()
+        },
+        chosen,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpm_governors::search::hill_climb;
     use gpm_hw::{ConfigSpace, HwConfig};
     use gpm_sim::predictor::KernelSnapshot;
     use gpm_sim::{ApuSimulator, KernelCharacteristics, OraclePredictor, SimParams};
@@ -224,10 +263,18 @@ mod tests {
             .map(|p| {
                 let k = kernels[p % kernels.len()].clone();
                 let out = sim.evaluate_exact(&k, HwConfig::FAIL_SAFE);
-                (p, KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k))
+                (
+                    p,
+                    KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k),
+                )
             })
             .collect();
-        Fixture { sim, eval, kernels, snapshots }
+        Fixture {
+            sim,
+            eval,
+            kernels,
+            snapshots,
+        }
     }
 
     /// A target equal to fail-safe throughput scaled by `slack`.
@@ -255,8 +302,7 @@ mod tests {
     fn single_kernel_window_matches_hill_climb() {
         let fx = fixture(vec![KernelCharacteristics::unscalable("us", 0.02)], 1);
         let target = target_for(&fx, 1, 1.5);
-        let plan =
-            optimize_window(&fx.eval, &fx.snapshots, &[0], 0, 1, 0.0, 0.0, &target).unwrap();
+        let plan = optimize_window(&fx.eval, &fx.snapshots, &[0], 0, 1, 0.0, 0.0, &target).unwrap();
         let cap = target.time_cap(0.0, 0.0, fx.snapshots[&0].ginstructions);
         let (direct, _) = hill_climb(&fx.eval, &fx.snapshots[&0], HwConfig::FAIL_SAFE, cap);
         assert_eq!(plan.config, direct.unwrap().config);
@@ -307,7 +353,12 @@ mod tests {
         let fx = fixture(vec![KernelCharacteristics::compute_bound("cb", 20.0)], 2);
         // Target throughput 100× anything achievable.
         let gi = fx.snapshots[&0].ginstructions;
-        let target = PerfTarget::new(gi * 100.0, fx.sim.evaluate_exact(&fx.kernels[0], HwConfig::MAX_PERF).time_s);
+        let target = PerfTarget::new(
+            gi * 100.0,
+            fx.sim
+                .evaluate_exact(&fx.kernels[0], HwConfig::MAX_PERF)
+                .time_s,
+        );
         let plan =
             optimize_window(&fx.eval, &fx.snapshots, &[0, 1], 0, 2, 0.0, 0.0, &target).unwrap();
         assert!(plan.fail_safe);
@@ -397,7 +448,10 @@ mod tests {
     fn exact_window_falls_back_when_infeasible() {
         let fx = fixture(vec![KernelCharacteristics::compute_bound("cb", 20.0)], 2);
         let gi = fx.snapshots[&0].ginstructions;
-        let t_best = fx.sim.evaluate_exact(&fx.kernels[0], HwConfig::MAX_PERF).time_s;
+        let t_best = fx
+            .sim
+            .evaluate_exact(&fx.kernels[0], HwConfig::MAX_PERF)
+            .time_s;
         let target = PerfTarget::new(gi * 100.0, t_best);
         let exact = optimize_window_exact(
             &fx.eval,
@@ -425,9 +479,15 @@ mod tests {
         let sim = ApuSimulator::noiseless();
         let eval = EnergyEvaluator::new(OraclePredictor::new(&sim), SimParams::noiseless());
         let mut snapshots = BTreeMap::new();
-        for (p, k) in [fast.clone(), slow.clone(), slow.clone()].into_iter().enumerate() {
+        for (p, k) in [fast.clone(), slow.clone(), slow.clone()]
+            .into_iter()
+            .enumerate()
+        {
             let out = sim.evaluate_exact(&k, HwConfig::FAIL_SAFE);
-            snapshots.insert(p, KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k));
+            snapshots.insert(
+                p,
+                KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k),
+            );
         }
         let gi: f64 = snapshots.values().map(|s| s.ginstructions).sum();
         let t: f64 = [&fast, &slow, &slow]

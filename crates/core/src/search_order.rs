@@ -90,7 +90,11 @@ pub fn search_order(profile: &[ProfiledKernel], target_throughput: f64) -> Vec<u
             .unwrap()
             .then(a.position.cmp(&b.position))
     });
-    above.iter().chain(below.iter()).map(|k| k.position).collect()
+    above
+        .iter()
+        .chain(below.iter())
+        .map(|k| k.position)
+        .collect()
 }
 
 /// Average per-kernel horizon length `N̄` under full-horizon operation,
@@ -112,7 +116,11 @@ mod tests {
     use super::*;
 
     fn mk(position: usize, gi: f64, time_s: f64) -> ProfiledKernel {
-        ProfiledKernel { position, gi, time_s }
+        ProfiledKernel {
+            position,
+            gi,
+            time_s,
+        }
     }
 
     #[test]
@@ -130,8 +138,9 @@ mod tests {
 
     #[test]
     fn order_is_a_permutation() {
-        let profile: Vec<ProfiledKernel> =
-            (0..20).map(|i| mk(i, (i % 7 + 1) as f64, ((i % 3) + 1) as f64)).collect();
+        let profile: Vec<ProfiledKernel> = (0..20)
+            .map(|i| mk(i, (i % 7 + 1) as f64, ((i % 3) + 1) as f64))
+            .collect();
         let mut order = search_order(&profile, 1.5);
         order.sort_unstable();
         assert_eq!(order, (0..20).collect::<Vec<_>>());

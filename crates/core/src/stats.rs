@@ -31,7 +31,13 @@ impl MpcStats {
     }
 
     /// Records one post-profiling decision.
-    pub fn record_decision(&mut self, horizon: usize, evaluations: u64, overhead_s: f64, fail_safe: bool) {
+    pub fn record_decision(
+        &mut self,
+        horizon: usize,
+        evaluations: u64,
+        overhead_s: f64,
+        fail_safe: bool,
+    ) {
         self.horizons.push(horizon);
         self.evaluations.push(evaluations);
         self.overheads_s.push(overhead_s);

@@ -169,7 +169,11 @@ mod tests {
         let mut gov = Equalizer::new(EqualizerMode::Efficiency);
         let mb = KernelCharacteristics::memory_bound("mb", 2.0);
         feed(&mut gov, &mb, 4);
-        assert!(gov.current().gpu < GpuDpm::Dpm4, "gpu state {}", gov.current().gpu);
+        assert!(
+            gov.current().gpu < GpuDpm::Dpm4,
+            "gpu state {}",
+            gov.current().gpu
+        );
     }
 
     #[test]
@@ -177,7 +181,11 @@ mod tests {
         let mut gov = Equalizer::new(EqualizerMode::Efficiency);
         let cb = KernelCharacteristics::compute_bound("cb", 30.0);
         feed(&mut gov, &cb, 4);
-        assert!(gov.current().nb > NbState::Nb0, "nb state {}", gov.current().nb);
+        assert!(
+            gov.current().nb > NbState::Nb0,
+            "nb state {}",
+            gov.current().nb
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub struct PlannedGovernor {
 impl PlannedGovernor {
     /// Governor replaying `plan`.
     pub fn new(name: impl Into<String>, plan: Vec<HwConfig>) -> PlannedGovernor {
-        PlannedGovernor { name: name.into(), plan }
+        PlannedGovernor {
+            name: name.into(),
+            plan,
+        }
     }
 
     /// The plan being replayed.
@@ -79,7 +82,11 @@ impl Governor for PlannedGovernor {
     }
 
     fn select(&mut self, ctx: &KernelContext) -> GovernorDecision {
-        let cfg = self.plan.get(ctx.position).copied().unwrap_or(HwConfig::FAIL_SAFE);
+        let cfg = self
+            .plan
+            .get(ctx.position)
+            .copied()
+            .unwrap_or(HwConfig::FAIL_SAFE);
         GovernorDecision::instant(cfg)
     }
 

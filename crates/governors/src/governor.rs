@@ -1,8 +1,11 @@
 //! The governor interface and shared accounting types.
 
+use crate::search::ConfigEstimate;
 use gpm_hw::HwConfig;
 use gpm_sim::{KernelCharacteristics, KernelOutcome};
+use gpm_trace::TraceSink;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The application-level performance target (Eq. 1's right-hand side):
 /// match the default Turbo Core run's end-to-end kernel throughput.
@@ -33,9 +36,15 @@ impl PerfTarget {
     ///
     /// Panics if either total is non-positive.
     pub fn new(total_ginstructions: f64, total_time_s: f64) -> PerfTarget {
-        assert!(total_ginstructions > 0.0, "instruction total must be positive");
+        assert!(
+            total_ginstructions > 0.0,
+            "instruction total must be positive"
+        );
         assert!(total_time_s > 0.0, "time total must be positive");
-        PerfTarget { total_ginstructions, total_time_s }
+        PerfTarget {
+            total_ginstructions,
+            total_time_s,
+        }
     }
 
     /// Baseline total instructions (`I_total`), giga-instructions.
@@ -89,14 +98,20 @@ pub struct OverheadModel {
 
 impl Default for OverheadModel {
     fn default() -> OverheadModel {
-        OverheadModel { per_eval_s: 20.0e-6, base_s: 30.0e-6 }
+        OverheadModel {
+            per_eval_s: 20.0e-6,
+            base_s: 30.0e-6,
+        }
     }
 }
 
 impl OverheadModel {
     /// Zero-cost model, for limit studies that exclude overheads.
     pub fn free() -> OverheadModel {
-        OverheadModel { per_eval_s: 0.0, base_s: 0.0 }
+        OverheadModel {
+            per_eval_s: 0.0,
+            base_s: 0.0,
+        }
     }
 
     /// Time charged for a decision that performed `evaluations` predictor
@@ -137,12 +152,23 @@ pub struct GovernorDecision {
     pub evaluations: u64,
     /// Horizon length used, when the governor is horizon-based.
     pub horizon: Option<usize>,
+    /// The search's estimate of the chosen configuration's behaviour,
+    /// when one was produced — lets the harness trace signed prediction
+    /// errors once the kernel retires. Purely observational: nothing
+    /// downstream feeds it back into control.
+    pub predicted: Option<ConfigEstimate>,
 }
 
 impl GovernorDecision {
     /// A zero-overhead decision (hardware default policies).
     pub fn instant(config: HwConfig) -> GovernorDecision {
-        GovernorDecision { config, overhead_s: 0.0, evaluations: 0, horizon: None }
+        GovernorDecision {
+            config,
+            overhead_s: 0.0,
+            evaluations: 0,
+            horizon: None,
+            predicted: None,
+        }
     }
 }
 
@@ -172,6 +198,15 @@ pub trait Governor {
 
     /// Marks the end of an application invocation.
     fn end_run(&mut self) {}
+
+    /// Installs a sink receiving the governor's *internal* decision
+    /// telemetry (search statistics, fail-safe and pattern-misprediction
+    /// triggers). Governors without internals ignore it — the harness
+    /// emits dispatch/decision/outcome events for every governor
+    /// regardless. Installing any sink must never change decisions.
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        let _ = sink;
+    }
 }
 
 #[cfg(test)]

@@ -8,10 +8,12 @@
 //! throughput phase changes — the failure mode that motivates MPC.
 
 use crate::governor::{Governor, GovernorDecision, KernelContext, OverheadModel};
-use crate::search::{exhaustive_best, hill_climb, EnergyEvaluator};
+use crate::search::{exhaustive_best, hill_climb_stats, EnergyEvaluator, SearchStats};
 use gpm_hw::{ConfigSpace, HwConfig};
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
 use gpm_sim::{KernelCharacteristics, KernelOutcome, SimParams};
+use gpm_trace::{noop_sink, FailSafeReason, TraceEvent, TraceSink};
+use std::sync::Arc;
 
 /// Search strategy used for the per-kernel optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,7 @@ pub struct PpkGovernor<P> {
     last: Option<KernelSnapshot>,
     total_overhead_s: f64,
     total_evaluations: u64,
+    trace: Arc<dyn TraceSink>,
 }
 
 impl<P: PowerPerfPredictor> PpkGovernor<P> {
@@ -59,6 +62,7 @@ impl<P: PowerPerfPredictor> PpkGovernor<P> {
             last: None,
             total_overhead_s: 0.0,
             total_evaluations: 0,
+            trace: noop_sink(),
         }
     }
 
@@ -101,16 +105,53 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
         };
         // Eq. 2: the upcoming kernel (assumed equal to the previous one)
         // must keep cumulative throughput at or above target.
-        let cap = ctx.target.time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
-        let (best, evals) = match self.search {
-            PpkSearch::Exhaustive => exhaustive_best(&self.evaluator, &last, &self.space, cap),
-            PpkSearch::HillClimb => hill_climb(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap),
+        let cap = ctx
+            .target
+            .time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
+        let (best, stats) = match self.search {
+            PpkSearch::Exhaustive => {
+                let (best, evals) = exhaustive_best(&self.evaluator, &last, &self.space, cap);
+                (
+                    best,
+                    SearchStats {
+                        evaluations: evals,
+                        ..SearchStats::default()
+                    },
+                )
+            }
+            PpkSearch::HillClimb => {
+                hill_climb_stats(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap)
+            }
         };
         let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
-        let overhead_s = self.overhead.cost_s(evals);
+        let overhead_s = self.overhead.cost_s(stats.evaluations);
         self.total_overhead_s += overhead_s;
-        self.total_evaluations += evals;
-        GovernorDecision { config, overhead_s, evaluations: evals, horizon: None }
+        self.total_evaluations += stats.evaluations;
+        if self.trace.enabled() {
+            self.trace.record(&TraceEvent::Search {
+                run_index: ctx.run_index,
+                position: ctx.position,
+                horizon: None,
+                evaluations: stats.evaluations,
+                visits: stats.visits,
+                pruned: stats.pruned,
+                overhead_s,
+            });
+            if best.is_none() {
+                self.trace.record(&TraceEvent::FailSafe {
+                    run_index: ctx.run_index,
+                    position: ctx.position,
+                    reason: FailSafeReason::InfeasibleCap,
+                });
+            }
+        }
+        GovernorDecision {
+            config,
+            overhead_s,
+            evaluations: stats.evaluations,
+            horizon: None,
+            predicted: best,
+        }
     }
 
     fn observe(
@@ -120,7 +161,11 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
         outcome: &KernelOutcome,
         truth: Option<&KernelCharacteristics>,
     ) {
-        let truth = if self.store_truth { truth.cloned() } else { None };
+        let truth = if self.store_truth {
+            truth.cloned()
+        } else {
+            None
+        };
         self.last = Some(KernelSnapshot {
             counters: outcome.counters,
             measured_at: executed_at,
@@ -133,6 +178,10 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
         // History does not carry across application invocations: the next
         // run's first kernel again has no predecessor within the run.
         self.last = None;
+    }
+
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = sink;
     }
 }
 
@@ -216,7 +265,12 @@ mod tests {
         let k = KernelCharacteristics::compute_bound("cb", 20.0);
         let out = sim.evaluate(&k, HwConfig::FAIL_SAFE);
         let target = PerfTarget::new(1.0, 1.0);
-        ppk.observe(&ctx(0, 0.0, 0.0, target), HwConfig::FAIL_SAFE, &out, Some(&k));
+        ppk.observe(
+            &ctx(0, 0.0, 0.0, target),
+            HwConfig::FAIL_SAFE,
+            &out,
+            Some(&k),
+        );
         ppk.end_run();
         let d = ppk.select(&ctx(0, 0.0, 0.0, target));
         assert_eq!(d.config, HwConfig::FAIL_SAFE);
@@ -234,7 +288,11 @@ mod tests {
         ppk.observe(&c, HwConfig::FAIL_SAFE, &base, Some(&k));
         let before = ppk.total_overhead_s();
         let d = ppk.select(&ctx(1, base.ginstructions, base.time_s, target));
-        assert!(d.evaluations > 0 && d.evaluations < 60, "evals {}", d.evaluations);
+        assert!(
+            d.evaluations > 0 && d.evaluations < 60,
+            "evals {}",
+            d.evaluations
+        );
         assert!(ppk.total_overhead_s() > before);
         assert_eq!(ppk.total_evaluations(), d.evaluations);
     }

@@ -13,7 +13,30 @@ use crate::governor::PerfTarget;
 use gpm_hw::{ConfigSpace, HwConfig, Knob, KnobDirection};
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
 use gpm_sim::SimParams;
+use gpm_trace::KnobVisits;
 use serde::{Deserialize, Serialize};
+
+/// Telemetry of one search invocation: how many candidates were priced,
+/// where the greedy walk spent them, and how many were rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Predictor evaluations performed (cache misses only).
+    pub evaluations: u64,
+    /// Candidate configurations visited per knob.
+    pub visits: KnobVisits,
+    /// Candidates evaluated and rejected — an energy increase or a time-cap
+    /// violation ended the sweep there (the pruned branches of the climb).
+    pub pruned: u64,
+}
+
+impl SearchStats {
+    /// Adds another invocation's counters into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.evaluations += other.evaluations;
+        self.visits.merge(&other.visits);
+        self.pruned += other.pruned;
+    }
+}
 
 /// A fully evaluated candidate configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,7 +147,21 @@ pub fn hill_climb<P: PowerPerfPredictor>(
     start: HwConfig,
     time_cap_s: f64,
 ) -> (Option<ConfigEstimate>, u64) {
+    let (best, stats) = hill_climb_stats(eval, snapshot, start, time_cap_s);
+    (best, stats.evaluations)
+}
+
+/// [`hill_climb`] with full per-knob telemetry: identical search, but also
+/// reports where the candidate budget went ([`SearchStats`]).
+pub fn hill_climb_stats<P: PowerPerfPredictor>(
+    eval: &EnergyEvaluator<P>,
+    snapshot: &KernelSnapshot,
+    start: HwConfig,
+    time_cap_s: f64,
+) -> (Option<ConfigEstimate>, SearchStats) {
     let mut evals = 0u64;
+    let mut visits = KnobVisits::default();
+    let mut pruned = 0u64;
     let mut cache: std::collections::HashMap<usize, ConfigEstimate> =
         std::collections::HashMap::new();
     let mut estimate = |cfg: HwConfig| {
@@ -136,7 +173,12 @@ pub fn hill_climb<P: PowerPerfPredictor>(
 
     let current = estimate(start);
     if current.time_s > time_cap_s {
-        return (None, evals);
+        let stats = SearchStats {
+            evaluations: evals,
+            visits,
+            pruned,
+        };
+        return (None, stats);
     }
     let mut current = current;
 
@@ -148,12 +190,15 @@ pub fn hill_climb<P: PowerPerfPredictor>(
             let delta = [KnobDirection::Down, KnobDirection::Up]
                 .iter()
                 .filter_map(|&dir| knob.step(current.config, dir))
-                .map(|cfg| current.energy_j - estimate(cfg).energy_j)
+                .map(|cfg| {
+                    visits.bump(knob);
+                    current.energy_j - estimate(cfg).energy_j
+                })
                 .fold(f64::NEG_INFINITY, f64::max);
             (knob, delta)
         })
         .collect();
-    sensitivities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    sensitivities.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     for (knob, _) in sensitivities {
         // Pick the direction whose first feasible step decreases energy,
@@ -162,23 +207,32 @@ pub fn hill_climb<P: PowerPerfPredictor>(
             let Some(first_cfg) = knob.step(current.config, dir) else {
                 continue;
             };
+            visits.bump(knob);
             let first = estimate(first_cfg);
             if !(first.energy_j < current.energy_j && first.time_s <= time_cap_s) {
+                pruned += 1;
                 continue;
             }
             current = first;
             while let Some(next_cfg) = knob.step(current.config, dir) {
+                visits.bump(knob);
                 let next = estimate(next_cfg);
                 if next.energy_j < current.energy_j && next.time_s <= time_cap_s {
                     current = next;
                 } else {
+                    pruned += 1;
                     break;
                 }
             }
             break;
         }
     }
-    (Some(current), evals)
+    let stats = SearchStats {
+        evaluations: evals,
+        visits,
+        pruned,
+    };
+    (Some(current), stats)
 }
 
 /// Convenience: the Eq. 5 time cap for the next kernel, given the target
@@ -198,9 +252,7 @@ mod tests {
     use super::*;
     use gpm_sim::{ApuSimulator, KernelCharacteristics, OraclePredictor};
 
-    fn setup(
-        kernel: KernelCharacteristics,
-    ) -> (EnergyEvaluator<OraclePredictor>, KernelSnapshot) {
+    fn setup(kernel: KernelCharacteristics) -> (EnergyEvaluator<OraclePredictor>, KernelSnapshot) {
         let sim = ApuSimulator::noiseless();
         let out = sim.evaluate(&kernel, HwConfig::FAIL_SAFE);
         let snap = KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, kernel);
@@ -277,6 +329,37 @@ mod tests {
     }
 
     #[test]
+    fn hill_climb_stats_matches_hill_climb_and_counts_visits() {
+        let (eval, snap) = setup(KernelCharacteristics::unscalable("us", 0.02));
+        let start = HwConfig::FAIL_SAFE;
+        let cap = eval.estimate(&snap, start).time_s * 1.3;
+        let (best_a, evals) = hill_climb(&eval, &snap, start, cap);
+        let (best_b, stats) = hill_climb_stats(&eval, &snap, start, cap);
+        assert_eq!(
+            best_a, best_b,
+            "telemetry variant changed the search result"
+        );
+        assert_eq!(evals, stats.evaluations);
+        // Every knob's sensitivity probe visits at least one candidate.
+        assert!(stats.visits.cpu_pstate > 0);
+        assert!(stats.visits.nb_state > 0);
+        assert!(stats.visits.gpu_dpm > 0);
+        assert!(stats.visits.cu_count > 0);
+        // Visits may revisit cached candidates, so they bound evaluations.
+        assert!(stats.visits.total() + 1 >= stats.evaluations);
+    }
+
+    #[test]
+    fn hill_climb_stats_infeasible_reports_no_visits() {
+        let (eval, snap) = setup(KernelCharacteristics::compute_bound("cb", 20.0));
+        let (best, stats) = hill_climb_stats(&eval, &snap, HwConfig::FAIL_SAFE, 1e-12);
+        assert!(best.is_none());
+        assert_eq!(stats.evaluations, 1);
+        assert_eq!(stats.visits.total(), 0);
+        assert_eq!(stats.pruned, 0);
+    }
+
+    #[test]
     fn estimate_includes_cpu_and_background_power() {
         let (eval, snap) = setup(KernelCharacteristics::compute_bound("cb", 20.0));
         let est = eval.estimate(&snap, HwConfig::FAIL_SAFE);
@@ -295,6 +378,9 @@ mod tests {
         assert!(lo.energy_j < hi.energy_j);
         // CPU state only stretches the host-side launch overhead, which is
         // tiny for a GPU-dominated kernel.
-        assert!((lo.time_s / hi.time_s - 1.0).abs() < 0.01, "CPU state moved kernel time");
+        assert!(
+            (lo.time_s / hi.time_s - 1.0).abs() < 0.01,
+            "CPU state moved kernel time"
+        );
     }
 }

@@ -62,7 +62,10 @@ mod tests {
     }
 
     fn budget(sim: &ApuSimulator, slack: f64) -> f64 {
-        app().iter().map(|k| sim.evaluate_exact(k, HwConfig::MAX_PERF).time_s).sum::<f64>()
+        app()
+            .iter()
+            .map(|k| sim.evaluate_exact(k, HwConfig::MAX_PERF).time_s)
+            .sum::<f64>()
             * slack
     }
 
@@ -72,7 +75,10 @@ mod tests {
         let space = ConfigSpace::paper_campaign();
         let b = budget(&sim, 1.2);
         let cfg = plan_static_best(&sim, &app(), &space, b);
-        let total: f64 = app().iter().map(|k| sim.evaluate_exact(k, cfg).time_s).sum();
+        let total: f64 = app()
+            .iter()
+            .map(|k| sim.evaluate_exact(k, cfg).time_s)
+            .sum();
         assert!(total <= b + 1e-9);
     }
 
@@ -82,8 +88,10 @@ mod tests {
         let space = ConfigSpace::paper_campaign();
         let b = budget(&sim, 1.3);
         let cfg = plan_static_best(&sim, &app(), &space, b);
-        let e_static: f64 =
-            app().iter().map(|k| sim.evaluate_exact(k, cfg).energy.total_j()).sum();
+        let e_static: f64 = app()
+            .iter()
+            .map(|k| sim.evaluate_exact(k, cfg).energy.total_j())
+            .sum();
         let e_max: f64 = app()
             .iter()
             .map(|k| sim.evaluate_exact(k, HwConfig::MAX_PERF).energy.total_j())
@@ -98,10 +106,17 @@ mod tests {
         let space = ConfigSpace::paper_campaign();
         let b = budget(&sim, 1.25);
         let static_cfg = plan_static_best(&sim, &app(), &space, b);
-        let e_static: f64 =
-            app().iter().map(|k| sim.evaluate_exact(k, static_cfg).energy.total_j()).sum();
+        let e_static: f64 = app()
+            .iter()
+            .map(|k| sim.evaluate_exact(k, static_cfg).energy.total_j())
+            .sum();
         let plan = plan_optimal(&sim, &app(), &space, b);
-        assert!(plan.energy_j <= e_static + 1e-6, "TO {} vs static {}", plan.energy_j, e_static);
+        assert!(
+            plan.energy_j <= e_static + 1e-6,
+            "TO {} vs static {}",
+            plan.energy_j,
+            e_static
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl ToSolver {
     /// Panics if any kernel has no options or the budget is non-positive.
     pub fn solve(&self, options: &[Vec<Option2>], budget_s: f64) -> Option<Vec<usize>> {
         assert!(budget_s > 0.0, "time budget must be positive");
-        assert!(options.iter().all(|o| !o.is_empty()), "every kernel needs at least one option");
+        assert!(
+            options.iter().all(|o| !o.is_empty()),
+            "every kernel needs at least one option"
+        );
         if options.is_empty() {
             return Some(Vec::new());
         }
@@ -204,21 +207,35 @@ pub fn plan_optimal(
         .collect();
 
     let solver = ToSolver::default();
-    let picks = solver
-        .solve(&options, budget_s)
-        .unwrap_or_else(|| vec![configs.iter().position(|&c| c == HwConfig::FAIL_SAFE).unwrap_or(0); kernels.len()]);
+    let picks = solver.solve(&options, budget_s).unwrap_or_else(|| {
+        vec![
+            configs
+                .iter()
+                .position(|&c| c == HwConfig::FAIL_SAFE)
+                .unwrap_or(0);
+            kernels.len()
+        ]
+    });
 
     let chosen: Vec<HwConfig> = picks.iter().map(|&j| configs[j]).collect();
     let (time_s, energy_j) = picks
         .iter()
         .enumerate()
-        .fold((0.0, 0.0), |(t, e), (k, &j)| (t + options[k][j].0, e + options[k][j].1));
-    ToPlan { configs: chosen, energy_j, time_s }
+        .fold((0.0, 0.0), |(t, e), (k, &j)| {
+            (t + options[k][j].0, e + options[k][j].1)
+        });
+    ToPlan {
+        configs: chosen,
+        energy_j,
+        time_s,
+    }
 }
 
 /// TO as a replayable governor (zero overhead, perfect knowledge).
 pub fn to_governor(plan: &ToPlan) -> impl Governor {
-    ToGovernor { plan: plan.configs.clone() }
+    ToGovernor {
+        plan: plan.configs.clone(),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -232,7 +249,11 @@ impl Governor for ToGovernor {
     }
 
     fn select(&mut self, ctx: &KernelContext) -> GovernorDecision {
-        let cfg = self.plan.get(ctx.position).copied().unwrap_or(HwConfig::FAIL_SAFE);
+        let cfg = self
+            .plan
+            .get(ctx.position)
+            .copied()
+            .unwrap_or(HwConfig::FAIL_SAFE);
         GovernorDecision::instant(cfg)
     }
 
@@ -294,7 +315,9 @@ mod tests {
         picks
             .iter()
             .enumerate()
-            .fold((0.0, 0.0), |(t, e), (k, &j)| (t + options[k][j].0, e + options[k][j].1))
+            .fold((0.0, 0.0), |(t, e), (k, &j)| {
+                (t + options[k][j].0, e + options[k][j].1)
+            })
     }
 
     #[test]
@@ -304,7 +327,10 @@ mod tests {
             // A grid whose cell size divides the (integer) option times
             // exactly, so the conservative ceil-rounding is lossless and
             // the DP must match brute force bit-for-bit.
-            let dp = ToSolver { grid: (budget * 10.0) as usize }.solve(&options, budget);
+            let dp = ToSolver {
+                grid: (budget * 10.0) as usize,
+            }
+            .solve(&options, budget);
             let brute = solve_brute(&options, budget);
             match (dp, brute) {
                 (Some(d), Some((_, be))) => {
@@ -342,10 +368,17 @@ mod tests {
             let lag = ToSolver::solve_lagrangian(&options, budget).unwrap();
             let (t, e) = total(&options, &lag);
             assert!(t <= budget + 1e-9);
-            let dp = ToSolver { grid: (budget * 10.0) as usize }.solve(&options, budget).unwrap();
+            let dp = ToSolver {
+                grid: (budget * 10.0) as usize,
+            }
+            .solve(&options, budget)
+            .unwrap();
             let (_, e_dp) = total(&options, &dp);
             assert!(e >= e_dp - 1e-9);
-            assert!(e <= e_dp * 1.3, "budget {budget}: lagrangian {e} vs dp {e_dp}");
+            assert!(
+                e <= e_dp * 1.3,
+                "budget {budget}: lagrangian {e} vs dp {e_dp}"
+            );
         }
     }
 
@@ -371,8 +404,10 @@ mod tests {
         ];
         let space = ConfigSpace::paper_campaign();
         // Budget: fail-safe total time with 5% slack.
-        let fs_time: f64 =
-            kernels.iter().map(|k| sim.evaluate_exact(k, HwConfig::FAIL_SAFE).time_s).sum();
+        let fs_time: f64 = kernels
+            .iter()
+            .map(|k| sim.evaluate_exact(k, HwConfig::FAIL_SAFE).time_s)
+            .sum();
         let fs_energy: f64 = kernels
             .iter()
             .map(|k| sim.evaluate_exact(k, HwConfig::FAIL_SAFE).energy.total_j())
@@ -380,7 +415,12 @@ mod tests {
         let plan = plan_optimal(&sim, &kernels, &space, fs_time * 1.05);
         assert_eq!(plan.configs.len(), kernels.len());
         assert!(plan.time_s <= fs_time * 1.05 + 1e-9);
-        assert!(plan.energy_j < fs_energy, "TO {} vs fail-safe {}", plan.energy_j, fs_energy);
+        assert!(
+            plan.energy_j < fs_energy,
+            "TO {} vs fail-safe {}",
+            plan.energy_j,
+            fs_energy
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct TurboCore {
 impl TurboCore {
     /// Turbo Core for a package with the given TDP in watts.
     pub fn new(tdp_w: f64) -> TurboCore {
-        TurboCore { tdp_w, cpu: CpuPState::P1, reboost_fraction: 0.90 }
+        TurboCore {
+            tdp_w,
+            cpu: CpuPState::P1,
+            reboost_fraction: 0.90,
+        }
     }
 
     /// Current CPU P-state choice (observable for tests/diagnostics).

@@ -33,7 +33,10 @@ pub fn parallel_campaign(
     let results: Mutex<Vec<(usize, Vec<Sample>)>> = Mutex::new(Vec::with_capacity(threads));
 
     crossbeam::scope(|scope| {
-        for (worker, chunk) in kernels.chunks(kernels.len().div_ceil(threads).max(1)).enumerate() {
+        for (worker, chunk) in kernels
+            .chunks(kernels.len().div_ceil(threads).max(1))
+            .enumerate()
+        {
             let results = &results;
             scope.spawn(move |_| {
                 let part = Dataset::from_campaign(sim, chunk, space, profile_cfg);

@@ -126,15 +126,25 @@ impl EvalContext {
         let kernels = training_kernels();
         let space = training_space(options.train_config_stride);
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let dataset =
-            crate::campaign::parallel_campaign(&sim, &kernels, &space, HwConfig::FAIL_SAFE, threads);
+        let dataset = crate::campaign::parallel_campaign(
+            &sim,
+            &kernels,
+            &space,
+            HwConfig::FAIL_SAFE,
+            threads,
+        );
         let (rf, rf_report) = RandomForestPredictor::train_and_evaluate(
             &dataset,
             &options.forest,
             options.test_fraction,
             options.seed,
         );
-        EvalContext { sim, rf, rf_report, options }
+        EvalContext {
+            sim,
+            rf,
+            rf_report,
+            options,
+        }
     }
 }
 
@@ -236,8 +246,16 @@ mod tests {
         let ctx = EvalContext::build(EvalOptions::fast());
         // The paper reports 25% performance and 12% power MAPE; our fast
         // configuration should land in the same regime (not wildly worse).
-        assert!(ctx.rf_report.time_mape < 0.6, "time MAPE {}", ctx.rf_report.time_mape);
-        assert!(ctx.rf_report.power_mape < 0.3, "power MAPE {}", ctx.rf_report.power_mape);
+        assert!(
+            ctx.rf_report.time_mape < 0.6,
+            "time MAPE {}",
+            ctx.rf_report.time_mape
+        );
+        assert!(
+            ctx.rf_report.power_mape < 0.3,
+            "power MAPE {}",
+            ctx.rf_report.power_mape
+        );
         assert!(ctx.rf_report.test_samples > 100);
     }
 }

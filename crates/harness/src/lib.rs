@@ -11,7 +11,9 @@
 //!
 //! Layers:
 //!
-//! * [`run`] — the core replay loop ([`run::run_once`]).
+//! * [`run`] — the core replay loop ([`run::run_once`]); its traced twin
+//!   ([`run::run_once_traced`]) streams one decision-level
+//!   [`gpm_trace::TraceEvent`] per governor action into a pluggable sink.
 //! * [`campaign`] — the measurement campaign, parallelized across worker
 //!   threads (bit-identical to the sequential path).
 //! * [`context`] — one-time setup shared by experiments: the simulator and
@@ -37,5 +39,7 @@ pub mod traces;
 
 pub use context::{EvalContext, EvalOptions};
 pub use metrics::{energy_savings_pct, geo_mean, speedup, Comparison};
-pub use run::{run_once, KernelRun, RunResult};
-pub use schemes::{evaluate_scheme, turbo_core_baseline, Scheme, SchemeOutcome};
+pub use run::{run_once, run_once_traced, KernelRun, RunResult};
+pub use schemes::{
+    evaluate_scheme, evaluate_scheme_traced, turbo_core_baseline, Scheme, SchemeOutcome,
+};

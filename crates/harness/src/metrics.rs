@@ -23,7 +23,10 @@ pub fn geo_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    assert!(values.iter().all(|&v| v > 0.0), "geometric mean requires positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
@@ -84,10 +87,20 @@ pub fn summarize(comparisons: &[Comparison]) -> Comparison {
     let n = comparisons.len() as f64;
     let speedups: Vec<f64> = comparisons.iter().map(|c| c.speedup).collect();
     Comparison {
-        energy_savings_pct: comparisons.iter().map(|c| c.energy_savings_pct).sum::<f64>() / n,
-        gpu_energy_savings_pct: comparisons.iter().map(|c| c.gpu_energy_savings_pct).sum::<f64>()
+        energy_savings_pct: comparisons
+            .iter()
+            .map(|c| c.energy_savings_pct)
+            .sum::<f64>()
             / n,
-        cpu_energy_savings_pct: comparisons.iter().map(|c| c.cpu_energy_savings_pct).sum::<f64>()
+        gpu_energy_savings_pct: comparisons
+            .iter()
+            .map(|c| c.gpu_energy_savings_pct)
+            .sum::<f64>()
+            / n,
+        cpu_energy_savings_pct: comparisons
+            .iter()
+            .map(|c| c.cpu_energy_savings_pct)
+            .sum::<f64>()
             / n,
         speedup: geo_mean(&speedups),
     }
@@ -105,7 +118,12 @@ mod tests {
             kernel_time_s,
             overhead_time_s: overhead_s,
             transition_time_s: 0.0,
-            energy: EnergyBreakdown { cpu_j, gpu_j, dram_j: 1.0, other_j: 1.0 },
+            energy: EnergyBreakdown {
+                cpu_j,
+                gpu_j,
+                dram_j: 1.0,
+                other_j: 1.0,
+            },
             overhead_energy: EnergyBreakdown::default(),
             ginstructions: 10.0,
             per_kernel: Vec::new(),

@@ -3,6 +3,7 @@
 use gpm_governors::{Governor, KernelContext, PerfTarget};
 use gpm_hw::HwConfig;
 use gpm_sim::{EnergyBreakdown, Platform};
+use gpm_trace::{NoopSink, TraceEvent, TraceSink};
 use gpm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +111,45 @@ pub fn run_once(
     run_index: usize,
     provide_truth: bool,
 ) -> RunResult {
+    run_once_traced(
+        sim,
+        workload,
+        governor,
+        target,
+        run_index,
+        provide_truth,
+        &NoopSink,
+    )
+}
+
+/// [`run_once`] with decision-level observability: one [`TraceEvent`] per
+/// dispatch, decision, outcome, and headroom check is emitted to `sink`.
+///
+/// Tracing is strictly read-only: with any sink installed the replay makes
+/// byte-identical decisions to the untraced path (all event construction is
+/// gated on [`TraceSink::enabled`] and consumes only values the replay
+/// already computed). Governor-internal events (search statistics,
+/// fail-safe triggers) are *not* emitted here — install the sink on the
+/// governor too via [`Governor::set_trace_sink`] to capture those.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_traced(
+    sim: &dyn Platform,
+    workload: &Workload,
+    governor: &mut dyn Governor,
+    target: PerfTarget,
+    run_index: usize,
+    provide_truth: bool,
+    sink: &dyn TraceSink,
+) -> RunResult {
+    let tracing = sink.enabled();
+    if tracing {
+        sink.record(&TraceEvent::RunStart {
+            workload: workload.name().to_string(),
+            governor: governor.name().to_string(),
+            run_index,
+            total_kernels: workload.len(),
+        });
+    }
     let mut result = RunResult {
         governor: governor.name().to_string(),
         workload: workload.name().to_string(),
@@ -132,7 +172,27 @@ pub fn run_once(
             target,
             total_kernels: Some(workload.len()),
         };
+        if tracing {
+            sink.record(&TraceEvent::Dispatch {
+                run_index,
+                position,
+                kernel: kernel.name().to_string(),
+            });
+        }
         let decision = governor.select(&ctx);
+        if tracing {
+            sink.record(&TraceEvent::Decision {
+                run_index,
+                position,
+                config: decision.config,
+                horizon: decision.horizon,
+                evaluations: decision.evaluations,
+                overhead_s: decision.overhead_s,
+                predicted_time_s: decision.predicted.map(|p| p.time_s),
+                predicted_power_w: decision.predicted.map(|p| p.chip_power_w),
+                predicted_energy_j: decision.predicted.map(|p| p.energy_j),
+            });
+        }
         if decision.overhead_s > 0.0 {
             // Optimizer time overlapping a host CPU phase is hidden: the
             // CPU was busy with application work anyway, so neither extra
@@ -151,8 +211,7 @@ pub fn run_once(
         // this decision (free unless the simulator's transition model is
         // enabled).
         if let Some(prev) = prev_config {
-            let stall =
-                gpm_sim::transition::transition_cost_s(sim.params(), prev, decision.config);
+            let stall = gpm_sim::transition::transition_cost_s(sim.params(), prev, decision.config);
             if stall > 0.0 {
                 result.transition_time_s += stall;
                 let te = sim.optimizer_energy(decision.config, stall);
@@ -176,10 +235,52 @@ pub fn run_once(
             horizon: decision.horizon,
         });
 
+        if tracing {
+            let observed_power_w = if outcome.time_s > 0.0 {
+                Some(outcome.energy.total_j() / outcome.time_s)
+            } else {
+                None
+            };
+            // Signed errors follow the convention predicted − observed:
+            // positive means the predictor overestimated.
+            sink.record(&TraceEvent::Outcome {
+                run_index,
+                position,
+                config: decision.config,
+                time_s: outcome.time_s,
+                energy_j: outcome.energy.total_j(),
+                gi: outcome.ginstructions,
+                time_error_s: decision.predicted.map(|p| p.time_s - outcome.time_s),
+                power_error_w: decision
+                    .predicted
+                    .and_then(|p| observed_power_w.map(|ow| p.chip_power_w - ow)),
+                energy_error_j: decision
+                    .predicted
+                    .map(|p| p.energy_j - outcome.energy.total_j()),
+            });
+            // Eq. 5 slack after this kernel retired: how much longer the
+            // run could afford to take while still meeting the target.
+            sink.record(&TraceEvent::Headroom {
+                run_index,
+                position,
+                slack_s: target.time_cap(result.ginstructions, result.kernel_time_s, 0.0),
+            });
+        }
+
         let truth = provide_truth.then_some(kernel);
         governor.observe(&ctx, decision.config, &outcome, truth);
     }
     governor.end_run();
+    if tracing {
+        sink.record(&TraceEvent::RunEnd {
+            run_index,
+            kernel_time_s: result.kernel_time_s,
+            overhead_time_s: result.overhead_time_s,
+            transition_time_s: result.transition_time_s,
+            energy_j: result.total_energy_j(),
+            gi: result.ginstructions,
+        });
+    }
     result
 }
 

@@ -8,15 +8,17 @@
 //! measure its steady-state invocation including optimizer overheads.
 
 use crate::context::EvalContext;
-use crate::run::{run_once, RunResult};
+use crate::run::{run_once, run_once_traced, RunResult};
 use gpm_governors::{
-    to, OverheadModel, PerfTarget, PlannedGovernor, PpkGovernor, TurboCore,
+    to, Governor, OverheadModel, PerfTarget, PlannedGovernor, PpkGovernor, TurboCore,
 };
 use gpm_hw::ConfigSpace;
 use gpm_model::{ErrorInjectedPredictor, ErrorSpec};
 use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor, MpcStats};
 use gpm_sim::{ApuSimulator, OraclePredictor};
+use gpm_trace::{noop_sink, TraceSink};
 use gpm_workloads::Workload;
+use std::sync::Arc;
 
 /// The evaluated power-management schemes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,25 +76,36 @@ impl Scheme {
             Scheme::TurboCore => "TurboCore".into(),
             Scheme::PpkOracle => "PPK(oracle)".into(),
             Scheme::PpkRf => "PPK(RF)".into(),
-            Scheme::MpcRf { horizon: HorizonMode::Adaptive { .. } } => "MPC(RF,adaptive)".into(),
-            Scheme::MpcRf { horizon: HorizonMode::Full } => "MPC(RF,full)".into(),
-            Scheme::MpcRf { horizon: HorizonMode::Fixed(h) } => format!("MPC(RF,H={h})"),
-            Scheme::MpcRfOverhead { horizon: HorizonMode::Full, .. } => {
-                "MPC(RF,full,custom-oh)".into()
-            }
+            Scheme::MpcRf {
+                horizon: HorizonMode::Adaptive { .. },
+            } => "MPC(RF,adaptive)".into(),
+            Scheme::MpcRf {
+                horizon: HorizonMode::Full,
+            } => "MPC(RF,full)".into(),
+            Scheme::MpcRf {
+                horizon: HorizonMode::Fixed(h),
+            } => format!("MPC(RF,H={h})"),
+            Scheme::MpcRfOverhead {
+                horizon: HorizonMode::Full,
+                ..
+            } => "MPC(RF,full,custom-oh)".into(),
             Scheme::MpcRfOverhead { .. } => "MPC(RF,adaptive,custom-oh)".into(),
             Scheme::MpcRfIdealized => "MPC(RF,ideal)".into(),
             Scheme::MpcOracle => "MPC(oracle)".into(),
             Scheme::MpcError { spec } => {
-                format!("MPC(Err_{:.0}%_{:.0}%)", spec.time_mae * 100.0, spec.power_mae * 100.0)
+                format!(
+                    "MPC(Err_{:.0}%_{:.0}%)",
+                    spec.time_mae * 100.0,
+                    spec.power_mae * 100.0
+                )
             }
             Scheme::TheoreticallyOptimal => "TO".into(),
-            Scheme::Equalizer { mode: gpm_governors::EqualizerMode::Performance } => {
-                "Equalizer(perf)".into()
-            }
-            Scheme::Equalizer { mode: gpm_governors::EqualizerMode::Efficiency } => {
-                "Equalizer(eff)".into()
-            }
+            Scheme::Equalizer {
+                mode: gpm_governors::EqualizerMode::Performance,
+            } => "Equalizer(perf)".into(),
+            Scheme::Equalizer {
+                mode: gpm_governors::EqualizerMode::Efficiency,
+            } => "Equalizer(eff)".into(),
         }
     }
 }
@@ -126,6 +139,21 @@ pub fn turbo_core_baseline(sim: &ApuSimulator, workload: &Workload) -> (RunResul
 
 /// Evaluates `scheme` on `workload` under the shared context.
 pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -> SchemeOutcome {
+    evaluate_scheme_traced(ctx, workload, scheme, &noop_sink())
+}
+
+/// [`evaluate_scheme`] with decision-level observability: the sink is
+/// installed on the scheme's governor (capturing its internal search /
+/// fail-safe telemetry) and threaded through every profiling and measured
+/// replay. The Turbo Core baseline run that defines the performance target
+/// stays untraced — it is shared context, not part of the scheme under
+/// observation.
+pub fn evaluate_scheme_traced(
+    ctx: &EvalContext,
+    workload: &Workload,
+    scheme: Scheme,
+    sink: &Arc<dyn TraceSink>,
+) -> SchemeOutcome {
     let sim = &ctx.sim;
     let (baseline, target) = turbo_core_baseline(sim, workload);
     let space = ConfigSpace::paper_campaign();
@@ -139,10 +167,23 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
         mpc_stats,
     };
 
+    // The standard two-invocation protocol: profile on run 0, measure on
+    // run 1, tracing both.
+    let profile_and_measure = |gov: &mut dyn Governor,
+                               provide_truth: bool|
+     -> (RunResult, RunResult) {
+        gov.set_trace_sink(Arc::clone(sink));
+        let profiling =
+            run_once_traced(sim, workload, gov, target, 0, provide_truth, sink.as_ref());
+        let measured = run_once_traced(sim, workload, gov, target, 1, provide_truth, sink.as_ref());
+        (profiling, measured)
+    };
+
     match scheme {
         Scheme::TurboCore => {
             let mut tc = TurboCore::new(sim.params().tdp_w);
-            let measured = run_once(sim, workload, &mut tc, target, 0, false);
+            tc.set_trace_sink(Arc::clone(sink));
+            let measured = run_once_traced(sim, workload, &mut tc, target, 0, false, sink.as_ref());
             outcome(None, measured, None)
         }
         Scheme::PpkOracle => {
@@ -153,8 +194,7 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
                 OverheadModel::free(),
             )
             .with_truth_snapshots(true);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, true);
-            let measured = run_once(sim, workload, &mut gov, target, 1, true);
+            let (profiling, measured) = profile_and_measure(&mut gov, true);
             outcome(Some(profiling), measured, None)
         }
         Scheme::PpkRf => {
@@ -164,8 +204,7 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
                 space,
                 OverheadModel::default(),
             );
-            let profiling = run_once(sim, workload, &mut gov, target, 0, false);
-            let measured = run_once(sim, workload, &mut gov, target, 1, false);
+            let (profiling, measured) = profile_and_measure(&mut gov, false);
             outcome(Some(profiling), measured, None)
         }
         Scheme::MpcRf { horizon } => {
@@ -176,8 +215,7 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
                 ..MpcConfig::default()
             };
             let mut gov = MpcGovernor::new(ctx.rf.clone(), sim.params().clone(), cfg);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, false);
-            let measured = run_once(sim, workload, &mut gov, target, 1, false);
+            let (profiling, measured) = profile_and_measure(&mut gov, false);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
         }
@@ -189,8 +227,7 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
                 ..MpcConfig::default()
             };
             let mut gov = MpcGovernor::new(ctx.rf.clone(), sim.params().clone(), cfg);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, false);
-            let measured = run_once(sim, workload, &mut gov, target, 1, false);
+            let (profiling, measured) = profile_and_measure(&mut gov, false);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
         }
@@ -202,8 +239,7 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
                 ..MpcConfig::default()
             };
             let mut gov = MpcGovernor::new(ctx.rf.clone(), sim.params().clone(), cfg);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, false);
-            let measured = run_once(sim, workload, &mut gov, target, 1, false);
+            let (profiling, measured) = profile_and_measure(&mut gov, false);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
         }
@@ -214,10 +250,8 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
                 store_truth: true,
                 ..MpcConfig::default()
             };
-            let mut gov =
-                MpcGovernor::new(OraclePredictor::new(sim), sim.params().clone(), cfg);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, true);
-            let measured = run_once(sim, workload, &mut gov, target, 1, true);
+            let mut gov = MpcGovernor::new(OraclePredictor::new(sim), sim.params().clone(), cfg);
+            let (profiling, measured) = profile_and_measure(&mut gov, true);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
         }
@@ -230,21 +264,21 @@ pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -
             };
             let predictor = ErrorInjectedPredictor::new(sim, spec, ctx.options.seed);
             let mut gov = MpcGovernor::new(predictor, sim.params().clone(), cfg);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, true);
-            let measured = run_once(sim, workload, &mut gov, target, 1, true);
+            let (profiling, measured) = profile_and_measure(&mut gov, true);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
         }
         Scheme::Equalizer { mode } => {
             let mut gov = gpm_governors::Equalizer::new(mode);
-            let profiling = run_once(sim, workload, &mut gov, target, 0, false);
-            let measured = run_once(sim, workload, &mut gov, target, 1, false);
+            let (profiling, measured) = profile_and_measure(&mut gov, false);
             outcome(Some(profiling), measured, None)
         }
         Scheme::TheoreticallyOptimal => {
             let plan = to::plan_optimal(sim, workload.kernels(), &space, target.total_time_s());
             let mut gov = PlannedGovernor::new("theoretically-optimal", plan.configs);
-            let measured = run_once(sim, workload, &mut gov, target, 0, false);
+            gov.set_trace_sink(Arc::clone(sink));
+            let measured =
+                run_once_traced(sim, workload, &mut gov, target, 0, false, sink.as_ref());
             outcome(None, measured, None)
         }
     }
@@ -276,7 +310,11 @@ mod tests {
         let w = workload_by_name("Spmv").unwrap();
         let out = evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal);
         let c = Comparison::between(&out.baseline, &out.measured);
-        assert!(c.energy_savings_pct > 5.0, "TO savings {}", c.energy_savings_pct);
+        assert!(
+            c.energy_savings_pct > 5.0,
+            "TO savings {}",
+            c.energy_savings_pct
+        );
         // TO plans against the noiseless model; allow small noise-induced
         // slack on the realized time.
         assert!(c.speedup > 0.93, "TO speedup {}", c.speedup);
@@ -287,7 +325,11 @@ mod tests {
         let w = workload_by_name("mandelbulbGPU").unwrap();
         let out = evaluate_scheme(ctx(), &w, Scheme::PpkOracle);
         let c = Comparison::between(&out.baseline, &out.measured);
-        assert!(c.energy_savings_pct > 10.0, "PPK savings {}", c.energy_savings_pct);
+        assert!(
+            c.energy_savings_pct > 10.0,
+            "PPK savings {}",
+            c.energy_savings_pct
+        );
         assert!(c.speedup > 0.9, "PPK speedup {}", c.speedup);
     }
 
@@ -311,7 +353,13 @@ mod tests {
     #[test]
     fn mpc_rf_scheme_produces_stats() {
         let w = workload_by_name("EigenValue").unwrap();
-        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let out = evaluate_scheme(
+            ctx(),
+            &w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let stats = out.mpc_stats.unwrap();
         assert!(!stats.horizons.is_empty());
         assert!(out.profiling.is_some());
@@ -324,11 +372,17 @@ mod tests {
             Scheme::TurboCore,
             Scheme::PpkOracle,
             Scheme::PpkRf,
-            Scheme::MpcRf { horizon: HorizonMode::default() },
-            Scheme::MpcRf { horizon: HorizonMode::Full },
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+            Scheme::MpcRf {
+                horizon: HorizonMode::Full,
+            },
             Scheme::MpcRfIdealized,
             Scheme::MpcOracle,
-            Scheme::MpcError { spec: ErrorSpec::ERR_5 },
+            Scheme::MpcError {
+                spec: ErrorSpec::ERR_5,
+            },
             Scheme::TheoreticallyOptimal,
         ];
         let mut labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();

@@ -16,7 +16,9 @@ pub struct BarSeries {
 }
 
 /// Distinct fill colors assigned to series in order.
-const PALETTE: [&str; 6] = ["#4878a8", "#e49444", "#6a9f58", "#d1615d", "#85629c", "#918f8b"];
+const PALETTE: [&str; 6] = [
+    "#4878a8", "#e49444", "#6a9f58", "#d1615d", "#85629c", "#918f8b",
+];
 
 /// Geometry constants.
 const WIDTH: f64 = 960.0;
@@ -27,7 +29,9 @@ const MARGIN_T: f64 = 48.0;
 const MARGIN_B: f64 = 110.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a grouped bar chart.
@@ -47,12 +51,23 @@ pub fn bar_chart(
     y_label: &str,
     reference: Option<f64>,
 ) -> String {
-    assert!(!categories.is_empty(), "bar chart needs at least one category");
+    assert!(
+        !categories.is_empty(),
+        "bar chart needs at least one category"
+    );
     for s in series {
-        assert_eq!(s.values.len(), categories.len(), "series `{}` arity", s.name);
+        assert_eq!(
+            s.values.len(),
+            categories.len(),
+            "series `{}` arity",
+            s.name
+        );
     }
 
-    let all: Vec<f64> = series.iter().flat_map(|s| s.values.iter().copied()).collect();
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .collect();
     let mut lo = all.iter().copied().fold(0.0f64, f64::min);
     let mut hi = all.iter().copied().fold(0.0f64, f64::max);
     if let Some(r) = reference {
@@ -76,7 +91,10 @@ pub fn bar_chart(
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
     );
-    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
@@ -122,7 +140,11 @@ pub fn bar_chart(
         for (si, s) in series.iter().enumerate() {
             let v = s.values[ci];
             let y = y_of(v);
-            let (top, h) = if y <= zero_y { (y, zero_y - y) } else { (zero_y, y - zero_y) };
+            let (top, h) = if y <= zero_y {
+                (y, zero_y - y)
+            } else {
+                (zero_y, y - zero_y)
+            };
             let _ = write!(
                 svg,
                 r#"<rect x="{:.1}" y="{top:.1}" width="{:.1}" height="{:.2}" fill="{}"/>"#,
@@ -167,10 +189,17 @@ pub fn line_chart(title: &str, series: &[BarSeries], y_label: &str) -> String {
     assert!(!series.is_empty(), "line chart needs at least one series");
     assert!(series.iter().all(|s| !s.values.is_empty()), "empty series");
 
-    let all: Vec<f64> = series.iter().flat_map(|s| s.values.iter().copied()).collect();
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .collect();
     let lo = all.iter().copied().fold(f64::MAX, f64::min).min(0.0);
     let hi = all.iter().copied().fold(f64::MIN, f64::max);
-    let hi = if (hi - lo).abs() < 1e-12 { lo + 1.0 } else { hi };
+    let hi = if (hi - lo).abs() < 1e-12 {
+        lo + 1.0
+    } else {
+        hi
+    };
     let max_len = series.iter().map(|s| s.values.len()).max().unwrap_or(1);
 
     let plot_w = WIDTH - MARGIN_L - MARGIN_R;
@@ -183,7 +212,10 @@ pub fn line_chart(title: &str, series: &[BarSeries], y_label: &str) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
     );
-    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
@@ -213,8 +245,12 @@ pub fn line_chart(title: &str, series: &[BarSeries], y_label: &str) -> String {
         esc(y_label)
     );
     for (si, s) in series.iter().enumerate() {
-        let pts: Vec<String> =
-            s.values.iter().enumerate().map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v))).collect();
+        let pts: Vec<String> = s
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v)))
+            .collect();
         let _ = write!(
             svg,
             r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
@@ -242,8 +278,14 @@ mod tests {
 
     fn series() -> Vec<BarSeries> {
         vec![
-            BarSeries { name: "PPK".into(), values: vec![10.0, -5.0, 30.0] },
-            BarSeries { name: "MPC".into(), values: vec![25.0, 20.0, 45.0] },
+            BarSeries {
+                name: "PPK".into(),
+                values: vec![10.0, -5.0, 30.0],
+            },
+            BarSeries {
+                name: "MPC".into(),
+                values: vec![25.0, 20.0, 45.0],
+            },
         ]
     }
 
@@ -266,7 +308,10 @@ mod tests {
     #[test]
     fn bar_chart_escapes_labels() {
         let cats = vec!["a<b&c".to_string()];
-        let s = vec![BarSeries { name: "x>y".into(), values: vec![1.0] }];
+        let s = vec![BarSeries {
+            name: "x>y".into(),
+            values: vec![1.0],
+        }];
         let svg = bar_chart("t", &cats, &s, "y", None);
         assert!(svg.contains("a&lt;b&amp;c"));
         assert!(svg.contains("x&gt;y"));
@@ -282,7 +327,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn mismatched_series_panics() {
-        let bad = vec![BarSeries { name: "x".into(), values: vec![1.0] }];
+        let bad = vec![BarSeries {
+            name: "x".into(),
+            values: vec![1.0],
+        }];
         let _ = bar_chart("t", &cats(), &bad, "y", None);
     }
 

@@ -31,10 +31,10 @@ pub struct SweepPoint {
 /// GPU-side knobs; speedups are normalized to the slowest corner
 /// (NB3, 2 CUs).
 pub fn fig2_sweep(sim: &ApuSimulator, kernel: &KernelCharacteristics) -> Vec<SweepPoint> {
-    let cfg_at = |nb: NbState, cu: CuCount| {
-        HwConfig::new(CpuPState::P5, nb, GpuDpm::Dpm4, cu)
-    };
-    let base_time = sim.evaluate(kernel, cfg_at(NbState::Nb3, CuCount::MIN)).time_s;
+    let cfg_at = |nb: NbState, cu: CuCount| HwConfig::new(CpuPState::P5, nb, GpuDpm::Dpm4, cu);
+    let base_time = sim
+        .evaluate(kernel, cfg_at(NbState::Nb3, CuCount::MIN))
+        .time_s;
 
     let mut points = Vec::with_capacity(16);
     for &nb in &NbState::ALL {
@@ -52,7 +52,7 @@ pub fn fig2_sweep(sim: &ApuSimulator, kernel: &KernelCharacteristics) -> Vec<Swe
     if let Some(best) = points
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).unwrap())
+        .min_by(|a, b| a.1.energy_j.total_cmp(&b.1.energy_j))
         .map(|(i, _)| i)
     {
         points[best].energy_optimal = true;
@@ -64,8 +64,11 @@ pub fn fig2_sweep(sim: &ApuSimulator, kernel: &KernelCharacteristics) -> Vec<Swe
 /// overall throughput (the y-axis of Figure 3), measured at the Turbo Core
 /// boost configuration.
 pub fn fig3_trace(sim: &ApuSimulator, workload: &Workload) -> Vec<f64> {
-    let outs: Vec<_> =
-        workload.kernels().iter().map(|k| sim.evaluate(k, HwConfig::MAX_PERF)).collect();
+    let outs: Vec<_> = workload
+        .kernels()
+        .iter()
+        .map(|k| sim.evaluate(k, HwConfig::MAX_PERF))
+        .collect();
     let total_gi: f64 = outs.iter().map(|o| o.ginstructions).sum();
     let total_t: f64 = outs.iter().map(|o| o.time_s).sum();
     let overall = total_gi / total_t.max(1e-12);
@@ -113,7 +116,10 @@ mod tests {
         assert_eq!(points.len(), 16);
         assert_eq!(points.iter().filter(|p| p.energy_optimal).count(), 1);
         // Normalization corner has speedup 1.
-        let corner = points.iter().find(|p| p.nb == NbState::Nb3 && p.cu == 2).unwrap();
+        let corner = points
+            .iter()
+            .find(|p| p.nb == NbState::Nb3 && p.cu == 2)
+            .unwrap();
         assert!((corner.speedup - 1.0).abs() < 1e-9);
     }
 
@@ -122,7 +128,11 @@ mod tests {
         let sim = ApuSimulator::noiseless();
         let points = fig2_sweep(&sim, &microkernels::max_flops());
         let at = |nb: NbState, cu: u32| {
-            points.iter().find(|p| p.nb == nb && p.cu == cu).unwrap().speedup
+            points
+                .iter()
+                .find(|p| p.nb == nb && p.cu == cu)
+                .unwrap()
+                .speedup
         };
         assert!(at(NbState::Nb0, 8) > 2.5 * at(NbState::Nb0, 2));
     }
@@ -132,7 +142,11 @@ mod tests {
         let sim = ApuSimulator::noiseless();
         let points = fig2_sweep(&sim, &microkernels::read_global_memory_coalesced());
         let at = |nb: NbState, cu: u32| {
-            points.iter().find(|p| p.nb == nb && p.cu == cu).unwrap().speedup
+            points
+                .iter()
+                .find(|p| p.nb == nb && p.cu == cu)
+                .unwrap()
+                .speedup
         };
         assert!((at(NbState::Nb2, 8) / at(NbState::Nb0, 8) - 1.0).abs() < 0.05);
         assert!(at(NbState::Nb3, 8) < 0.7 * at(NbState::Nb2, 8));

@@ -41,7 +41,11 @@ pub struct CuCountError(pub u32);
 
 impl fmt::Display for CuCountError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid compute-unit count {} (expected 2, 4, 6, or 8)", self.0)
+        write!(
+            f,
+            "invalid compute-unit count {} (expected 2, 4, 6, or 8)",
+            self.0
+        )
     }
 }
 
@@ -259,8 +263,14 @@ mod tests {
     fn cu_count_steps() {
         assert_eq!(CuCount::MIN.fewer(), None);
         assert_eq!(CuCount::MAX.more(), None);
-        assert_eq!(CuCount::new(4).unwrap().more(), Some(CuCount::new(6).unwrap()));
-        assert_eq!(CuCount::new(4).unwrap().fewer(), Some(CuCount::new(2).unwrap()));
+        assert_eq!(
+            CuCount::new(4).unwrap().more(),
+            Some(CuCount::new(6).unwrap())
+        );
+        assert_eq!(
+            CuCount::new(4).unwrap().fewer(),
+            Some(CuCount::new(2).unwrap())
+        );
     }
 
     #[test]

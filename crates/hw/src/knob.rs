@@ -86,7 +86,10 @@ impl Knob {
                 .iter()
                 .map(|&gpu| HwConfig { gpu, ..cfg })
                 .collect(),
-            Knob::CuCount => CuCount::ALL.iter().map(|&cu| HwConfig { cu, ..cfg }).collect(),
+            Knob::CuCount => CuCount::ALL
+                .iter()
+                .map(|&cu| HwConfig { cu, ..cfg })
+                .collect(),
         }
     }
 }

@@ -58,7 +58,12 @@ impl ConfigSpace {
         gpus: Vec<GpuDpm>,
         cus: Vec<CuCount>,
     ) -> ConfigSpace {
-        ConfigSpace { cpus, nbs, gpus, cus }
+        ConfigSpace {
+            cpus,
+            nbs,
+            gpus,
+            cus,
+        }
     }
 
     /// The GPU-only sub-space of Figure 2's sweeps: NB states × CU counts at
@@ -92,7 +97,10 @@ impl ConfigSpace {
 
     /// Iterates every configuration in the space, CPU-major order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { space: self, next: 0 }
+        Iter {
+            space: self,
+            next: 0,
+        }
     }
 
     /// CPU axis values.
@@ -210,7 +218,12 @@ mod tests {
 
     #[test]
     fn empty_axis_means_empty_space() {
-        let space = ConfigSpace::from_axes(vec![], NbState::ALL.to_vec(), GpuDpm::ALL.to_vec(), CuCount::ALL.to_vec());
+        let space = ConfigSpace::from_axes(
+            vec![],
+            NbState::ALL.to_vec(),
+            GpuDpm::ALL.to_vec(),
+            CuCount::ALL.to_vec(),
+        );
         assert!(space.is_empty());
         assert_eq!(space.iter().count(), 0);
     }

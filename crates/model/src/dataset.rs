@@ -106,7 +106,10 @@ impl Dataset {
     /// `ln(time)` target vector — time spans orders of magnitude across
     /// kernels, so the forest regresses its logarithm.
     pub fn ys_log_time(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.time_s.max(1e-12).ln()).collect()
+        self.samples
+            .iter()
+            .map(|s| s.time_s.max(1e-12).ln())
+            .collect()
     }
 
     /// GPU power target vector, watts.
@@ -131,8 +134,11 @@ impl Dataset {
     /// set. This is the honest evaluation for a predictor that will face
     /// kernels it never trained on.
     pub fn split_leave_kernel_out(&self, kernel_name: &str) -> (Dataset, Dataset) {
-        let (test, train): (Vec<Sample>, Vec<Sample>) =
-            self.samples.iter().cloned().partition(|s| s.kernel == kernel_name);
+        let (test, train): (Vec<Sample>, Vec<Sample>) = self
+            .samples
+            .iter()
+            .cloned()
+            .partition(|s| s.kernel == kernel_name);
         (Dataset { samples: train }, Dataset { samples: test })
     }
 

@@ -25,13 +25,22 @@ pub struct ErrorSpec {
 
 impl ErrorSpec {
     /// The `Err_15%_10%` model of Figure 13 (Wu et al. accuracy).
-    pub const ERR_15_10: ErrorSpec = ErrorSpec { time_mae: 0.15, power_mae: 0.10 };
+    pub const ERR_15_10: ErrorSpec = ErrorSpec {
+        time_mae: 0.15,
+        power_mae: 0.10,
+    };
 
     /// The `Err_5%` model of Figure 13 (Paul et al. accuracy).
-    pub const ERR_5: ErrorSpec = ErrorSpec { time_mae: 0.05, power_mae: 0.05 };
+    pub const ERR_5: ErrorSpec = ErrorSpec {
+        time_mae: 0.05,
+        power_mae: 0.05,
+    };
 
     /// The `Err_0%` perfect-prediction model of Figure 13.
-    pub const ERR_0: ErrorSpec = ErrorSpec { time_mae: 0.0, power_mae: 0.0 };
+    pub const ERR_0: ErrorSpec = ErrorSpec {
+        time_mae: 0.0,
+        power_mae: 0.0,
+    };
 }
 
 /// Oracle prediction perturbed by deterministic half-normal relative error.
@@ -62,7 +71,11 @@ pub struct ErrorInjectedPredictor {
 impl ErrorInjectedPredictor {
     /// Wraps an oracle on `sim` with the given error spec.
     pub fn new(sim: &ApuSimulator, spec: ErrorSpec, seed: u64) -> ErrorInjectedPredictor {
-        ErrorInjectedPredictor { oracle: OraclePredictor::new(sim), spec, seed }
+        ErrorInjectedPredictor {
+            oracle: OraclePredictor::new(sim),
+            spec,
+            seed,
+        }
     }
 
     /// The error specification in force.
@@ -113,7 +126,11 @@ fn signed_half_normal(seed: u64, mae: f64) -> f64 {
     let u1 = splitmix_unit(seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(1));
     let u2 = splitmix_unit(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(2));
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    let sign = if splitmix_unit(seed.wrapping_add(3)) < 0.5 { -1.0 } else { 1.0 };
+    let sign = if splitmix_unit(seed.wrapping_add(3)) < 0.5 {
+        -1.0
+    } else {
+        1.0
+    };
     sign * z.abs() * sigma
 }
 
@@ -152,7 +169,10 @@ mod tests {
         let sim = ApuSimulator::default();
         let snap = snapshot(&sim);
         let p = ErrorInjectedPredictor::new(&sim, ErrorSpec::ERR_15_10, 7);
-        assert_eq!(p.predict(&snap, HwConfig::MAX_PERF), p.predict(&snap, HwConfig::MAX_PERF));
+        assert_eq!(
+            p.predict(&snap, HwConfig::MAX_PERF),
+            p.predict(&snap, HwConfig::MAX_PERF)
+        );
     }
 
     #[test]
@@ -201,7 +221,10 @@ mod tests {
         let snap = snapshot(&sim);
         let p = ErrorInjectedPredictor::new(
             &sim,
-            ErrorSpec { time_mae: 0.8, power_mae: 0.8 },
+            ErrorSpec {
+                time_mae: 0.8,
+                power_mae: 0.8,
+            },
             3,
         );
         for idx in 0..560 {

@@ -162,8 +162,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..150)
             .map(|i| vec![i as f64, ((i * 31 + seed_like) % 13) as f64])
             .collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 0.5 * x[0] + ((x[1] as i64 % 3) as f64) * 0.1).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.5 * x[0] + ((x[1] as i64 % 3) as f64) * 0.1)
+            .collect();
         (xs, ys)
     }
 
@@ -173,7 +175,10 @@ mod tests {
         let forest = RandomForest::fit(&xs, &ys, &ForestParams::default(), 7);
         for probe in [10.0, 75.0, 140.0] {
             let pred = forest.predict(&[probe, 1.0]);
-            assert!((pred - 0.5 * probe).abs() < 8.0, "probe {probe} pred {pred}");
+            assert!(
+                (pred - 0.5 * probe).abs() < 8.0,
+                "probe {probe} pred {pred}"
+            );
         }
     }
 
@@ -191,15 +196,17 @@ mod tests {
         let a = RandomForest::fit(&xs, &ys, &ForestParams::default(), 7);
         let b = RandomForest::fit(&xs, &ys, &ForestParams::default(), 8);
         // Overwhelmingly likely to differ somewhere.
-        let differs =
-            (0..150).any(|i| a.predict(&[i as f64, 1.0]) != b.predict(&[i as f64, 1.0]));
+        let differs = (0..150).any(|i| a.predict(&[i as f64, 1.0]) != b.predict(&[i as f64, 1.0]));
         assert!(differs);
     }
 
     #[test]
     fn predict_all_has_num_trees_entries() {
         let (xs, ys) = noisy_linear(0);
-        let params = ForestParams { num_trees: 12, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 12,
+            ..ForestParams::default()
+        };
         let forest = RandomForest::fit(&xs, &ys, &params, 7);
         assert_eq!(forest.num_trees(), 12);
         assert_eq!(forest.predict_all(&[1.0, 1.0]).len(), 12);
@@ -218,7 +225,10 @@ mod tests {
     #[test]
     fn single_tree_forest_works() {
         let (xs, ys) = noisy_linear(0);
-        let params = ForestParams { num_trees: 1, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 1,
+            ..ForestParams::default()
+        };
         let forest = RandomForest::fit(&xs, &ys, &params, 7);
         assert_eq!(forest.num_trees(), 1);
         assert!(forest.predict(&[10.0, 0.0]).is_finite());
@@ -252,7 +262,10 @@ mod tests {
     #[test]
     fn oob_predict_excludes_in_bag_trees() {
         let (xs, ys) = noisy_linear(2);
-        let params = ForestParams { num_trees: 16, ..ForestParams::default() };
+        let params = ForestParams {
+            num_trees: 16,
+            ..ForestParams::default()
+        };
         let forest = RandomForest::fit(&xs, &ys, &params, 3);
         // Some sample must be out-of-bag for at least one tree.
         let any_oob = (0..xs.len()).any(|i| forest.oob_predict(i, &xs[i]).is_some());

@@ -54,7 +54,10 @@ pub fn permutation_importance<F>(
 where
     F: Fn(&crate::dataset::Sample) -> f64,
 {
-    assert!(!eval_set.is_empty(), "cannot measure importance on an empty set");
+    assert!(
+        !eval_set.is_empty(),
+        "cannot measure importance on an empty set"
+    );
     let xs = eval_set.xs();
     let ys: Vec<f64> = eval_set.samples().iter().map(&target_of).collect();
     let preds: Vec<f64> = xs.iter().map(|x| forest.predict(x)).collect();
@@ -110,8 +113,7 @@ mod tests {
     #[test]
     fn informative_feature_dominates() {
         let ds = dataset();
-        let forest =
-            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let forest = RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
         let imp = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 5);
         assert_eq!(imp.len(), 2);
         assert!(
@@ -125,20 +127,23 @@ mod tests {
     #[test]
     fn scores_are_nonnegative_in_expectation() {
         let ds = dataset();
-        let forest =
-            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let forest = RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
         let imp = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 5);
         // Permuting can only help by chance; allow tiny negatives.
         for fi in &imp {
-            assert!(fi.score() > -0.1, "feature {} score {}", fi.feature, fi.score());
+            assert!(
+                fi.score() > -0.1,
+                "feature {} score {}",
+                fi.feature,
+                fi.score()
+            );
         }
     }
 
     #[test]
     fn importance_is_deterministic_per_seed() {
         let ds = dataset();
-        let forest =
-            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let forest = RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
         let a = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 9);
         let b = permutation_importance(&forest, &ds, |s| s.gpu_power_w, 9);
         assert_eq!(a, b);
@@ -148,8 +153,7 @@ mod tests {
     #[should_panic(expected = "empty set")]
     fn empty_set_panics() {
         let ds = dataset();
-        let forest =
-            RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
+        let forest = RandomForest::fit(&ds.xs(), &ds.ys_power(), &ForestParams::default(), 5);
         let _ = permutation_importance(&forest, &Dataset::default(), |s| s.gpu_power_w, 1);
     }
 }

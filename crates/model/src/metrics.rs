@@ -23,7 +23,11 @@
 /// assert!((err - 0.10).abs() < 1e-12);
 /// ```
 pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(pred.len(), truth.len(), "pred and truth must have equal length");
+    assert_eq!(
+        pred.len(),
+        truth.len(),
+        "pred and truth must have equal length"
+    );
     let mut sum = 0.0;
     let mut n = 0usize;
     for (&p, &t) in pred.iter().zip(truth) {
@@ -45,7 +49,11 @@ pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(pred.len(), truth.len(), "pred and truth must have equal length");
+    assert_eq!(
+        pred.len(),
+        truth.len(),
+        "pred and truth must have equal length"
+    );
     if pred.is_empty() {
         return 0.0;
     }
@@ -62,7 +70,11 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(pred.len(), truth.len(), "pred and truth must have equal length");
+    assert_eq!(
+        pred.len(),
+        truth.len(),
+        "pred and truth must have equal length"
+    );
     if truth.is_empty() {
         return 0.0;
     }

@@ -64,7 +64,10 @@ impl RandomForestPredictor {
         let time_forest = RandomForest::fit(&xs, &dataset.ys_log_time(), params, seed);
         let power_forest =
             RandomForest::fit(&xs, &dataset.ys_power(), params, seed.wrapping_add(1));
-        RandomForestPredictor { time_forest, power_forest }
+        RandomForestPredictor {
+            time_forest,
+            power_forest,
+        }
     }
 
     /// Evaluates held-out accuracy on `test`.
@@ -124,7 +127,10 @@ impl PowerPerfPredictor for RandomForestPredictor {
         let features = encode_features(&snapshot.counters, cfg);
         let time_s = self.time_forest.predict(&features).exp().max(1e-9);
         let gpu_power_w = self.power_forest.predict(&features).max(0.1);
-        PowerPerfEstimate { time_s, gpu_power_w }
+        PowerPerfEstimate {
+            time_s,
+            gpu_power_w,
+        }
     }
 
     fn name(&self) -> &str {
@@ -185,7 +191,12 @@ mod tests {
             gpm_hw::CuCount::MIN,
         );
         let slow = rf.predict(&snap, slow_cfg);
-        assert!(fast.time_s < slow.time_s, "fast {} slow {}", fast.time_s, slow.time_s);
+        assert!(
+            fast.time_s < slow.time_s,
+            "fast {} slow {}",
+            fast.time_s,
+            slow.time_s
+        );
         assert!(fast.gpu_power_w > slow.gpu_power_w);
     }
 

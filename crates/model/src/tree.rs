@@ -87,7 +87,10 @@ impl RegressionTree {
             "inconsistent feature dimensionality"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tree = RegressionTree { nodes: Vec::new(), num_features };
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            num_features,
+        };
         let idx: Vec<usize> = (0..xs.len()).collect();
         tree.build(xs, ys, idx, 0, params, &mut rng);
         tree
@@ -99,12 +102,21 @@ impl RegressionTree {
     ///
     /// Panics if `x` has a different dimensionality than the training data.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.num_features, "feature dimensionality mismatch");
+        assert_eq!(
+            x.len(),
+            self.num_features,
+            "feature dimensionality mismatch"
+        );
         let mut node = 0usize;
         loop {
             match self.nodes[node] {
                 Node::Leaf { value } => return value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if x[feature] <= threshold { left } else { right };
                 }
             }
@@ -163,7 +175,12 @@ impl RegressionTree {
         self.nodes.push(Node::Leaf { value: mean });
         let left = self.build(xs, ys, left_idx, depth + 1, params, rng);
         let right = self.build(xs, ys, right_idx, depth + 1, params, rng);
-        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 
@@ -189,7 +206,7 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
         for &f in &features {
             let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             if vals.len() < 2 {
                 continue;
@@ -197,7 +214,9 @@ impl RegressionTree {
             let step = (vals.len() - 1).max(1) as f64 / params.threshold_candidates as f64;
             let mut thresholds: Vec<f64> = Vec::new();
             let mut t = step;
-            while t < (vals.len() - 1) as f64 + 1e-9 && thresholds.len() < params.threshold_candidates {
+            while t < (vals.len() - 1) as f64 + 1e-9
+                && thresholds.len() < params.threshold_candidates
+            {
                 let k = (t as usize).min(vals.len() - 2);
                 thresholds.push((vals[k] + vals[k + 1]) / 2.0);
                 t += step.max(1e-9);
@@ -216,16 +235,15 @@ impl RegressionTree {
                     }
                 }
                 let nr = n - nl;
-                if (nl as usize) < params.min_samples_leaf || (nr as usize) < params.min_samples_leaf
+                if (nl as usize) < params.min_samples_leaf
+                    || (nr as usize) < params.min_samples_leaf
                 {
                     continue;
                 }
                 let sr = sum - sl;
                 let qr = sum_sq - ql;
                 let sse = (ql - sl * sl / nl) + (qr - sr * sr / nr);
-                if sse < parent_sse_base - 1e-12
-                    && best.is_none_or(|(_, _, b)| sse < b)
-                {
+                if sse < parent_sse_base - 1e-12 && best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((f, thr, sse));
                 }
             }
@@ -240,7 +258,10 @@ mod tests {
 
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i % 7) as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 50.0 { -2.0 } else { 4.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 50.0 { -2.0 } else { 4.0 })
+            .collect();
         (xs, ys)
     }
 
@@ -264,7 +285,10 @@ mod tests {
     #[test]
     fn depth_zero_is_mean_predictor() {
         let (xs, ys) = step_data();
-        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
         let tree = RegressionTree::fit(&xs, &ys, &params, 1);
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         assert!((tree.predict(&[0.0, 0.0]) - mean).abs() < 1e-9);
@@ -273,7 +297,10 @@ mod tests {
     #[test]
     fn respects_min_samples_leaf() {
         let (xs, ys) = step_data();
-        let params = TreeParams { min_samples_leaf: 60, ..TreeParams::default() };
+        let params = TreeParams {
+            min_samples_leaf: 60,
+            ..TreeParams::default()
+        };
         let tree = RegressionTree::fit(&xs, &ys, &params, 1);
         // 100 samples cannot split into two leaves of ≥60.
         assert!(tree.is_empty());
@@ -286,17 +313,26 @@ mod tests {
         let shallow = RegressionTree::fit(
             &xs,
             &ys,
-            &TreeParams { max_depth: 1, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
             1,
         );
         let deep = RegressionTree::fit(
             &xs,
             &ys,
-            &TreeParams { max_depth: 8, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 8,
+                ..TreeParams::default()
+            },
             1,
         );
         let sse = |t: &RegressionTree| -> f64 {
-            xs.iter().zip(&ys).map(|(x, y)| (t.predict(x) - y).powi(2)).sum()
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (t.predict(x) - y).powi(2))
+                .sum()
         };
         assert!(sse(&deep) < sse(&shallow) * 0.2);
         assert!(deep.depth() > shallow.depth());
@@ -305,9 +341,13 @@ mod tests {
     #[test]
     fn multifeature_splits_pick_informative_feature() {
         // Feature 1 is pure noise; feature 0 carries the signal.
-        let xs: Vec<Vec<f64>> =
-            (0..200).map(|i| vec![(i / 2) as f64, (i * 37 % 11) as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 50.0 { 0.0 } else { 10.0 }).collect();
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i / 2) as f64, (i * 37 % 11) as f64])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 50.0 { 0.0 } else { 10.0 })
+            .collect();
         let tree = RegressionTree::fit(&xs, &ys, &TreeParams::default(), 1);
         assert!((tree.predict(&[10.0, 5.0]) - 0.0).abs() < 1e-9);
         assert!((tree.predict(&[90.0, 5.0]) - 10.0).abs() < 1e-9);
@@ -328,7 +368,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensionality mismatch")]
     fn predict_wrong_arity_panics() {
-        let tree = RegressionTree::fit(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]], &[1.0, 2.0, 3.0, 4.0], &TreeParams::default(), 1);
+        let tree = RegressionTree::fit(
+            &[vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            &[1.0, 2.0, 3.0, 4.0],
+            &TreeParams::default(),
+            1,
+        );
         let _ = tree.predict(&[1.0, 2.0]);
     }
 

@@ -168,8 +168,7 @@ impl PatternExtractor {
     /// skipped ahead (e.g. an iteration count that shrank between runs).
     pub fn realign(&self, position: usize, observed: KernelId, window: usize) -> Option<usize> {
         let reference = self.reference.as_deref()?;
-        (position..reference.len().min(position + window + 1))
-            .find(|&p| reference[p] == observed)
+        (position..reference.len().min(position + window + 1)).find(|&p| reference[p] == observed)
     }
 
     /// On-line repetition detection over the current run (Totoni-style):

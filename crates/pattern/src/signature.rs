@@ -68,7 +68,11 @@ impl KernelSignature {
 
     /// Number of bins in which two signatures differ; 0 means identical.
     pub fn distance(&self, other: &KernelSignature) -> usize {
-        self.0.iter().zip(other.0.iter()).filter(|(a, b)| a != b).count()
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|(a, b)| a != b)
+            .count()
     }
 }
 

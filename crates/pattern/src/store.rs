@@ -147,8 +147,12 @@ impl KernelStore {
     /// Rebuilds the signature index (needed after deserialization, where
     /// the index is skipped).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.records.iter().enumerate().map(|(i, r)| (r.signature, i)).collect();
+        self.index = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.signature, i))
+            .collect();
     }
 }
 
@@ -205,10 +209,21 @@ mod tests {
         let mut store = KernelStore::new();
         let (s, c) = sig(1.0);
         let truth = KernelCharacteristics::compute_bound("k", 5.0);
-        let id = store.upsert(s, c, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, Some(truth.clone()));
+        let id = store.upsert(
+            s,
+            c,
+            HwConfig::FAIL_SAFE,
+            0.5,
+            20.0,
+            1.0,
+            Some(truth.clone()),
+        );
         // An update without truth must not erase it.
         store.upsert(s, c, HwConfig::FAIL_SAFE, 0.6, 21.0, 1.0, None);
-        assert_eq!(store.get(id).unwrap().truth.as_ref().unwrap().name(), truth.name());
+        assert_eq!(
+            store.get(id).unwrap().truth.as_ref().unwrap().name(),
+            truth.name()
+        );
     }
 
     #[test]
@@ -228,7 +243,10 @@ mod tests {
         let mut store = KernelStore::new();
         let (s, c) = sig(1.0);
         store.upsert(s, c, HwConfig::FAIL_SAFE, 0.5, 20.0, 1.0, None);
-        let mut clone = KernelStore { records: store.records.clone(), index: HashMap::new() };
+        let mut clone = KernelStore {
+            records: store.records.clone(),
+            index: HashMap::new(),
+        };
         assert_eq!(clone.id_of(&s), None);
         clone.rebuild_index();
         assert_eq!(clone.id_of(&s), Some(0));

@@ -43,7 +43,9 @@ impl ApuSimulator {
 
     /// A simulator with measurement noise disabled.
     pub fn noiseless() -> ApuSimulator {
-        ApuSimulator { params: SimParams::noiseless() }
+        ApuSimulator {
+            params: SimParams::noiseless(),
+        }
     }
 
     /// The calibration parameters in use.
@@ -74,12 +76,7 @@ impl ApuSimulator {
     /// runtime knows exactly (`GlobalWorkSize`, `ScratchRegs`) stay exact;
     /// rate/percentage counters carry the same relative noise as other
     /// measurements, with percentage counters clamped to [0, 100].
-    fn noisy_counters(
-        &self,
-        kernel_name: &str,
-        cfg: HwConfig,
-        counters: CounterSet,
-    ) -> CounterSet {
+    fn noisy_counters(&self, kernel_name: &str, cfg: HwConfig, counters: CounterSet) -> CounterSet {
         const EXACT: [bool; 8] = [true, false, false, false, true, false, false, false];
         const PERCENT: [bool; 8] = [false, true, true, false, false, true, false, false];
         let mut values = *counters.values();
@@ -251,9 +248,17 @@ mod tests {
         let pk = best(&KernelCharacteristics::peak("pk", 10.0));
         // Compute-bound: many CUs, low NB state.
         assert_eq!(cb.cu, CuCount::MAX);
-        assert!(cb.nb >= NbState::Nb2, "compute-bound optimal NB was {}", cb.nb);
+        assert!(
+            cb.nb >= NbState::Nb2,
+            "compute-bound optimal NB was {}",
+            cb.nb
+        );
         // Memory-bound: needs NB2 or better for bandwidth.
-        assert!(mb.nb <= NbState::Nb2, "memory-bound optimal NB was {}", mb.nb);
+        assert!(
+            mb.nb <= NbState::Nb2,
+            "memory-bound optimal NB was {}",
+            mb.nb
+        );
         // Peak: fewer than 8 CUs.
         assert!(pk.cu < CuCount::MAX, "peak optimal CU was {}", pk.cu);
     }

@@ -67,7 +67,16 @@ impl CounterSet {
         let valu = kernel.compute_gops() * 1e9 / gws;
         // Total kB fetched from video (here: system) memory.
         let fetch_kb = time.dram_traffic_gb * 1e6;
-        CounterSet([gws, mem_unit_stalled, cache_hit, vfetch, scratch, lds, valu, fetch_kb])
+        CounterSet([
+            gws,
+            mem_unit_stalled,
+            cache_hit,
+            vfetch,
+            scratch,
+            lds,
+            valu,
+            fetch_kb,
+        ])
     }
 
     /// Raw values in Table III order.
@@ -77,7 +86,10 @@ impl CounterSet {
 
     /// Looks a counter up by its Table III name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        COUNTER_NAMES.iter().position(|&n| n == name).map(|i| self.0[i])
+        COUNTER_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.0[i])
     }
 
     /// `GlobalWorkSize`: work-items in the NDRange.
@@ -166,7 +178,12 @@ mod tests {
 
     fn synth(kernel: &KernelCharacteristics, cu: u32) -> CounterSet {
         let p = SimParams::noiseless();
-        let cfg = HwConfig::new(CpuPState::P1, NbState::Nb0, GpuDpm::Dpm4, CuCount::new(cu).unwrap());
+        let cfg = HwConfig::new(
+            CpuPState::P1,
+            NbState::Nb0,
+            GpuDpm::Dpm4,
+            CuCount::new(cu).unwrap(),
+        );
         let t = execution_time(&p, kernel, cfg);
         CounterSet::synthesize(kernel, cfg, &t)
     }

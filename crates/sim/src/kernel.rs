@@ -446,7 +446,10 @@ mod tests {
             KernelCharacteristics::memory_bound("b", 1.0).class(),
             KernelClass::MemoryBound
         );
-        assert_eq!(KernelCharacteristics::peak("c", 1.0).class(), KernelClass::Peak);
+        assert_eq!(
+            KernelCharacteristics::peak("c", 1.0).class(),
+            KernelClass::Peak
+        );
         assert_eq!(
             KernelCharacteristics::unscalable("d", 0.01).class(),
             KernelClass::Unscalable
@@ -500,7 +503,9 @@ mod tests {
     fn ginstructions_defaults_to_compute() {
         let k = KernelCharacteristics::builder("k", 7.0).build();
         assert_eq!(k.ginstructions(), 7.0);
-        let k = KernelCharacteristics::builder("k", 7.0).ginstructions(3.0).build();
+        let k = KernelCharacteristics::builder("k", 7.0)
+            .ginstructions(3.0)
+            .build();
         assert_eq!(k.ginstructions(), 3.0);
     }
 

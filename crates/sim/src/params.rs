@@ -122,7 +122,10 @@ impl SimParams {
     /// Parameters with measurement noise disabled; useful for analytic
     /// tests that require exact model arithmetic.
     pub fn noiseless() -> SimParams {
-        SimParams { noise_rel_std: 0.0, ..SimParams::default() }
+        SimParams {
+            noise_rel_std: 0.0,
+            ..SimParams::default()
+        }
     }
 
     /// Peak DRAM bandwidth in GB/s at the given memory clock in MHz.

@@ -100,7 +100,11 @@ pub fn execution_time(
     let fixed_s = kernel.fixed_time_s() * (0.6 + 0.4 * cpu_slowdown);
     let total_s = busy_s + launch_s + fixed_s;
 
-    let alu_activity = if busy_s > 0.0 { (compute_s / busy_s).clamp(0.0, 1.0) } else { 0.0 };
+    let alu_activity = if busy_s > 0.0 {
+        (compute_s / busy_s).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let mem_util = if total_s > 0.0 {
         (dram_traffic_gb / mem_bw / total_s).clamp(0.0, 1.0)
     } else {
@@ -167,8 +171,16 @@ mod tests {
         let t0 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
         let t2 = execution_time(&p, &k, cfg(NbState::Nb2, GpuDpm::Dpm4, 8)).total_s;
         let t3 = execution_time(&p, &k, cfg(NbState::Nb3, GpuDpm::Dpm4, 8)).total_s;
-        assert!((t2 / t0 - 1.0).abs() < 0.02, "NB2 should match NB0, ratio {}", t2 / t0);
-        assert!(t3 / t0 > 1.8, "NB3 should be much slower, ratio {}", t3 / t0);
+        assert!(
+            (t2 / t0 - 1.0).abs() < 0.02,
+            "NB2 should match NB0, ratio {}",
+            t2 / t0
+        );
+        assert!(
+            t3 / t0 > 1.8,
+            "NB3 should be much slower, ratio {}",
+            t3 / t0
+        );
     }
 
     #[test]
@@ -177,7 +189,11 @@ mod tests {
         let k = KernelCharacteristics::memory_bound("mb", 2.0);
         let t2 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 2)).total_s;
         let t8 = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
-        assert!(t2 / t8 < 1.5, "memory-bound CU speedup {} too high", t2 / t8);
+        assert!(
+            t2 / t8 < 1.5,
+            "memory-bound CU speedup {} too high",
+            t2 / t8
+        );
     }
 
     #[test]
@@ -196,8 +212,14 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(best == 1 || best == 2, "peak at index {best}, times {times:?}");
-        assert!(times[3] > times[best] * 1.05, "8 CUs should be clearly worse");
+        assert!(
+            best == 1 || best == 2,
+            "peak at index {best}, times {times:?}"
+        );
+        assert!(
+            times[3] > times[best] * 1.05,
+            "8 CUs should be clearly worse"
+        );
     }
 
     #[test]
@@ -206,13 +228,19 @@ mod tests {
         let k = KernelCharacteristics::unscalable("astar", 0.02);
         let t_max = execution_time(&p, &k, cfg(NbState::Nb0, GpuDpm::Dpm4, 8)).total_s;
         let t_min = execution_time(&p, &k, cfg(NbState::Nb3, GpuDpm::Dpm0, 2)).total_s;
-        assert!(t_min / t_max < 1.35, "unscalable varies too much: {}", t_min / t_max);
+        assert!(
+            t_min / t_max < 1.35,
+            "unscalable varies too much: {}",
+            t_min / t_max
+        );
     }
 
     #[test]
     fn total_is_sum_of_parts_with_overlap() {
         let p = SimParams::noiseless();
-        let k = KernelCharacteristics::builder("k", 10.0).memory_gb(0.5).build();
+        let k = KernelCharacteristics::builder("k", 10.0)
+            .memory_gb(0.5)
+            .build();
         let b = execution_time(&p, &k, cfg(NbState::Nb1, GpuDpm::Dpm2, 4));
         let expect = b.compute_s.max(b.memory_s)
             + p.overlap_penalty * b.compute_s.min(b.memory_s)
@@ -240,12 +268,15 @@ mod tests {
     #[test]
     fn lds_conflicts_slow_compute() {
         let p = SimParams::noiseless();
-        let clean = KernelCharacteristics::builder("k", 10.0).lds_conflict(0.0).build();
-        let conflicted = KernelCharacteristics::builder("k", 10.0).lds_conflict(0.8).build();
+        let clean = KernelCharacteristics::builder("k", 10.0)
+            .lds_conflict(0.0)
+            .build();
+        let conflicted = KernelCharacteristics::builder("k", 10.0)
+            .lds_conflict(0.8)
+            .build();
         let c = cfg(NbState::Nb0, GpuDpm::Dpm4, 8);
         assert!(
-            execution_time(&p, &conflicted, c).compute_s
-                > execution_time(&p, &clean, c).compute_s
+            execution_time(&p, &conflicted, c).compute_s > execution_time(&p, &clean, c).compute_s
         );
     }
 }

@@ -102,7 +102,11 @@ pub fn kernel_power(params: &SimParams, cfg: HwConfig, time: &TimeBreakdown) -> 
     let nb_activity = 0.3 + 0.7 * time.mem_util;
     let nb_dyn_w = params.nb_cv2f_w * v_rail * v_rail * cfg.nb.freq_ghz() * nb_activity;
 
-    let dram_bw_used = if time.total_s > 0.0 { time.dram_traffic_gb / time.total_s } else { 0.0 };
+    let dram_bw_used = if time.total_s > 0.0 {
+        time.dram_traffic_gb / time.total_s
+    } else {
+        0.0
+    };
     let dram_w = params.dram_static_w + params.dram_j_per_gb * dram_bw_used;
 
     let cpu_dyn_w = cpu_busywait_power(params, cfg.cpu);
@@ -113,7 +117,10 @@ pub fn kernel_power(params: &SimParams, cfg: HwConfig, time: &TimeBreakdown) -> 
     let leak_total = th.leak_w;
     let nom_total = cpu_leak_nom + gpu_leak_nom;
     let (cpu_leak_w, gpu_leak_w) = if nom_total > 0.0 {
-        (leak_total * cpu_leak_nom / nom_total, leak_total * gpu_leak_nom / nom_total)
+        (
+            leak_total * cpu_leak_nom / nom_total,
+            leak_total * gpu_leak_nom / nom_total,
+        )
     } else {
         (0.0, 0.0)
     };
@@ -141,7 +148,10 @@ pub fn optimizer_power(params: &SimParams, cfg: HwConfig) -> PowerBreakdown {
     let th = thermal::solve(params, dynamic_package, cpu_leak_nom + gpu_leak_nom);
     let nom_total = cpu_leak_nom + gpu_leak_nom;
     let (cpu_leak_w, gpu_leak_w) = if nom_total > 0.0 {
-        (th.leak_w * cpu_leak_nom / nom_total, th.leak_w * gpu_leak_nom / nom_total)
+        (
+            th.leak_w * cpu_leak_nom / nom_total,
+            th.leak_w * gpu_leak_nom / nom_total,
+        )
     } else {
         (0.0, 0.0)
     };
@@ -186,7 +196,13 @@ mod tests {
     #[test]
     fn total_is_sum_of_components() {
         let b = breakdown(HwConfig::MAX_PERF);
-        let sum = b.cpu_dyn_w + b.gpu_dyn_w + b.nb_dyn_w + b.dram_w + b.cpu_leak_w + b.gpu_leak_w + b.other_w;
+        let sum = b.cpu_dyn_w
+            + b.gpu_dyn_w
+            + b.nb_dyn_w
+            + b.dram_w
+            + b.cpu_leak_w
+            + b.gpu_leak_w
+            + b.other_w;
         assert!((b.total_w() - sum).abs() < 1e-12);
         assert!((b.package_w() - (sum - b.dram_w)).abs() < 1e-12);
     }

@@ -59,7 +59,12 @@ impl KernelSnapshot {
         measured_at: HwConfig,
         ginstructions: f64,
     ) -> KernelSnapshot {
-        KernelSnapshot { counters, measured_at, ginstructions, truth: None }
+        KernelSnapshot {
+            counters,
+            measured_at,
+            ginstructions,
+            truth: None,
+        }
     }
 }
 
@@ -137,7 +142,9 @@ impl OraclePredictor {
     pub fn new(sim: &ApuSimulator) -> OraclePredictor {
         let mut params = sim.params().clone();
         params.noise_rel_std = 0.0;
-        OraclePredictor { sim: ApuSimulator::new(params) }
+        OraclePredictor {
+            sim: ApuSimulator::new(params),
+        }
     }
 }
 
@@ -148,7 +155,10 @@ impl PowerPerfPredictor for OraclePredictor {
             .as_ref()
             .expect("OraclePredictor requires snapshots with ground truth");
         let out = self.sim.evaluate_exact(truth, cfg);
-        PowerPerfEstimate { time_s: out.time_s, gpu_power_w: out.power.gpu_domain_w() }
+        PowerPerfEstimate {
+            time_s: out.time_s,
+            gpu_power_w: out.power.gpu_domain_w(),
+        }
     }
 
     fn name(&self) -> &str {
@@ -195,17 +205,16 @@ mod tests {
     #[should_panic(expected = "ground truth")]
     fn oracle_panics_without_truth() {
         let oracle = OraclePredictor::default();
-        let snap = KernelSnapshot::counters_only(
-            CounterSet::default(),
-            HwConfig::FAIL_SAFE,
-            1.0,
-        );
+        let snap = KernelSnapshot::counters_only(CounterSet::default(), HwConfig::FAIL_SAFE, 1.0);
         let _ = oracle.predict(&snap, HwConfig::MAX_PERF);
     }
 
     #[test]
     fn estimate_energy_is_product() {
-        let est = PowerPerfEstimate { time_s: 2.0, gpu_power_w: 30.0 };
+        let est = PowerPerfEstimate {
+            time_s: 2.0,
+            gpu_power_w: 30.0,
+        };
         assert_eq!(est.gpu_energy_j(), 60.0);
     }
 

@@ -115,8 +115,16 @@ mod tests {
 
     fn segments() -> Vec<PowerSegment> {
         vec![
-            PowerSegment { label: "a".into(), duration_s: 0.010, power: flat_power(40.0) },
-            PowerSegment { label: "b".into(), duration_s: 0.005, power: flat_power(80.0) },
+            PowerSegment {
+                label: "a".into(),
+                duration_s: 0.010,
+                power: flat_power(40.0),
+            },
+            PowerSegment {
+                label: "b".into(),
+                duration_s: 0.005,
+                power: flat_power(80.0),
+            },
         ]
     }
 
@@ -131,8 +139,12 @@ mod tests {
     #[test]
     fn samples_attribute_to_their_segment() {
         let trace = sample_trace(&segments(), 1e-3);
-        assert!(trace[..10].iter().all(|s| s.label == "a" && (s.total_w - 40.0).abs() < 1e-9));
-        assert!(trace[10..].iter().all(|s| s.label == "b" && (s.total_w - 80.0).abs() < 1e-9));
+        assert!(trace[..10]
+            .iter()
+            .all(|s| s.label == "a" && (s.total_w - 40.0).abs() < 1e-9));
+        assert!(trace[10..]
+            .iter()
+            .all(|s| s.label == "b" && (s.total_w - 80.0).abs() < 1e-9));
     }
 
     #[test]
@@ -141,7 +153,10 @@ mod tests {
         let truth: f64 = segs.iter().map(|s| s.duration_s * s.power.total_w()).sum();
         let trace = sample_trace(&segs, 1e-3);
         let measured = trace_energy_j(&trace, 1e-3);
-        assert!((measured / truth - 1.0).abs() < 0.05, "measured {measured} truth {truth}");
+        assert!(
+            (measured / truth - 1.0).abs() < 0.05,
+            "measured {measured} truth {truth}"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ mod tests {
         let p = SimParams::default();
         let st = solve(&p, 60.0, 12.0);
         let t_check = p.temp_idle_c + p.temp_c_per_w * (60.0 + st.leak_w);
-        assert!((st.temp_c - t_check).abs() < 0.05, "temp residual too large");
+        assert!(
+            (st.temp_c - t_check).abs() < 0.05,
+            "temp residual too large"
+        );
         let l_check = leakage_at(&p, 12.0, st.temp_c);
         assert!((st.leak_w - l_check).abs() < 0.05);
     }

@@ -52,7 +52,11 @@ pub fn transition_cost_s(params: &SimParams, from: HwConfig, to: HwConfig) -> f6
     if from.cu != to.cu {
         parallel = parallel.max(CU_TRANSITION_S);
     }
-    let retrain = if from.nb.mem_freq_mhz() != to.nb.mem_freq_mhz() { MEM_RETRAIN_S } else { 0.0 };
+    let retrain = if from.nb.mem_freq_mhz() != to.nb.mem_freq_mhz() {
+        MEM_RETRAIN_S
+    } else {
+        0.0
+    };
     params.dvfs_transition_scale * (parallel + retrain)
 }
 
@@ -62,20 +66,29 @@ mod tests {
     use gpm_hw::{CpuPState, CuCount, GpuDpm, NbState};
 
     fn params(scale: f64) -> SimParams {
-        SimParams { dvfs_transition_scale: scale, ..SimParams::noiseless() }
+        SimParams {
+            dvfs_transition_scale: scale,
+            ..SimParams::noiseless()
+        }
     }
 
     #[test]
     fn disabled_by_default() {
         let p = SimParams::default();
         assert_eq!(p.dvfs_transition_scale, 0.0);
-        assert_eq!(transition_cost_s(&p, HwConfig::FAIL_SAFE, HwConfig::MAX_PERF), 0.0);
+        assert_eq!(
+            transition_cost_s(&p, HwConfig::FAIL_SAFE, HwConfig::MAX_PERF),
+            0.0
+        );
     }
 
     #[test]
     fn same_config_is_free() {
         let p = params(1.0);
-        assert_eq!(transition_cost_s(&p, HwConfig::MAX_PERF, HwConfig::MAX_PERF), 0.0);
+        assert_eq!(
+            transition_cost_s(&p, HwConfig::MAX_PERF, HwConfig::MAX_PERF),
+            0.0
+        );
     }
 
     #[test]

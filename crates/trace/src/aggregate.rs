@@ -1,0 +1,383 @@
+//! In-flight aggregation: counters and fixed-bucket histograms reduced to
+//! a serializable [`TraceSummary`].
+
+use crate::event::{KnobVisits, TraceEvent};
+use crate::sink::TraceSink;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// A fixed-bucket histogram: `bounds` split the real line into
+/// `bounds.len() + 1` buckets; `counts[i]` holds samples in
+/// `[bounds[i-1], bounds[i])` (unbounded at the ends).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Strictly increasing bucket boundaries.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Sum of recorded samples.
+    pub sum: f64,
+    /// Number of recorded samples.
+    pub n: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Records one sample (NaN is dropped).
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b <= value);
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.n += 1;
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Everything the [`AggregateSink`] distills from an event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// `RunStart` events seen.
+    pub runs: u64,
+    /// `Dispatch` events seen.
+    pub dispatches: u64,
+    /// All `Decision` events seen.
+    pub decisions: u64,
+    /// `Decision` events carrying a horizon — these correspond 1:1 with
+    /// `MpcStats::record_decision`, so the fields below reproduce the
+    /// governor's own statistics from the trace alone.
+    pub horizon_decisions: u64,
+    /// Mean horizon over horizon-carrying decisions (Figure 15's input).
+    pub mean_horizon: f64,
+    /// Total optimizer overhead across horizon-carrying decisions, seconds.
+    pub horizon_overhead_s: f64,
+    /// Mean optimizer overhead per horizon-carrying decision, seconds.
+    pub overhead_per_decision_s: f64,
+    /// Predictor evaluations across horizon-carrying decisions.
+    pub horizon_evaluations: u64,
+    /// Predictor evaluations across all decisions.
+    pub total_evaluations: u64,
+    /// `Search` events seen.
+    pub searches: u64,
+    /// Candidate configurations visited per knob across all searches.
+    pub knob_visits: KnobVisits,
+    /// Candidates evaluated and rejected across all searches.
+    pub pruned_candidates: u64,
+    /// `FailSafe` events seen.
+    pub fail_safe_events: u64,
+    /// `PatternMiss` events seen.
+    pub pattern_misses: u64,
+    /// `Outcome` events seen.
+    pub outcomes: u64,
+    /// Mean |signed time error| over outcomes carrying predictions, s.
+    pub mean_abs_time_error_s: f64,
+    /// Mean signed energy error over outcomes carrying predictions, J.
+    pub mean_signed_energy_error_j: f64,
+    /// Smallest observed headroom slack, seconds (0 when none seen).
+    pub min_headroom_s: f64,
+    /// Mean observed headroom slack, seconds.
+    pub mean_headroom_s: f64,
+    /// Decision latency (`Decision.overhead_s`) distribution, seconds.
+    pub decision_latency: Histogram,
+    /// Relative signed energy prediction error distribution
+    /// (`(predicted − observed) / observed`).
+    pub energy_error_rel: Histogram,
+}
+
+/// Decision-latency bucket boundaries, seconds (1 µs … 10 ms decades).
+fn latency_bounds() -> Vec<f64> {
+    vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+}
+
+/// Relative prediction-error bucket boundaries (symmetric around 0).
+fn error_bounds() -> Vec<f64> {
+    vec![
+        -0.5, -0.2, -0.1, -0.05, -0.02, 0.0, 0.02, 0.05, 0.1, 0.2, 0.5,
+    ]
+}
+
+impl Default for TraceSummary {
+    fn default() -> TraceSummary {
+        TraceSummary {
+            runs: 0,
+            dispatches: 0,
+            decisions: 0,
+            horizon_decisions: 0,
+            mean_horizon: 0.0,
+            horizon_overhead_s: 0.0,
+            overhead_per_decision_s: 0.0,
+            horizon_evaluations: 0,
+            total_evaluations: 0,
+            searches: 0,
+            knob_visits: KnobVisits::default(),
+            pruned_candidates: 0,
+            fail_safe_events: 0,
+            pattern_misses: 0,
+            outcomes: 0,
+            mean_abs_time_error_s: 0.0,
+            mean_signed_energy_error_j: 0.0,
+            min_headroom_s: 0.0,
+            mean_headroom_s: 0.0,
+            decision_latency: Histogram::new(latency_bounds()),
+            energy_error_rel: Histogram::new(error_bounds()),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Accum {
+    summary: TraceSummary,
+    horizon_sum: u64,
+    abs_time_err_sum: f64,
+    time_err_n: u64,
+    energy_err_sum: f64,
+    energy_err_n: u64,
+    headroom_sum: f64,
+    headroom_n: u64,
+    headroom_min: Option<f64>,
+}
+
+/// Reduces the event stream to counters and histograms on the fly; the
+/// result is available at any time via [`AggregateSink::summary`].
+#[derive(Debug, Default)]
+pub struct AggregateSink {
+    state: Mutex<Accum>,
+}
+
+impl AggregateSink {
+    /// A fresh, empty aggregator.
+    pub fn new() -> AggregateSink {
+        AggregateSink::default()
+    }
+
+    /// The summary of everything recorded so far.
+    pub fn summary(&self) -> TraceSummary {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut s = st.summary.clone();
+        if s.horizon_decisions > 0 {
+            s.mean_horizon = st.horizon_sum as f64 / s.horizon_decisions as f64;
+            s.overhead_per_decision_s = s.horizon_overhead_s / s.horizon_decisions as f64;
+        }
+        if st.time_err_n > 0 {
+            s.mean_abs_time_error_s = st.abs_time_err_sum / st.time_err_n as f64;
+        }
+        if st.energy_err_n > 0 {
+            s.mean_signed_energy_error_j = st.energy_err_sum / st.energy_err_n as f64;
+        }
+        if st.headroom_n > 0 {
+            s.mean_headroom_s = st.headroom_sum / st.headroom_n as f64;
+            s.min_headroom_s = st.headroom_min.unwrap_or(0.0);
+        }
+        s
+    }
+}
+
+impl TraceSink for AggregateSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        match event {
+            TraceEvent::RunStart { .. } => st.summary.runs += 1,
+            TraceEvent::Dispatch { .. } => st.summary.dispatches += 1,
+            TraceEvent::Search { visits, pruned, .. } => {
+                st.summary.searches += 1;
+                st.summary.knob_visits.merge(visits);
+                st.summary.pruned_candidates += pruned;
+            }
+            TraceEvent::Decision {
+                horizon,
+                evaluations,
+                overhead_s,
+                ..
+            } => {
+                st.summary.decisions += 1;
+                st.summary.total_evaluations += evaluations;
+                st.summary.decision_latency.record(*overhead_s);
+                if let Some(h) = horizon {
+                    st.summary.horizon_decisions += 1;
+                    st.summary.horizon_overhead_s += overhead_s;
+                    st.summary.horizon_evaluations += evaluations;
+                    st.horizon_sum += *h as u64;
+                }
+            }
+            TraceEvent::FailSafe { .. } => st.summary.fail_safe_events += 1,
+            TraceEvent::PatternMiss { .. } => st.summary.pattern_misses += 1,
+            TraceEvent::Outcome {
+                energy_j,
+                time_error_s,
+                energy_error_j,
+                ..
+            } => {
+                st.summary.outcomes += 1;
+                if let Some(te) = time_error_s {
+                    st.abs_time_err_sum += te.abs();
+                    st.time_err_n += 1;
+                }
+                if let Some(ee) = energy_error_j {
+                    st.energy_err_sum += ee;
+                    st.energy_err_n += 1;
+                    if *energy_j > 0.0 {
+                        st.summary.energy_error_rel.record(ee / energy_j);
+                    }
+                }
+            }
+            TraceEvent::Headroom { slack_s, .. } => {
+                st.headroom_sum += slack_s;
+                st.headroom_n += 1;
+                let min = st.headroom_min.get_or_insert(*slack_s);
+                if slack_s < min {
+                    *min = *slack_s;
+                }
+            }
+            TraceEvent::RunEnd { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_hw::HwConfig;
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0]);
+        for v in [-5.0, 0.0, 0.5, 1.5, 2.0, 99.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // dropped
+        assert_eq!(h.counts, vec![1, 2, 1, 2]);
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (-5.0f64 + 0.0 + 0.5 + 1.5 + 2.0 + 99.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_reproduces_decision_statistics() {
+        let agg = AggregateSink::new();
+        // Two horizon decisions (h = 4, 2) and one profiling decision.
+        for (h, evals, oh) in [
+            (Some(4usize), 80u64, 1e-4),
+            (Some(2), 40, 5e-5),
+            (None, 18, 2e-5),
+        ] {
+            agg.record(&TraceEvent::Decision {
+                run_index: 1,
+                position: 0,
+                config: HwConfig::FAIL_SAFE,
+                horizon: h,
+                evaluations: evals,
+                overhead_s: oh,
+                predicted_time_s: None,
+                predicted_power_w: None,
+                predicted_energy_j: None,
+            });
+        }
+        let s = agg.summary();
+        assert_eq!(s.decisions, 3);
+        assert_eq!(s.horizon_decisions, 2);
+        assert_eq!(s.mean_horizon, 3.0);
+        assert_eq!(s.horizon_evaluations, 120);
+        assert_eq!(s.total_evaluations, 138);
+        assert!((s.horizon_overhead_s - 1.5e-4).abs() < 1e-15);
+        assert!((s.overhead_per_decision_s - 7.5e-5).abs() < 1e-15);
+        assert_eq!(s.decision_latency.count(), 3);
+    }
+
+    #[test]
+    fn summary_tracks_errors_and_headroom() {
+        let agg = AggregateSink::new();
+        agg.record(&TraceEvent::Outcome {
+            run_index: 1,
+            position: 0,
+            config: HwConfig::FAIL_SAFE,
+            time_s: 0.1,
+            energy_j: 2.0,
+            gi: 1.0,
+            time_error_s: Some(-0.01),
+            power_error_w: Some(0.5),
+            energy_error_j: Some(0.2),
+        });
+        agg.record(&TraceEvent::Outcome {
+            run_index: 1,
+            position: 1,
+            config: HwConfig::FAIL_SAFE,
+            time_s: 0.1,
+            energy_j: 2.0,
+            gi: 1.0,
+            time_error_s: None,
+            power_error_w: None,
+            energy_error_j: None,
+        });
+        agg.record(&TraceEvent::Headroom {
+            run_index: 1,
+            position: 0,
+            slack_s: 0.3,
+        });
+        agg.record(&TraceEvent::Headroom {
+            run_index: 1,
+            position: 1,
+            slack_s: -0.1,
+        });
+        let s = agg.summary();
+        assert_eq!(s.outcomes, 2);
+        assert!((s.mean_abs_time_error_s - 0.01).abs() < 1e-15);
+        assert!((s.mean_signed_energy_error_j - 0.2).abs() < 1e-15);
+        // 0.2 / 2.0 = 10% relative error landed in a positive bucket.
+        assert_eq!(s.energy_error_rel.count(), 1);
+        assert_eq!(s.min_headroom_s, -0.1);
+        assert!((s.mean_headroom_s - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn serialized_summary_roundtrips() {
+        let agg = AggregateSink::new();
+        agg.record(&TraceEvent::RunStart {
+            workload: "w".into(),
+            governor: "g".into(),
+            run_index: 0,
+            total_kernels: 3,
+        });
+        let s = agg.summary();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TraceSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,41 @@
+//! Decision-level observability for gpm governors.
+//!
+//! Every governor action during a replay — kernel dispatch, optimizer
+//! search, chosen configuration, observed outcome, headroom bookkeeping,
+//! fail-safe and pattern-misprediction triggers — is describable as one
+//! typed [`TraceEvent`]. Producers (the harness replay loop and the
+//! governors' internals) hand events to a pluggable [`TraceSink`]:
+//!
+//! * [`NoopSink`] — discards everything and reports itself disabled, so
+//!   untraced runs pay nothing and produce byte-identical decisions;
+//! * [`RingSink`] — a bounded in-memory ring keeping the last N events;
+//! * [`JsonlSink`] — one JSON object per line on any writer, for offline
+//!   analysis;
+//! * [`AggregateSink`] — counters and fixed-bucket histograms, reduced to
+//!   a [`TraceSummary`] (mean horizon, overhead per decision, per-knob
+//!   search traffic, prediction-error distribution — the quantities behind
+//!   the paper's Figures 14 and 15);
+//! * [`FanoutSink`] — tees events to several sinks at once.
+//!
+//! The crate sits below the governors in the dependency order (it only
+//! knows `gpm-hw` types), so both `gpm-governors` and `gpm-mpc` can emit
+//! events without cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpm_trace::{RingSink, TraceEvent, TraceSink};
+//!
+//! let ring = RingSink::new(4);
+//! ring.record(&TraceEvent::Headroom { run_index: 1, position: 0, slack_s: 0.25 });
+//! assert_eq!(ring.len(), 1);
+//! assert_eq!(ring.total_recorded(), 1);
+//! ```
+
+pub mod aggregate;
+pub mod event;
+pub mod sink;
+
+pub use aggregate::{AggregateSink, Histogram, TraceSummary};
+pub use event::{FailSafeReason, KnobVisits, TraceEvent};
+pub use sink::{noop_sink, FanoutSink, JsonlSink, NoopSink, RingSink, TraceSink};

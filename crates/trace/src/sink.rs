@@ -1,0 +1,301 @@
+//! Pluggable trace-event consumers.
+
+use crate::event::TraceEvent;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Consumes [`TraceEvent`]s.
+///
+/// Implementations take `&self` so one sink can be shared (behind an
+/// [`Arc`]) between the harness replay loop and a governor's internals;
+/// they must therefore synchronize internally.
+pub trait TraceSink: fmt::Debug + Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Whether recording is active. Producers may skip building events
+    /// (allocating names, computing derived values) when this is `false`;
+    /// they must never let the answer change a decision.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Locks a sink-internal mutex, recovering from poisoning: a panicking
+/// producer thread must not take tracing down with it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The disabled sink: discards every event and compiles to nothing at the
+/// call sites that check [`TraceSink::enabled`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _event: &TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A shared handle to the disabled sink.
+pub fn noop_sink() -> Arc<dyn TraceSink> {
+    Arc::new(NoopSink)
+}
+
+struct RingState {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    total: u64,
+}
+
+/// A bounded in-memory ring buffer keeping the most recent events.
+///
+/// Writers take one short lock per event; no allocation happens after the
+/// ring has filled (events overwrite the oldest slot in place).
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl fmt::Debug for RingState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RingState")
+            .field("len", &self.buf.len())
+            .field("head", &self.head)
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+impl RingSink {
+    /// A ring keeping the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            capacity,
+            state: Mutex::new(RingState {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        lock_recover(&self.state).buf.len()
+    }
+
+    /// Whether no event has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events ever recorded, including those overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        lock_recover(&self.state).total
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let st = lock_recover(&self.state);
+        let mut out = Vec::with_capacity(st.buf.len());
+        out.extend_from_slice(&st.buf[st.head..]);
+        out.extend_from_slice(&st.buf[..st.head]);
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut st = lock_recover(&self.state);
+        st.total += 1;
+        if st.buf.len() < self.capacity {
+            st.buf.push(event.clone());
+        } else {
+            let head = st.head;
+            st.buf[head] = event.clone();
+            st.head = (head + 1) % self.capacity;
+        }
+    }
+}
+
+/// Writes one JSON object per event, one per line (JSON Lines).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Streams events into `writer`.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        lock_recover(&self.writer).flush()
+    }
+
+    /// Consumes the sink, returning the writer (flushed).
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap_or_else(|p| p.into_inner());
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("trace events always serialize");
+        let mut w = lock_recover(&self.writer);
+        // A full disk must not abort the replay being observed.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Tees every event to several sinks.
+#[derive(Debug, Clone, Default)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// A fanout over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> FanoutSink {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn headroom(position: usize) -> TraceEvent {
+        TraceEvent::Headroom {
+            run_index: 0,
+            position,
+            slack_s: position as f64,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.record(&headroom(0));
+        assert!(!noop_sink().enabled());
+    }
+
+    #[test]
+    fn ring_retains_in_order_before_wrap() {
+        let ring = RingSink::new(8);
+        for p in 0..5 {
+            ring.record(&headroom(p));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.total_recorded(), 5);
+        let positions: Vec<usize> = ring
+            .snapshot()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Headroom { position, .. } => *position,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(positions, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest_oldest_first() {
+        let ring = RingSink::new(4);
+        for p in 0..11 {
+            ring.record(&headroom(p));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.capacity(), 4);
+        assert_eq!(ring.total_recorded(), 11);
+        let positions: Vec<usize> = ring
+            .snapshot()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Headroom { position, .. } => *position,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        // The last 4 of 0..11, oldest first.
+        assert_eq!(positions, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&headroom(0));
+        sink.record(&headroom(1));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: TraceEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(back.kind(), "Headroom");
+        }
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink_and_enables_on_any() {
+        let a = Arc::new(RingSink::new(4));
+        let b = Arc::new(RingSink::new(4));
+        let fan = FanoutSink::new(vec![a.clone(), b.clone(), Arc::new(NoopSink)]);
+        assert!(fan.enabled());
+        fan.record(&headroom(2));
+        assert_eq!(a.total_recorded(), 1);
+        assert_eq!(b.total_recorded(), 1);
+        let all_noop = FanoutSink::new(vec![Arc::new(NoopSink)]);
+        assert!(!all_noop.enabled());
+        assert!(!FanoutSink::default().enabled());
+    }
+}

@@ -59,8 +59,13 @@ pub fn pathfinder() -> Workload {
             base.with_input_scale(scale).renamed(format!("dynproc_{i}"))
         })
         .collect();
-    Workload::new("pathfinder", Category::IrregularInputVarying, "A1..A10 (shrinking)", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "pathfinder",
+        Category::IrregularInputVarying,
+        "A1..A10 (shrinking)",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// Rodinia `gaussian`: elimination steps over a shrinking trailing matrix,
@@ -87,8 +92,13 @@ pub fn gaussian() -> Workload {
         seq.push(pivot.renamed(format!("Fan1_{i}")));
         seq.push(update.with_input_scale(scale).renamed(format!("Fan2_{i}")));
     }
-    Workload::new("gaussian", Category::IrregularInputVarying, "(ab)7 (shrinking)", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "gaussian",
+        Category::IrregularInputVarying,
+        "(ab)7 (shrinking)",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// Rodinia `nw` (Needleman-Wunsch): anti-diagonals growing then shrinking.
@@ -107,8 +117,13 @@ pub fn needleman_wunsch() -> Workload {
         .enumerate()
         .map(|(i, &s)| base.with_input_scale(s).renamed(format!("needle_{i}")))
         .collect();
-    Workload::new("nw", Category::IrregularInputVarying, "A1..A9 (diamond)", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "nw",
+        Category::IrregularInputVarying,
+        "A1..A9 (diamond)",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// Rodinia `streamcluster`: distance evaluations, memory-streaming.
@@ -152,8 +167,13 @@ pub fn bfs_rodinia() -> Workload {
         .enumerate()
         .map(|(i, &s)| base.with_input_scale(s).renamed(format!("bfs_level{i}")))
         .collect();
-    Workload::new("bfs-rodinia", Category::IrregularInputVarying, "A1..A8 (frontier)", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "bfs-rodinia",
+        Category::IrregularInputVarying,
+        "A1..A8 (frontier)",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// SHOC `FFT`: butterfly stages, compute-heavy with strided access.
@@ -222,10 +242,16 @@ mod tests {
 
     #[test]
     fn no_name_collision_with_the_figure_suite() {
-        let figure: Vec<String> =
-            crate::suite().iter().map(|w| w.name().to_string()).collect();
+        let figure: Vec<String> = crate::suite()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
         for w in extended_suite() {
-            assert!(!figure.contains(&w.name().to_string()), "{} collides", w.name());
+            assert!(
+                !figure.contains(&w.name().to_string()),
+                "{} collides",
+                w.name()
+            );
         }
     }
 
@@ -235,9 +261,14 @@ mod tests {
         // "75% irregular" population.
         let mut all = crate::suite();
         all.extend(extended_suite());
-        let regular =
-            all.iter().filter(|w| w.category() == Category::Regular).count() as f64;
-        assert!(regular / all.len() as f64 <= 0.34, "regular fraction too high");
+        let regular = all
+            .iter()
+            .filter(|w| w.category() == Category::Regular)
+            .count() as f64;
+        assert!(
+            regular / all.len() as f64 <= 0.34,
+            "regular fraction too high"
+        );
     }
 
     #[test]
@@ -246,7 +277,12 @@ mod tests {
         for w in extended_suite() {
             for k in w.kernels() {
                 let t = sim.evaluate(k, HwConfig::MAX_PERF).time_s;
-                assert!(t > 5e-4 && t < 2.0, "{} kernel {} time {t}", w.name(), k.name());
+                assert!(
+                    t > 5e-4 && t < 2.0,
+                    "{} kernel {} time {t}",
+                    w.name(),
+                    k.name()
+                );
             }
         }
     }

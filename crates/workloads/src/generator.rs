@@ -94,20 +94,30 @@ pub fn generate_workload(params: &GeneratorParams, seed: u64) -> Workload {
 
     // Irregular with a (possibly repeating) multi-kernel pattern.
     let distinct = rng.gen_range(2..=4.min(n));
-    let pool: Vec<KernelCharacteristics> =
-        (0..distinct).map(|k| random_kernel(&mut rng, format!("{tag}_p{k}"))).collect();
+    let pool: Vec<KernelCharacteristics> = (0..distinct)
+        .map(|k| random_kernel(&mut rng, format!("{tag}_p{k}")))
+        .collect();
     let repeating = rng.gen_bool(0.5);
     let seq: Vec<KernelCharacteristics> = if repeating {
         (0..n).map(|i| pool[i % distinct].clone()).collect()
     } else {
         // Phase-structured: consecutive blocks of each kernel.
         let block = n.div_ceil(distinct);
-        (0..n).map(|i| pool[(i / block).min(distinct - 1)].clone()).collect()
+        (0..n)
+            .map(|i| pool[(i / block).min(distinct - 1)].clone())
+            .collect()
     };
-    let category =
-        if repeating { Category::IrregularRepeating } else { Category::IrregularNonRepeating };
+    let category = if repeating {
+        Category::IrregularRepeating
+    } else {
+        Category::IrregularNonRepeating
+    };
     let pattern = if repeating {
-        format!("({})^{}", "AB CD".split_whitespace().next().unwrap_or("AB"), n / distinct)
+        format!(
+            "({})^{}",
+            "AB CD".split_whitespace().next().unwrap_or("AB"),
+            n / distinct
+        )
     } else {
         format!("{distinct} phases x {block} ", block = n.div_ceil(distinct))
     };
@@ -121,7 +131,9 @@ pub fn generate_population(
     base_seed: u64,
     count: usize,
 ) -> Vec<Workload> {
-    (0..count as u64).map(|i| generate_workload(params, base_seed + i)).collect()
+    (0..count as u64)
+        .map(|i| generate_workload(params, base_seed + i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -146,10 +158,18 @@ mod tests {
 
     #[test]
     fn sizes_respect_bounds() {
-        let p = GeneratorParams { min_kernels: 5, max_kernels: 9, ..GeneratorParams::default() };
+        let p = GeneratorParams {
+            min_kernels: 5,
+            max_kernels: 9,
+            ..GeneratorParams::default()
+        };
         for seed in 0..50 {
             let w = generate_workload(&p, seed);
-            assert!((5..=9).contains(&w.len()), "seed {seed}: {} kernels", w.len());
+            assert!(
+                (5..=9).contains(&w.len()),
+                "seed {seed}: {} kernels",
+                w.len()
+            );
         }
     }
 
@@ -158,15 +178,21 @@ mod tests {
         let p = GeneratorParams::default();
         let pop = generate_population(&p, 1000, 300);
         assert_eq!(pop.len(), 300);
-        let regular =
-            pop.iter().filter(|w| w.category() == Category::Regular).count() as f64 / 300.0;
+        let regular = pop
+            .iter()
+            .filter(|w| w.category() == Category::Regular)
+            .count() as f64
+            / 300.0;
         assert!((regular - 0.25).abs() < 0.10, "regular fraction {regular}");
         let varying = pop
             .iter()
             .filter(|w| w.category() == Category::IrregularInputVarying)
             .count() as f64
             / 300.0;
-        assert!(varying > 0.15 && varying < 0.55, "input-varying fraction {varying}");
+        assert!(
+            varying > 0.15 && varying < 0.55,
+            "input-varying fraction {varying}"
+        );
     }
 
     #[test]
@@ -189,7 +215,12 @@ mod tests {
             let w = generate_workload(&p, seed);
             for k in w.kernels() {
                 let out = sim.evaluate(k, HwConfig::FAIL_SAFE);
-                assert!(out.time_s > 0.0 && out.time_s < 5.0, "{}: {}", w.name(), k.name());
+                assert!(
+                    out.time_s > 0.0 && out.time_s < 5.0,
+                    "{}: {}",
+                    w.name(),
+                    k.name()
+                );
                 assert!(out.power.total_w() > 0.0);
             }
         }

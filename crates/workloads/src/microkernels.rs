@@ -124,7 +124,10 @@ mod tests {
     fn classes_are_labelled() {
         use gpm_sim::KernelClass;
         assert_eq!(max_flops().class(), KernelClass::ComputeBound);
-        assert_eq!(read_global_memory_coalesced().class(), KernelClass::MemoryBound);
+        assert_eq!(
+            read_global_memory_coalesced().class(),
+            KernelClass::MemoryBound
+        );
         assert_eq!(write_candidates().class(), KernelClass::Peak);
         assert_eq!(astar().class(), KernelClass::Unscalable);
     }

@@ -17,8 +17,7 @@ fn repeat(k: &KernelCharacteristics, n: usize) -> Vec<KernelCharacteristics> {
 /// `mandelbulbGPU` (Phoronix): regular, `A20`, one compute-bound kernel.
 pub fn mandelbulb_gpu() -> Workload {
     let a = KernelCharacteristics::compute_bound("mandelbulb", 22.0);
-    Workload::new("mandelbulbGPU", Category::Regular, "A20", repeat(&a, 20))
-        .with_suite("Phoronix")
+    Workload::new("mandelbulbGPU", Category::Regular, "A20", repeat(&a, 20)).with_suite("Phoronix")
 }
 
 /// `NBody` (AMD APP SDK): regular, `A10`, compute-bound.
@@ -138,10 +137,18 @@ pub fn swat() -> Workload {
     let seq = scales
         .iter()
         .enumerate()
-        .map(|(i, &s)| base.with_input_scale(s).renamed(format!("swat_align_{}", i + 1)))
+        .map(|(i, &s)| {
+            base.with_input_scale(s)
+                .renamed(format!("swat_align_{}", i + 1))
+        })
         .collect();
-    Workload::new("swat", Category::IrregularInputVarying, "A1..A12 (varying)", seq)
-        .with_suite("OpenDwarfs")
+    Workload::new(
+        "swat",
+        Category::IrregularInputVarying,
+        "A1..A12 (varying)",
+        seq,
+    )
+    .with_suite("OpenDwarfs")
 }
 
 /// `color` (Pannotia): graph coloring; per-iteration work shrinks as the
@@ -157,11 +164,17 @@ pub fn color() -> Workload {
     let seq = (0..14)
         .map(|i| {
             let scale = 2.2 * (0.78f64).powi(i);
-            base.with_input_scale(scale.max(0.1)).renamed(format!("color_it{}", i + 1))
+            base.with_input_scale(scale.max(0.1))
+                .renamed(format!("color_it{}", i + 1))
         })
         .collect();
-    Workload::new("color", Category::IrregularInputVarying, "A1..A14 (decaying)", seq)
-        .with_suite("Pannotia")
+    Workload::new(
+        "color",
+        Category::IrregularInputVarying,
+        "A1..A14 (decaying)",
+        seq,
+    )
+    .with_suite("Pannotia")
 }
 
 /// `pb-bfs` (Parboil): breadth-first search; frontier grows from a few
@@ -179,10 +192,18 @@ pub fn pb_bfs() -> Workload {
     let seq = scales
         .iter()
         .enumerate()
-        .map(|(i, &s)| base.with_input_scale(s).renamed(format!("bfs_level_{}", i + 1)))
+        .map(|(i, &s)| {
+            base.with_input_scale(s)
+                .renamed(format!("bfs_level_{}", i + 1))
+        })
         .collect();
-    Workload::new("pb-bfs", Category::IrregularInputVarying, "A1..A10 (frontier)", seq)
-        .with_suite("Parboil")
+    Workload::new(
+        "pb-bfs",
+        Category::IrregularInputVarying,
+        "A1..A10 (frontier)",
+        seq,
+    )
+    .with_suite("Parboil")
 }
 
 /// `mis` (Pannotia): maximal independent set; work decays as nodes drop
@@ -198,11 +219,17 @@ pub fn mis() -> Workload {
     let seq = (0..12)
         .map(|i| {
             let scale = 1.9 * (0.72f64).powi(i);
-            base.with_input_scale(scale.max(0.08)).renamed(format!("mis_it{}", i + 1))
+            base.with_input_scale(scale.max(0.08))
+                .renamed(format!("mis_it{}", i + 1))
         })
         .collect();
-    Workload::new("mis", Category::IrregularInputVarying, "A1..A12 (decaying)", seq)
-        .with_suite("Pannotia")
+    Workload::new(
+        "mis",
+        Category::IrregularInputVarying,
+        "A1..A12 (decaying)",
+        seq,
+    )
+    .with_suite("Pannotia")
 }
 
 /// `srad` (Rodinia): speckle-reducing anisotropic diffusion; two kernels
@@ -228,11 +255,22 @@ pub fn srad() -> Workload {
         // Mild drift, with a sharp change in the final phases that the
         // binned-signature predictor struggles with.
         let scale = if i < 6 { 1.0 + 0.06 * i as f64 } else { 0.35 };
-        seq.push(k1.with_input_scale(scale).renamed(format!("srad_cuda_1_{}", i + 1)));
-        seq.push(k2.with_input_scale(scale).renamed(format!("srad_cuda_2_{}", i + 1)));
+        seq.push(
+            k1.with_input_scale(scale)
+                .renamed(format!("srad_cuda_1_{}", i + 1)),
+        );
+        seq.push(
+            k2.with_input_scale(scale)
+                .renamed(format!("srad_cuda_2_{}", i + 1)),
+        );
     }
-    Workload::new("srad", Category::IrregularInputVarying, "(AB)8 (drifting)", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "srad",
+        Category::IrregularInputVarying,
+        "(AB)8 (drifting)",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// `lulesh` (Exascale proxy): shock hydrodynamics; several kernels per
@@ -250,12 +288,29 @@ pub fn lulesh() -> Workload {
     let mut seq = Vec::new();
     for i in 0..5 {
         let scale = [1.0, 1.3, 0.8, 1.6, 0.6][i];
-        seq.push(force.with_input_scale(scale).renamed(format!("CalcForce_{}", i + 1)));
-        seq.push(constraint.with_input_scale(scale).renamed(format!("CalcConstraints_{}", i + 1)));
-        seq.push(update.with_input_scale(scale).renamed(format!("UpdateVolumes_{}", i + 1)));
+        seq.push(
+            force
+                .with_input_scale(scale)
+                .renamed(format!("CalcForce_{}", i + 1)),
+        );
+        seq.push(
+            constraint
+                .with_input_scale(scale)
+                .renamed(format!("CalcConstraints_{}", i + 1)),
+        );
+        seq.push(
+            update
+                .with_input_scale(scale)
+                .renamed(format!("UpdateVolumes_{}", i + 1)),
+        );
     }
-    Workload::new("lulesh", Category::IrregularInputVarying, "(ABC)5 (varying)", seq)
-        .with_suite("Exascale")
+    Workload::new(
+        "lulesh",
+        Category::IrregularInputVarying,
+        "(ABC)5 (varying)",
+        seq,
+    )
+    .with_suite("Exascale")
 }
 
 /// `lud` (Rodinia): LU decomposition; per-step work shrinks as the active
@@ -271,11 +326,17 @@ pub fn lud() -> Workload {
     let seq = (0..14)
         .map(|i| {
             let scale = 2.0 * (0.76f64).powi(i);
-            base.with_input_scale(scale.max(0.05)).renamed(format!("lud_step{}", i + 1))
+            base.with_input_scale(scale.max(0.05))
+                .renamed(format!("lud_step{}", i + 1))
         })
         .collect();
-    Workload::new("lud", Category::IrregularInputVarying, "A1..A14 (shrinking)", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "lud",
+        Category::IrregularInputVarying,
+        "A1..A14 (shrinking)",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// `hybridsort` (Rodinia): `A B C D E F1..F9 G` — six distinct kernels
@@ -310,16 +371,31 @@ pub fn hybridsort() -> Workload {
         .build();
     let merge_pack = KernelCharacteristics::memory_bound("mergepack", 0.9);
 
-    let mut seq = vec![bucket_count, bucket_prefix, bucket_sort, histogram, prefix_sum];
+    let mut seq = vec![
+        bucket_count,
+        bucket_prefix,
+        bucket_sort,
+        histogram,
+        prefix_sum,
+    ];
     // Non-monotonic input sizes, as in Figure 3's hybridsort trace where
     // successive mergeSortPass invocations jump between throughput levels.
     let merge_scales = [2.6, 0.35, 1.9, 0.28, 1.3, 0.5, 0.9, 0.2, 0.14];
     for (i, &s) in merge_scales.iter().enumerate() {
-        seq.push(merge.with_input_scale(s).renamed(format!("mergeSortPass_F{}", i + 1)));
+        seq.push(
+            merge
+                .with_input_scale(s)
+                .renamed(format!("mergeSortPass_F{}", i + 1)),
+        );
     }
     seq.push(merge_pack);
-    Workload::new("hybridsort", Category::IrregularInputVarying, "ABCDEF1..F9G", seq)
-        .with_suite("Rodinia")
+    Workload::new(
+        "hybridsort",
+        Category::IrregularInputVarying,
+        "ABCDEF1..F9G",
+        seq,
+    )
+    .with_suite("Rodinia")
 }
 
 /// The full 15-benchmark suite, in the order of the paper's figures.
@@ -395,7 +471,12 @@ mod tests {
         let hs = workload_by_name("hybridsort").unwrap();
         assert_eq!(hs.len(), 15); // A..E + F1..F9 + G
         assert_eq!(hs.distinct_kernels(), 15);
-        assert_eq!(workload_by_name("mandelbulbGPU").unwrap().distinct_kernels(), 1);
+        assert_eq!(
+            workload_by_name("mandelbulbGPU")
+                .unwrap()
+                .distinct_kernels(),
+            1
+        );
     }
 
     fn throughputs(w: &Workload) -> Vec<f64> {

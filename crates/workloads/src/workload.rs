@@ -67,7 +67,10 @@ impl Workload {
         pattern: impl Into<String>,
         kernels: Vec<KernelCharacteristics>,
     ) -> Workload {
-        assert!(!kernels.is_empty(), "a workload needs at least one kernel invocation");
+        assert!(
+            !kernels.is_empty(),
+            "a workload needs at least one kernel invocation"
+        );
         Workload {
             name: name.into(),
             category,
@@ -161,7 +164,14 @@ impl Workload {
 
 impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {} ({} invocations)", self.name, self.category, self.pattern, self.len())
+        write!(
+            f,
+            "{} [{}] {} ({} invocations)",
+            self.name,
+            self.category,
+            self.pattern,
+            self.len()
+        )
     }
 }
 
@@ -172,8 +182,13 @@ mod tests {
     fn toy() -> Workload {
         let a = KernelCharacteristics::compute_bound("A", 10.0);
         let b = KernelCharacteristics::memory_bound("B", 1.0);
-        Workload::new("toy", Category::IrregularRepeating, "(AB)2", vec![a.clone(), b.clone(), a, b])
-            .with_suite("unit-test")
+        Workload::new(
+            "toy",
+            Category::IrregularRepeating,
+            "(AB)2",
+            vec![a.clone(), b.clone(), a, b],
+        )
+        .with_suite("unit-test")
     }
 
     #[test]

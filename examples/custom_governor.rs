@@ -15,7 +15,9 @@
 use gpm::governors::{Governor, GovernorDecision, KernelContext};
 use gpm::harness::metrics::Comparison;
 use gpm::harness::report::{fmt, Table};
-use gpm::harness::{evaluate_scheme, run_once, turbo_core_baseline, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{
+    evaluate_scheme, run_once, turbo_core_baseline, EvalContext, EvalOptions, Scheme,
+};
 use gpm::hw::{CpuPState, CuCount, GpuDpm, HwConfig, NbState};
 use gpm::mpc::HorizonMode;
 use gpm::sim::{KernelCharacteristics, KernelOutcome};
@@ -68,8 +70,13 @@ fn main() {
         let rti_run = run_once(&ctx.sim, &workload, &mut rti, target, 0, false);
         let rti_c = Comparison::between(&baseline, &rti_run);
 
-        let mpc =
-            evaluate_scheme(&ctx, &workload, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let mpc = evaluate_scheme(
+            &ctx,
+            &workload,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let mpc_c = Comparison::between(&mpc.baseline, &mpc.measured);
 
         table.row(vec![

@@ -50,11 +50,19 @@ fn build_pipeline() -> Workload {
 
     let mut seq = Vec::new();
     for i in 0..6 {
-        seq.push(extract.with_input_scale(1.0 + 0.1 * i as f64).renamed(format!("extract_{i}")));
+        seq.push(
+            extract
+                .with_input_scale(1.0 + 0.1 * i as f64)
+                .renamed(format!("extract_{i}")),
+        );
     }
     for i in 0..8 {
         let scale = 1.8 * (0.8f64).powi(i);
-        seq.push(propagate.with_input_scale(scale).renamed(format!("propagate_{i}")));
+        seq.push(
+            propagate
+                .with_input_scale(scale)
+                .renamed(format!("propagate_{i}")),
+        );
     }
     for i in 0..4 {
         seq.push(reduce.with_input_scale(1.2).renamed(format!("reduce_{i}")));
@@ -70,7 +78,9 @@ fn main() {
     let schemes = [
         Scheme::TurboCore,
         Scheme::PpkRf,
-        Scheme::MpcRf { horizon: HorizonMode::default() },
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
         Scheme::TheoreticallyOptimal,
     ];
 

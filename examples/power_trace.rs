@@ -23,14 +23,20 @@ fn strip_chart(title: &str, trace: &[PowerSample], max_w: f64) {
             s.t_s * 1e3,
             s.total_w,
             "#".repeat(bar),
-            if s.label == "mpc-optimizer" { "  <- optimizer" } else { "" }
+            if s.label == "mpc-optimizer" {
+                "  <- optimizer"
+            } else {
+                ""
+            }
         );
     }
     println!();
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "kmeans".to_string());
     let ctx = EvalContext::build(EvalOptions::fast());
     let workload = workload_by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark {name}, falling back to kmeans");
@@ -38,7 +44,13 @@ fn main() {
     });
 
     let tc = evaluate_scheme(&ctx, &workload, Scheme::TurboCore);
-    let mpc = evaluate_scheme(&ctx, &workload, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_scheme(
+        &ctx,
+        &workload,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
 
     let tc_segments = power_segments(&ctx.sim, &workload, &tc.measured);
     let mpc_segments = power_segments(&ctx.sim, &workload, &mpc.measured);
@@ -52,14 +64,21 @@ fn main() {
         .map(|s| s.total_w)
         .fold(f64::MIN, f64::max);
 
-    strip_chart(&format!("Turbo Core power trace — {}", workload.name()), &tc_trace, max_w);
-    strip_chart(&format!("MPC power trace — {}", workload.name()), &mpc_trace, max_w);
+    strip_chart(
+        &format!("Turbo Core power trace — {}", workload.name()),
+        &tc_trace,
+        max_w,
+    );
+    strip_chart(
+        &format!("MPC power trace — {}", workload.name()),
+        &mpc_trace,
+        max_w,
+    );
 
     println!(
         "integrated from 1 ms samples: Turbo Core {:.2} J, MPC {:.2} J ({:.1}% savings)",
         trace_energy_j(&tc_trace, interval),
         trace_energy_j(&mpc_trace, interval),
-        (1.0 - trace_energy_j(&mpc_trace, interval) / trace_energy_j(&tc_trace, interval))
-            * 100.0
+        (1.0 - trace_energy_j(&mpc_trace, interval) / trace_energy_j(&tc_trace, interval)) * 100.0
     );
 }

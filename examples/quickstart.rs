@@ -33,7 +33,13 @@ fn main() {
 
     // 3. Evaluate the full MPC system (adaptive horizon, α = 5%,
     //    optimizer overheads charged) and the PPK baseline.
-    let mpc = evaluate_scheme(&ctx, &workload, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let mpc = evaluate_scheme(
+        &ctx,
+        &workload,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
     let ppk = evaluate_scheme(&ctx, &workload, Scheme::PpkRf);
 
     let mpc_c = Comparison::between(&mpc.baseline, &mpc.measured);

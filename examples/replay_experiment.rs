@@ -32,7 +32,14 @@ fn main() {
 
     // Baseline: Turbo Core, which also defines the performance target.
     let mut tc = TurboCore::new(table.params().tdp_w);
-    let base = run_once(table, &workload, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let base = run_once(
+        table,
+        &workload,
+        &mut tc,
+        PerfTarget::new(1.0, 1.0),
+        0,
+        false,
+    );
     let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
     println!(
         "Turbo Core (replayed): {:.2} J over {:.1} ms",
@@ -44,7 +51,10 @@ fn main() {
     let mut mpc = MpcGovernor::new(
         OraclePredictor::new(&sim),
         SimParams::default(),
-        MpcConfig { store_truth: true, ..MpcConfig::default() },
+        MpcConfig {
+            store_truth: true,
+            ..MpcConfig::default()
+        },
     );
     run_once(table, &workload, &mut mpc, target, 0, true);
     let measured = run_once(table, &workload, &mut mpc, target, 1, true);
@@ -61,7 +71,14 @@ fn main() {
     let restored = ReplayPlatform::from_json(&json).expect("roundtrip");
     let again = {
         let mut tc = TurboCore::new(restored.params().tdp_w);
-        run_once(&restored, &workload, &mut tc, PerfTarget::new(1.0, 1.0), 0, false)
+        run_once(
+            &restored,
+            &workload,
+            &mut tc,
+            PerfTarget::new(1.0, 1.0),
+            0,
+            false,
+        )
     };
     assert_eq!(again.total_energy_j(), base.total_energy_j());
     println!(

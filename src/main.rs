@@ -91,13 +91,23 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
         "turbo-core" | "turbocore" => Scheme::TurboCore,
         "ppk" => Scheme::PpkRf,
         "ppk-oracle" => Scheme::PpkOracle,
-        "mpc" => Scheme::MpcRf { horizon: HorizonMode::default() },
-        "mpc-full" => Scheme::MpcRf { horizon: HorizonMode::Full },
+        "mpc" => Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+        "mpc-full" => Scheme::MpcRf {
+            horizon: HorizonMode::Full,
+        },
         "mpc-oracle" => Scheme::MpcOracle,
-        "mpc-err15" => Scheme::MpcError { spec: ErrorSpec::ERR_15_10 },
+        "mpc-err15" => Scheme::MpcError {
+            spec: ErrorSpec::ERR_15_10,
+        },
         "to" | "optimal" => Scheme::TheoreticallyOptimal,
-        "equalizer-perf" => Scheme::Equalizer { mode: EqualizerMode::Performance },
-        "equalizer-eff" => Scheme::Equalizer { mode: EqualizerMode::Efficiency },
+        "equalizer-perf" => Scheme::Equalizer {
+            mode: EqualizerMode::Performance,
+        },
+        "equalizer-eff" => Scheme::Equalizer {
+            mode: EqualizerMode::Efficiency,
+        },
         _ => return None,
     })
 }
@@ -182,7 +192,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
             };
             eprintln!(
                 "training predictor ({} mode) ...",
-                if flags.contains_key("fast") { "fast" } else { "full" }
+                if flags.contains_key("fast") {
+                    "fast"
+                } else {
+                    "full"
+                }
             );
             let ctx = EvalContext::build(options);
             if let Some(path) = cache {
@@ -213,7 +227,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
     };
 
     if flags.contains_key("json") {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
     } else {
         println!("{} on {}", report.scheme, report.workload);
         println!(
@@ -248,9 +265,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> ExitCode {
         Some("peak") => write_candidates(),
         Some("unscalable") => astar(),
         other => {
-            eprintln!(
-                "sweep requires --kernel <compute|memory|peak|unscalable>, got {other:?}"
-            );
+            eprintln!("sweep requires --kernel <compute|memory|peak|unscalable>, got {other:?}");
             return ExitCode::FAILURE;
         }
     };
@@ -262,7 +277,11 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> ExitCode {
             p.cu.to_string(),
             fmt(p.speedup, 2),
             fmt(p.energy_j, 3),
-            if p.energy_optimal { "*".into() } else { String::new() },
+            if p.energy_optimal {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{kernel}");
@@ -288,8 +307,11 @@ fn cmd_trace(flags: &HashMap<String, String>) -> ExitCode {
 }
 
 fn cmd_accuracy(flags: &HashMap<String, String>) {
-    let options =
-        if flags.contains_key("fast") { EvalOptions::fast() } else { EvalOptions::default() };
+    let options = if flags.contains_key("fast") {
+        EvalOptions::fast()
+    } else {
+        EvalOptions::default()
+    };
     let ctx = EvalContext::build(options);
     println!(
         "Random Forest held-out accuracy: time MAPE {:.1}%, power MAPE {:.1}%",

@@ -35,7 +35,13 @@ fn schemes_lists_every_policy() {
 #[test]
 fn run_produces_valid_json() {
     let (stdout, stderr, ok) = gpm(&[
-        "run", "--workload", "NBody", "--scheme", "to", "--fast", "--json",
+        "run",
+        "--workload",
+        "NBody",
+        "--scheme",
+        "to",
+        "--fast",
+        "--json",
     ]);
     assert!(ok, "stderr: {stderr}");
     let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");

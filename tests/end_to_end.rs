@@ -26,14 +26,24 @@ fn trained_model_is_in_papers_accuracy_regime() {
 #[test]
 fn evaluate_scheme_is_deterministic() {
     let w = workload_by_name("EigenValue").unwrap();
-    let scheme = Scheme::MpcRf { horizon: HorizonMode::default() };
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
     let a = evaluate_scheme(ctx(), &w, scheme);
     let b = evaluate_scheme(ctx(), &w, scheme);
     assert_eq!(a.measured.total_energy_j(), b.measured.total_energy_j());
     assert_eq!(a.measured.wall_time_s(), b.measured.wall_time_s());
     assert_eq!(
-        a.measured.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>(),
-        b.measured.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>()
+        a.measured
+            .per_kernel
+            .iter()
+            .map(|k| k.config)
+            .collect::<Vec<_>>(),
+        b.measured
+            .per_kernel
+            .iter()
+            .map(|k| k.config)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -44,7 +54,9 @@ fn every_scheme_saves_energy_on_every_benchmark() {
     for w in suite() {
         for scheme in [
             Scheme::PpkRf,
-            Scheme::MpcRf { horizon: HorizonMode::default() },
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
             Scheme::TheoreticallyOptimal,
         ] {
             let out = evaluate_scheme(ctx(), &w, scheme);
@@ -64,7 +76,13 @@ fn every_scheme_saves_energy_on_every_benchmark() {
 fn mpc_keeps_suite_performance_near_target() {
     // The adaptive scheme bounds total performance loss to roughly α = 5%.
     for w in suite() {
-        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let out = evaluate_scheme(
+            ctx(),
+            &w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let c = Comparison::between(&out.baseline, &out.measured);
         assert!(
             c.speedup > 0.85,
@@ -96,7 +114,13 @@ fn mpc_dominates_ppk_on_wall_time_suite_wide() {
     let mut mpc_total = 0.0;
     let mut ppk_total = 0.0;
     for w in suite() {
-        let m = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let m = evaluate_scheme(
+            ctx(),
+            &w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let p = evaluate_scheme(ctx(), &w, Scheme::PpkRf);
         mpc_total += m.measured.wall_time_s() / m.baseline.wall_time_s();
         ppk_total += p.measured.wall_time_s() / p.baseline.wall_time_s();
@@ -123,7 +147,13 @@ fn overheads_are_small_under_adaptive_horizon() {
     // Figure 14's regime: sub-percent performance overhead.
     for name in ["Spmv", "hybridsort", "XSBench"] {
         let w = workload_by_name(name).unwrap();
-        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let out = evaluate_scheme(
+            ctx(),
+            &w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let p_overhead = out.measured.overhead_time_s / out.baseline.wall_time_s();
         assert!(p_overhead < 0.05, "{name}: overhead fraction {p_overhead}");
     }
@@ -132,7 +162,13 @@ fn overheads_are_small_under_adaptive_horizon() {
 #[test]
 fn profiling_run_uses_fail_safe_first_kernel() {
     let w = workload_by_name("lud").unwrap();
-    let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let out = evaluate_scheme(
+        ctx(),
+        &w,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
     let prof = out.profiling.expect("MPC profiles on run 0");
     assert_eq!(prof.per_kernel[0].config, HwConfig::FAIL_SAFE);
 }

@@ -18,9 +18,13 @@ fn all_schemes_uphold_invariants_on_generated_workloads() {
     let schemes = [
         Scheme::TurboCore,
         Scheme::PpkRf,
-        Scheme::MpcRf { horizon: HorizonMode::default() },
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
         Scheme::TheoreticallyOptimal,
-        Scheme::Equalizer { mode: gpm::governors::EqualizerMode::Efficiency },
+        Scheme::Equalizer {
+            mode: gpm::governors::EqualizerMode::Efficiency,
+        },
     ];
     let space = ConfigSpace::full();
     for w in &population {
@@ -34,10 +38,17 @@ fn all_schemes_uphold_invariants_on_generated_workloads() {
             assert!(m.overhead_time_s >= 0.0);
             // Every chosen configuration is a real hardware state.
             for k in &m.per_kernel {
-                assert!(space.contains(k.config), "{} chose {:?}", out.label, k.config);
+                assert!(
+                    space.contains(k.config),
+                    "{} chose {:?}",
+                    out.label,
+                    k.config
+                );
             }
             // Energy accounting: totals are component sums.
-            let component_sum = m.energy.cpu_j + m.energy.gpu_j + m.energy.dram_j
+            let component_sum = m.energy.cpu_j
+                + m.energy.gpu_j
+                + m.energy.dram_j
                 + m.energy.other_j
                 + m.overhead_energy.total_j();
             assert!(
@@ -59,7 +70,13 @@ fn all_schemes_uphold_invariants_on_generated_workloads() {
 fn mpc_horizons_stay_bounded_on_generated_workloads() {
     let population = generate_population(&GeneratorParams::default(), 0xCAFE, 10);
     for w in &population {
-        let out = evaluate_scheme(ctx(), w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let out = evaluate_scheme(
+            ctx(),
+            w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let stats = out.mpc_stats.expect("MPC stats");
         assert!(
             stats.horizons.iter().all(|&h| h <= w.len()),
@@ -80,7 +97,9 @@ fn no_scheme_sustains_power_above_tdp() {
     for w in &population {
         for scheme in [
             Scheme::TurboCore,
-            Scheme::MpcRf { horizon: HorizonMode::default() },
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
             Scheme::TheoreticallyOptimal,
         ] {
             let out = evaluate_scheme(ctx(), w, scheme);
@@ -105,7 +124,12 @@ fn generated_workloads_keep_schemes_within_sane_perf_band() {
     // (> 2× baseline) on any generated application.
     let population = generate_population(&GeneratorParams::default(), 0xD1CE, 10);
     for w in &population {
-        for scheme in [Scheme::PpkRf, Scheme::MpcRf { horizon: HorizonMode::default() }] {
+        for scheme in [
+            Scheme::PpkRf,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        ] {
             let out = evaluate_scheme(ctx(), w, scheme);
             let slowdown = out.measured.wall_time_s() / out.baseline.wall_time_s();
             assert!(

@@ -5,8 +5,8 @@ use gpm::harness::metrics::Comparison;
 use gpm::harness::traces::{fig2_sweep, fig3_trace};
 use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
 use gpm::hw::NbState;
-use gpm::mpc::HorizonMode;
 use gpm::model::ErrorSpec;
+use gpm::mpc::HorizonMode;
 use gpm::sim::ApuSimulator;
 use gpm::workloads::{
     astar, max_flops, read_global_memory_coalesced, suite, workload_by_name, write_candidates,
@@ -32,7 +32,11 @@ fn fig2_classes_have_their_documented_shapes() {
     // (a) compute-bound: CU scaling, NB-insensitive.
     let a = fig2_sweep(&sim, &max_flops());
     let sp = |points: &[gpm::harness::traces::SweepPoint], nb: NbState, cu: u32| {
-        points.iter().find(|p| p.nb == nb && p.cu == cu).unwrap().speedup
+        points
+            .iter()
+            .find(|p| p.nb == nb && p.cu == cu)
+            .unwrap()
+            .speedup
     };
     assert!(sp(&a, NbState::Nb0, 8) > 3.0);
     // (b) memory-bound: plateau from NB2, NB3 collapse.
@@ -41,7 +45,10 @@ fn fig2_classes_have_their_documented_shapes() {
     assert!(sp(&b, NbState::Nb3, 8) < 0.75 * sp(&b, NbState::Nb2, 8));
     // (c) peak: interior CU optimum.
     let c = fig2_sweep(&sim, &write_candidates());
-    let best = c.iter().max_by(|x, y| x.speedup.partial_cmp(&y.speedup).unwrap()).unwrap();
+    let best = c
+        .iter()
+        .max_by(|x, y| x.speedup.partial_cmp(&y.speedup).unwrap())
+        .unwrap();
     assert!(best.cu < 8, "peak kernel fastest at {} CUs", best.cu);
     // (d) unscalable: < 1.35x spread over the whole sweep.
     let d = fig2_sweep(&sim, &astar());
@@ -55,7 +62,10 @@ fn fig2_classes_have_their_documented_shapes() {
 fn fig3_throughput_transitions_match_paper() {
     let sim = ApuSimulator::noiseless();
     let spmv = fig3_trace(&sim, &workload_by_name("Spmv").unwrap());
-    assert!(spmv[0] > 1.5 && *spmv.last().unwrap() < 0.5, "Spmv high→low");
+    assert!(
+        spmv[0] > 1.5 && *spmv.last().unwrap() < 0.5,
+        "Spmv high→low"
+    );
     let kmeans = fig3_trace(&sim, &workload_by_name("kmeans").unwrap());
     assert!(kmeans[0] < 0.6 && kmeans[10] > 1.0, "kmeans low→high");
     let hybrid = fig3_trace(&sim, &workload_by_name("hybridsort").unwrap());
@@ -109,7 +119,12 @@ fn fig8_mpc_saves_substantial_energy_with_small_perf_loss() {
     let mut speedups = 0.0;
     let all = suite();
     for w in &all {
-        let c = compare(Scheme::MpcRf { horizon: HorizonMode::default() }, w.name());
+        let c = compare(
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+            w.name(),
+        );
         savings += c.energy_savings_pct;
         speedups += c.speedup;
     }
@@ -124,7 +139,12 @@ fn fig8_mpc_saves_substantial_energy_with_small_perf_loss() {
 #[test]
 fn fig9_mpc_outperforms_ppk_on_phase_changing_benchmarks() {
     for name in ["Spmv", "srad", "lud"] {
-        let mpc = compare(Scheme::MpcRf { horizon: HorizonMode::default() }, name);
+        let mpc = compare(
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+            name,
+        );
         let ppk = compare(Scheme::PpkRf, name);
         assert!(
             mpc.speedup >= ppk.speedup - 0.01,
@@ -149,7 +169,11 @@ fn fig10_lbm_has_the_largest_gpu_savings() {
             best = (w.name().to_string(), c.gpu_energy_savings_pct);
         }
     }
-    assert_eq!(best.0, "lbm", "largest GPU savings was {} ({:.1}%)", best.0, best.1);
+    assert_eq!(
+        best.0, "lbm",
+        "largest GPU savings was {} ({:.1}%)",
+        best.0, best.1
+    );
     assert!(best.1 > 15.0, "lbm GPU savings only {:.1}%", best.1);
 }
 
@@ -158,7 +182,13 @@ fn fig10_cpu_dominates_chipwide_savings() {
     // Section VI-A: most of MPC's savings come from parking the
     // busy-waiting CPU (paper: 75% CPU / 25% GPU).
     let w = workload_by_name("NBody").unwrap();
-    let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+    let out = evaluate_scheme(
+        ctx(),
+        &w,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+    );
     let cpu_saved = out.baseline.cpu_energy_j() - out.measured.cpu_energy_j();
     let gpu_saved = out.baseline.gpu_energy_j() - out.measured.gpu_energy_j();
     assert!(cpu_saved > gpu_saved, "CPU {cpu_saved} vs GPU {gpu_saved}");
@@ -175,7 +205,11 @@ fn fig12_oracle_mpc_captures_most_of_to() {
         to_sum += compare(Scheme::TheoreticallyOptimal, name).energy_savings_pct;
     }
     let capture = mpc_sum / to_sum;
-    assert!(capture > 0.85, "MPC captured only {:.0}% of TO", capture * 100.0);
+    assert!(
+        capture > 0.85,
+        "MPC captured only {:.0}% of TO",
+        capture * 100.0
+    );
 }
 
 // ---- Figure 13 ----
@@ -183,8 +217,18 @@ fn fig12_oracle_mpc_captures_most_of_to() {
 #[test]
 fn fig13_results_are_insensitive_to_moderate_prediction_error() {
     let w = "Spmv";
-    let perfect = compare(Scheme::MpcError { spec: ErrorSpec::ERR_0 }, w);
-    let err15 = compare(Scheme::MpcError { spec: ErrorSpec::ERR_15_10 }, w);
+    let perfect = compare(
+        Scheme::MpcError {
+            spec: ErrorSpec::ERR_0,
+        },
+        w,
+    );
+    let err15 = compare(
+        Scheme::MpcError {
+            spec: ErrorSpec::ERR_15_10,
+        },
+        w,
+    );
     assert!(
         (perfect.energy_savings_pct - err15.energy_savings_pct).abs() < 8.0,
         "perfect {} vs err15 {}",
@@ -199,11 +243,20 @@ fn fig13_results_are_insensitive_to_moderate_prediction_error() {
 fn fig14_adaptive_overheads_are_sub_percent_range() {
     let mut worst = 0.0f64;
     for w in suite() {
-        let out = evaluate_scheme(ctx(), &w, Scheme::MpcRf { horizon: HorizonMode::default() });
+        let out = evaluate_scheme(
+            ctx(),
+            &w,
+            Scheme::MpcRf {
+                horizon: HorizonMode::default(),
+            },
+        );
         let p = out.measured.overhead_time_s / out.baseline.wall_time_s() * 100.0;
         worst = worst.max(p);
     }
-    assert!(worst < 5.0, "worst-case perf overhead {worst}% exceeds the α bound");
+    assert!(
+        worst < 5.0,
+        "worst-case perf overhead {worst}% exceeds the α bound"
+    );
 }
 
 #[test]
@@ -211,12 +264,16 @@ fn fig15_long_kernel_benchmarks_use_longer_horizons() {
     let long = evaluate_scheme(
         ctx(),
         &workload_by_name("XSBench").unwrap(),
-        Scheme::MpcRf { horizon: HorizonMode::default() },
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
     );
     let short = evaluate_scheme(
         ctx(),
         &workload_by_name("hybridsort").unwrap(),
-        Scheme::MpcRf { horizon: HorizonMode::default() },
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
     );
     let lf = long.mpc_stats.unwrap().average_horizon_fraction(6);
     let sf = short.mpc_stats.unwrap().average_horizon_fraction(15);

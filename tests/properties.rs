@@ -7,9 +7,7 @@ use gpm::hw::{ConfigSpace, CpuPState, CuCount, GpuDpm, HwConfig, NbState};
 use gpm::mpc::{average_full_horizon, search_order, HorizonGenerator, HorizonMode, ProfiledKernel};
 use gpm::pattern::{detect_period, KernelSignature, PatternExtractor};
 use gpm::sim::predictor::KernelSnapshot;
-use gpm::sim::{
-    ApuSimulator, CounterSet, KernelCharacteristics, OraclePredictor, SimParams,
-};
+use gpm::sim::{ApuSimulator, CounterSet, KernelCharacteristics, OraclePredictor, SimParams};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary (valid) hardware configuration.
@@ -27,13 +25,13 @@ fn any_config() -> impl Strategy<Value = HwConfig> {
 /// Strategy: an arbitrary plausible kernel.
 fn any_kernel() -> impl Strategy<Value = KernelCharacteristics> {
     (
-        1.0f64..60.0,   // compute gops
-        0.0f64..3.0,    // memory gb
-        0.0f64..1.0,    // cache hit
-        0.0f64..0.12,   // interference
-        0.3f64..1.0,    // parallel fraction
-        0.05f64..1.0,   // occupancy
-        0.0f64..0.05,   // fixed time
+        1.0f64..60.0, // compute gops
+        0.0f64..3.0,  // memory gb
+        0.0f64..1.0,  // cache hit
+        0.0f64..0.12, // interference
+        0.3f64..1.0,  // parallel fraction
+        0.05f64..1.0, // occupancy
+        0.0f64..0.05, // fixed time
     )
         .prop_map(|(gops, gb, hit, intf, pf, occ, fixed)| {
             KernelCharacteristics::builder("prop", gops)
@@ -236,7 +234,11 @@ fn extractor_reference_predicts_any_recorded_sequence() {
         KernelCharacteristics::memory_bound("b", 1.0),
         KernelCharacteristics::peak("c", 8.0),
     ];
-    for pattern in [vec![0usize, 1, 2, 1, 0], vec![0, 0, 1], vec![2, 1, 0, 0, 1, 2]] {
+    for pattern in [
+        vec![0usize, 1, 2, 1, 0],
+        vec![0, 0, 1],
+        vec![2, 1, 0, 0, 1, 2],
+    ] {
         let mut px = PatternExtractor::new();
         let ids: Vec<_> = pattern
             .iter()

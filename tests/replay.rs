@@ -48,7 +48,10 @@ fn mpc_replay_makes_identical_decisions() {
         let mut gov = MpcGovernor::new(
             OraclePredictor::new(&sim),
             SimParams::default(),
-            MpcConfig { store_truth: true, ..MpcConfig::default() },
+            MpcConfig {
+                store_truth: true,
+                ..MpcConfig::default()
+            },
         );
         run_once(platform, &w, &mut gov, target, 0, true);
         run_once(platform, &w, &mut gov, target, 1, true)
@@ -57,7 +60,11 @@ fn mpc_replay_makes_identical_decisions() {
     let replayed = run(&replay);
     assert_eq!(
         live.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>(),
-        replayed.per_kernel.iter().map(|k| k.config).collect::<Vec<_>>(),
+        replayed
+            .per_kernel
+            .iter()
+            .map(|k| k.config)
+            .collect::<Vec<_>>(),
         "decision sequences diverged between live and replay"
     );
     assert_eq!(live.total_energy_j(), replayed.total_energy_j());

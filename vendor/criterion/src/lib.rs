@@ -1,0 +1,245 @@
+//! Offline shim of the `criterion` benchmarking API this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`finish`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop: each benchmark is
+//! warmed up, the iteration count is scaled to a target sample duration,
+//! and the mean/min time per iteration is printed. No statistics engine,
+//! no HTML reports — enough to compare magnitudes and catch regressions
+//! by eye or in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// Controls how much setup output is batched per timing measurement.
+/// Only the variants used by this workspace exist; all behave the same
+/// (one setup per routine invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state; setup runs outside the timed section.
+    SmallInput,
+    /// Larger per-iteration state; same behavior in this shim.
+    LargeInput,
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, calling it many times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many calls fit in ~5ms?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` with fresh untimed `setup` output per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{name:<40} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: default_sample_size(),
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    // CI smoke runs set GPM_BENCH_FAST=1 to keep wall time small.
+    if std::env::var_os("GPM_BENCH_FAST").is_some() {
+        3
+    } else {
+        20
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &samples);
+        self
+    }
+
+    /// Ends the group. Exists for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Re-export for `b.iter(|| black_box(...))` call sites that import it
+/// from criterion rather than `std::hint`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.bench_function("shim/add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

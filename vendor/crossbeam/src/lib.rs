@@ -1,0 +1,88 @@
+//! Offline shim of `crossbeam`'s scoped threads, implemented over
+//! `std::thread::scope` (stable since Rust 1.63). Matches the crossbeam
+//! calling convention this workspace uses: `crossbeam::scope(|s| ...)`
+//! returning `Result`, with spawn closures receiving a scope handle for
+//! nested spawns.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread namespace, mirroring `crossbeam::thread`.
+pub mod thread {
+    use super::*;
+
+    /// Handle for spawning threads inside a [`scope`] invocation.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// allowing nested spawns, and its result is available through the
+        /// returned join handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing environment; joins them all before returning. A panic in
+    /// any spawned thread (or in `f`) surfaces as `Err`, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::{scope, Scope};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope succeeds");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let out = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().expect("inner join") * 2)
+                .join()
+                .expect("outer join")
+        })
+        .expect("scope succeeds");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The real `serde` could not be vendored in this repository's build
+//! environment (no network, no registry cache), so this crate provides the
+//! subset the workspace uses: `Serialize` / `Deserialize` traits driven by
+//! `#[derive(...)]`, routed through a JSON-shaped [`Content`] data model
+//! that `serde_json` (also shimmed) prints and parses.
+//!
+//! Unlike real serde there is no zero-copy visitor machinery: serializers
+//! build a [`Content`] tree and deserializers consume one. That is ample
+//! for this workspace (config files, replay tables, reports, traces) and
+//! keeps the shim small and auditable.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every shimmed (de)serializer speaks.
+///
+/// Maps preserve insertion order (fields serialize in declaration order),
+/// which keeps JSON output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also the encoding of non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, insertion-ordered.
+    Map(Vec<(Content, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// The value as an `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an ordered map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Map lookup by string key; `None` for missing keys or non-maps.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map().and_then(|m| map_get(m, key))
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        self.as_array().and_then(|s| s.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Content {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Ordered-map lookup used by derived `Deserialize` impls.
+pub fn map_get<'a>(map: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    map.iter()
+        .find(|(k, _)| k.as_str() == Some(key))
+        .map(|(_, v)| v)
+}
+
+/// Deserialization error: a message plus the type being built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError {
+            msg: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// The input's shape did not match the target type.
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+
+    /// An enum tag matched no variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> DeError {
+        DeError {
+            msg: format!("unknown variant `{tag}` of enum {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    /// Builds the data-model representation of `self`.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A type that can rebuild itself from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a data-model tree.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Alias mirroring serde's owned-deserialization bound.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Module aliases so `serde::ser::Serialize` / `serde::de::Deserialize`
+/// paths from the real crate keep resolving.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// See [`ser`].
+pub mod de {
+    pub use crate::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                // JSON object keys arrive as strings; accept them too.
+                if let Content::Str(s) = c {
+                    return s
+                        .parse()
+                        .map_err(|_| DeError::expected("integer string", stringify!($t)));
+                }
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn serialize_content(&self) -> Content {
+        match i64::try_from(*self) {
+            Ok(v) => Content::I64(v),
+            Err(_) => Content::U64(*self),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        if let Content::Str(s) = c {
+            return s
+                .parse()
+                .map_err(|_| DeError::expected("integer string", "u64"));
+        }
+        c.as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", "u64"))
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => v.serialize_content(),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        if let Some(v) = c.as_u64() {
+            return Ok(v as u128);
+        }
+        c.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| DeError::expected("unsigned integer", "u128"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            // Non-finite floats serialize as null (as in serde_json);
+            // round-trip them back as NaN rather than failing.
+            Content::Null => Ok(f64::NAN),
+            _ => c.as_f64().ok_or_else(|| DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        (*self as f64).serialize_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::deserialize_content(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::custom(format!("expected {N} elements, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$i.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$($i),+].len();
+                if s.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected a {expected}-tuple, found {} elements", s.len()
+                    )));
+                }
+                Ok(($($t::deserialize_content(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+fn key_to_content(k: &Content) -> Content {
+    k.clone()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_content(&k.serialize_content()),
+                        v.serialize_content(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize_content(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_content(), v.serialize_content()))
+            .collect();
+        // Hash iteration order is unstable; sort by rendered key for
+        // deterministic output.
+        entries.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize_content(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_content(&self) -> Content {
+        Content::F64(self.as_secs_f64())
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        let secs = f64::deserialize_content(c)?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(DeError::expected("non-negative seconds", "Duration"));
+        }
+        Ok(std::time::Duration::from_secs_f64(secs))
+    }
+}

@@ -1,0 +1,505 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` facade's `Serialize` /
+//! `Deserialize` traits (the `Content`-tree model, not real serde's
+//! visitor machinery). Supported item shapes cover everything this
+//! workspace derives:
+//!
+//! * structs with named fields (`#[serde(skip)]`, `#[serde(default)]`);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generic items are intentionally unsupported — the derive fails loudly
+//! rather than generating subtly wrong bounds.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    item: Item,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive shim emitted invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive shim emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    // Outer attributes and visibility.
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let item = match kind.as_str() {
+        "struct" => Item::Struct(parse_struct_shape(&mut tokens, &name)),
+        "enum" => Item::Enum(parse_enum_variants(&mut tokens, &name)),
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Parsed { name, item }
+}
+
+fn parse_struct_shape(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    name: &str,
+) -> Shape {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream(), name))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde_derive shim: malformed struct `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = collect_serde_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let field_name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name in `{ty}`, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde_derive shim: expected `:` after `{field_name}`, found {other:?}")
+            }
+        }
+        skip_type_until_comma(&mut tokens);
+        fields.push(Field {
+            name: field_name,
+            attrs,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+fn parse_enum_variants(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    name: &str,
+) -> Vec<Variant> {
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+    };
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = collect_serde_attrs(&mut tokens); // variant attrs (e.g. #[default]) are ignored
+        let variant_name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant in `{name}`, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), name);
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Optional discriminant, then the separating comma.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant {
+            name: variant_name,
+            shape,
+        });
+    }
+    variants
+}
+
+fn skip_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let _ = collect_serde_attrs(tokens);
+}
+
+/// Consumes leading `#[...]` attributes, returning any `serde(...)` options.
+fn collect_serde_attrs(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        let Some(TokenTree::Group(g)) = tokens.next() else {
+            panic!("serde_derive shim: dangling `#`");
+        };
+        let mut inner = g.stream().into_iter();
+        let Some(TokenTree::Ident(id)) = inner.next() else {
+            continue;
+        };
+        if id.to_string() != "serde" {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        for tt in args.stream() {
+            if let TokenTree::Ident(opt) = tt {
+                match opt.to_string().as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes a field's type: everything up to the next comma at angle-depth
+/// zero. Parenthesised and bracketed sub-trees arrive as single groups, so
+/// only `<`/`>` nesting needs manual tracking.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.item {
+        Item::Struct(Shape::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__m.push((::serde::Content::Str(String::from(\"{0}\")), \
+                     ::serde::Serialize::serialize_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Content::Map(__m)");
+            s
+        }
+        Item::Struct(Shape::Tuple(1)) => {
+            "::serde::Serialize::serialize_content(&self.0)".to_string()
+        }
+        Item::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Item::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\
+                         ::serde::Content::Str(String::from(\"{vn}\")), \
+                         ::serde::Serialize::serialize_content(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(String::from(\"{vn}\")), \
+                             ::serde::Content::Seq(vec![{elems}]))]),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.attrs.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    format!("{0}: __b_{0}", f.name)
+                                }
+                            })
+                            .collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(String::from(\"{0}\")), \
+                                     ::serde::Serialize::serialize_content(__b_{0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(String::from(\"{vn}\")), \
+                             ::serde::Content::Map(vec![{entries}]))]),\n",
+                            binds = binds.join(", "),
+                            entries = entries.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn named_field_builders(fields: &[Field], ty: &str, map_expr: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.skip {
+            s.push_str(&format!("{n}: ::core::default::Default::default(),\n"));
+        } else if f.attrs.default {
+            s.push_str(&format!(
+                "{n}: match ::serde::map_get({map_expr}, \"{n}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::deserialize_content(__v)?,\n\
+                     None => ::core::default::Default::default(),\n\
+                 }},\n"
+            ));
+        } else {
+            s.push_str(&format!(
+                "{n}: match ::serde::map_get({map_expr}, \"{n}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::deserialize_content(__v)?,\n\
+                     None => return Err(::serde::DeError::missing_field(\"{n}\", \"{ty}\")),\n\
+                 }},\n"
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.item {
+        Item::Struct(Shape::Named(fields)) => {
+            let builders = named_field_builders(fields, name, "__m");
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(__m) => Ok({name} {{\n{builders}}}),\n\
+                     _ => Err(::serde::DeError::expected(\"map\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+        Item::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_content(__c)?))")
+        }
+        Item::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                         Ok({name}({elems})),\n\
+                     _ => Err(::serde::DeError::expected(\"{n}-element array\", \"{name}\")),\n\
+                 }}",
+                elems = elems.join(", "),
+            )
+        }
+        Item::Struct(Shape::Unit) => format!("{{ let _ = __c; Ok({name}) }}"),
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Also accept the {"Variant": null} form.
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let _ = __payload; Ok({name}::{vn}) }},\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_content(__payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_content(&__s[{i}])?")
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                                 ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                                     Ok({name}::{vn}({elems})),\n\
+                                 _ => Err(::serde::DeError::expected(\
+                                     \"{n}-element array\", \"{name}::{vn}\")),\n\
+                             }},\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let builders = named_field_builders(fields, name, "__vm");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                                 ::serde::Content::Map(__vm) => Ok({name}::{vn} {{\n{builders}}}),\n\
+                                 _ => Err(::serde::DeError::expected(\"map\", \"{name}::{vn}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__m[0];\n\
+                         match __tag.as_str().unwrap_or_default() {{\n\
+                             {payload_arms}\
+                             __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }},\n\
+                     _ => Err(::serde::DeError::expected(\"string or single-entry map\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_content(__c: &::serde::Content) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

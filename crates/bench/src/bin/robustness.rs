@@ -1,0 +1,199 @@
+//! Robustness sweep: degrades the full MPC scheme under increasing
+//! deterministic fault intensity and records the degradation curve
+//! (energy savings, speedup, throughput violation, fault/recovery
+//! counts per fault rate).
+//!
+//! Usage:
+//!
+//! ```text
+//! robustness [--workload NAME] [--rates CSV] [--seed N]
+//!            [--max-slowdown X] [--json PATH] [--fast]
+//! ```
+//!
+//! `--rates` is a comma-separated list of per-channel fault rates (all
+//! five channels fire at the same rate, nominal intensity). `--fast`
+//! (or env `GPM_BENCH_FAST=1`) uses the reduced measurement campaign.
+//!
+//! Graceful-degradation gate (exit status): every swept point must
+//! complete without panics and with finite accounting, and every point
+//! with rate ≤ 0.10 must keep its wall-time slowdown under
+//! `--max-slowdown` (default 1.5×). The degradation curve is written to
+//! `--json` for CI artifact upload.
+
+use gpm_faults::FaultPlan;
+use gpm_harness::metrics::Comparison;
+use gpm_harness::{evaluate_scheme_faulted, EvalContext, EvalOptions, Scheme};
+use gpm_mpc::HorizonMode;
+use gpm_trace::{AggregateSink, TraceSink};
+use gpm_workloads::workload_by_name;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// One point of the degradation curve.
+#[derive(Debug, Serialize)]
+struct DegradationPoint {
+    /// Per-channel fault rate swept at this point.
+    rate: f64,
+    /// Energy savings vs the clean Turbo Core baseline, percent.
+    energy_savings_pct: f64,
+    /// Baseline wall time over degraded wall time (< 1 = slowdown).
+    speedup: f64,
+    /// Throughput-constraint violation, percent of baseline wall time
+    /// (0 when the degraded run is at least as fast as the baseline).
+    violation_pct: f64,
+    /// Faults that fired across both scheme invocations.
+    fault_injections: u64,
+    /// Detected-and-recovered events (sanitization, retries, discards).
+    recoveries: u64,
+    /// Fail-safe decisions taken by the governor.
+    fail_safe_events: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct RobustnessReport {
+    workload: String,
+    scheme: String,
+    seed: u64,
+    max_slowdown: f64,
+    curve: Vec<DegradationPoint>,
+}
+
+struct Args {
+    workload: String,
+    rates: Vec<f64>,
+    seed: u64,
+    max_slowdown: f64,
+    json: Option<String>,
+    fast: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "kmeans".to_string(),
+        rates: vec![0.0, 0.02, 0.05, 0.10, 0.20],
+        seed: 0xFA_15AFE,
+        max_slowdown: 1.5,
+        json: None,
+        fast: std::env::var("GPM_BENCH_FAST").is_ok_and(|v| v != "0"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => args.workload = it.next().expect("--workload needs a name"),
+            "--rates" => {
+                let csv = it.next().expect("--rates needs a CSV list");
+                args.rates = csv
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("--rates entries must be numbers"))
+                    .collect();
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            "--max-slowdown" => {
+                args.max_slowdown = it
+                    .next()
+                    .expect("--max-slowdown needs a value")
+                    .parse()
+                    .expect("--max-slowdown must be a number");
+            }
+            "--json" => args.json = Some(it.next().expect("--json needs a path")),
+            "--fast" => args.fast = true,
+            other => panic!("unknown flag {other}; see module docs for usage"),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let workload = workload_by_name(&args.workload)
+        .unwrap_or_else(|| panic!("unknown workload {:?}", args.workload));
+
+    eprintln!(
+        "building evaluation context ({})...",
+        if args.fast { "fast" } else { "full" }
+    );
+    let options = if args.fast {
+        EvalOptions::fast()
+    } else {
+        EvalOptions::default()
+    };
+    let ctx = EvalContext::build(options);
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
+
+    let mut curve = Vec::with_capacity(args.rates.len());
+    let mut ok = true;
+    println!("Robustness sweep: MPC(RF) on {}", workload.name());
+    println!(
+        "{:>6}  {:>9}  {:>7}  {:>9}  {:>7}  {:>9}",
+        "rate", "savings%", "speedup", "violat.%", "faults", "recovered"
+    );
+    for &rate in &args.rates {
+        let plan = FaultPlan::uniform(args.seed, rate);
+        let agg = Arc::new(AggregateSink::new());
+        let sink: Arc<dyn TraceSink> = agg.clone();
+        let out = evaluate_scheme_faulted(&ctx, &workload, scheme, &sink, &plan);
+        let summary = agg.summary();
+        let c = Comparison::between(&out.baseline, &out.measured);
+        let violation_pct = (1.0 / c.speedup - 1.0).max(0.0) * 100.0;
+        println!(
+            "{rate:>6.3}  {:>9.2}  {:>7.3}  {violation_pct:>9.2}  {:>7}  {:>9}",
+            c.energy_savings_pct, c.speedup, summary.fault_injections, summary.recoveries
+        );
+
+        // The graceful-degradation gate.
+        if !c.speedup.is_finite() || !c.energy_savings_pct.is_finite() || c.speedup <= 0.0 {
+            eprintln!("GATE: non-finite accounting at rate {rate}");
+            ok = false;
+        }
+        if rate <= 0.10 && 1.0 / c.speedup > args.max_slowdown {
+            eprintln!(
+                "GATE: slowdown {:.3} exceeds {} at rate {rate}",
+                1.0 / c.speedup,
+                args.max_slowdown
+            );
+            ok = false;
+        }
+        if rate > 0.0 && summary.fault_injections == 0 {
+            eprintln!("GATE: no faults fired at rate {rate}");
+            ok = false;
+        }
+        curve.push(DegradationPoint {
+            rate,
+            energy_savings_pct: c.energy_savings_pct,
+            speedup: c.speedup,
+            violation_pct,
+            fault_injections: summary.fault_injections,
+            recoveries: summary.recoveries,
+            fail_safe_events: summary.fail_safe_events,
+        });
+    }
+
+    if let Some(path) = &args.json {
+        let report = RobustnessReport {
+            workload: workload.name().to_string(),
+            scheme: scheme.label(),
+            seed: args.seed,
+            max_slowdown: args.max_slowdown,
+            curve,
+        };
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, text).expect("write --json report");
+        eprintln!("wrote {path}");
+    }
+
+    if ok {
+        eprintln!("robustness gate passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -18,13 +18,14 @@ use crate::horizon::{HorizonGenerator, HorizonMode};
 use crate::optimizer::{optimize_window, optimize_window_exact};
 use crate::search_order::{average_full_horizon, search_order, ProfiledKernel};
 use crate::stats::MpcStats;
+use gpm_faults::{no_faults, FaultInjector, FaultKey};
 use gpm_governors::search::{hill_climb_stats, EnergyEvaluator};
 use gpm_governors::{Governor, GovernorDecision, KernelContext, OverheadModel, PerfTarget};
 use gpm_hw::HwConfig;
 use gpm_pattern::PatternExtractor;
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
 use gpm_sim::{KernelCharacteristics, KernelOutcome, SimParams};
-use gpm_trace::{noop_sink, FailSafeReason, TraceEvent, TraceSink};
+use gpm_trace::{noop_sink, FailSafeReason, FaultChannelKind, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -84,6 +85,7 @@ pub struct MpcGovernor<P> {
     target_seen: Option<PerfTarget>,
     stats: MpcStats,
     trace: Arc<dyn TraceSink>,
+    faults: Arc<dyn FaultInjector>,
 }
 
 impl<P: PowerPerfPredictor> MpcGovernor<P> {
@@ -103,7 +105,16 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             target_seen: None,
             stats: MpcStats::new(),
             trace: noop_sink(),
+            faults: no_faults(),
         }
+    }
+
+    /// Installs a fault injector on the pattern-store read path
+    /// (robustness studies). The default injector never fires, so
+    /// ordinary governors pay nothing.
+    pub fn with_fault_injector(mut self, faults: Arc<dyn FaultInjector>) -> MpcGovernor<P> {
+        self.faults = faults;
+        self
     }
 
     /// Decision statistics (horizons, evaluations, overheads).
@@ -132,6 +143,45 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         self.search.is_none()
     }
 
+    /// Reads a pattern-store snapshot for the kernel expected at window
+    /// position `p`, routing it through the fault injector and discarding
+    /// it (with a `Recovered` trace event) when it comes back malformed.
+    fn window_snapshot(&mut self, run_index: usize, p: usize, id: usize) -> Option<KernelSnapshot> {
+        let mut snap = self.extractor.record(id)?.snapshot();
+        if self.faults.enabled() {
+            let key = FaultKey {
+                run_index,
+                position: p,
+            };
+            if let Some(f) = self.faults.corrupt_snapshot(key, &mut snap) {
+                if self.trace.enabled() {
+                    self.trace.record(&TraceEvent::FaultInjected {
+                        run_index,
+                        position: p,
+                        channel: f.channel,
+                        magnitude: f.magnitude,
+                    });
+                }
+            }
+        }
+        if snap.is_well_formed() {
+            Some(snap)
+        } else {
+            // Stale/corrupted record: better to shrink the window than to
+            // optimize against garbage.
+            self.stats.stale_rejections += 1;
+            if self.trace.enabled() {
+                self.trace.record(&TraceEvent::Recovered {
+                    run_index,
+                    position: p,
+                    channel: FaultChannelKind::StalePattern,
+                    retries: 0,
+                });
+            }
+            None
+        }
+    }
+
     /// Extension: an MPC-style decision during the profiling run, with
     /// lookahead synthesized from the detected period — the kernel
     /// expected at future position `q` is the one observed at `q − p`.
@@ -144,11 +194,13 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             return None;
         }
         // Lookahead is sound up to one full period ahead.
+        let ids: Vec<usize> = (ctx.position..ctx.position + period)
+            .map(|q| run[q - period])
+            .collect();
         let mut snapshots: BTreeMap<usize, KernelSnapshot> = BTreeMap::new();
-        for q in ctx.position..ctx.position + period {
-            let id = run[q - period];
-            if let Some(rec) = self.extractor.record(id) {
-                snapshots.insert(q, rec.snapshot());
+        for (q, id) in (ctx.position..).zip(ids) {
+            if let Some(snap) = self.window_snapshot(ctx.run_index, q, id) {
+                snapshots.insert(q, snap);
             }
         }
         let order: Vec<usize> = snapshots.keys().copied().collect();
@@ -165,6 +217,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         let overhead_s = self.cfg.overhead.cost_s(plan.evaluations);
         self.t_ppk += overhead_s; // still first-invocation optimization cost
         self.pending_overhead_s = overhead_s;
+        self.stats.prediction_anomalies += plan.search.anomalies;
         self.stats
             .record_decision(period, plan.evaluations, overhead_s, plan.fail_safe);
         if self.trace.enabled() {
@@ -178,10 +231,15 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
                 overhead_s,
             });
             if plan.fail_safe {
+                let reason = if plan.search.anomalies > 0 {
+                    FailSafeReason::PredictionAnomaly
+                } else {
+                    FailSafeReason::InfeasibleWindow
+                };
                 self.trace.record(&TraceEvent::FailSafe {
                     run_index: ctx.run_index,
                     position: ctx.position,
-                    reason: FailSafeReason::InfeasibleWindow,
+                    reason,
                 });
             }
         }
@@ -211,6 +269,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             self.t_ppk += overhead_s;
         }
         self.pending_overhead_s = overhead_s;
+        self.stats.prediction_anomalies += stats.anomalies;
         if self.trace.enabled() {
             self.trace.record(&TraceEvent::Search {
                 run_index: ctx.run_index,
@@ -222,10 +281,15 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
                 overhead_s,
             });
             if best.is_none() {
+                let reason = if stats.anomalies > 0 {
+                    FailSafeReason::PredictionAnomaly
+                } else {
+                    FailSafeReason::InfeasibleCap
+                };
                 self.trace.record(&TraceEvent::FailSafe {
                     run_index: ctx.run_index,
                     position: ctx.position,
-                    reason: FailSafeReason::InfeasibleCap,
+                    reason,
                 });
             }
         }
@@ -269,11 +333,17 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             };
         }
 
+        let mut current_rejected = false;
         let mut snapshots: BTreeMap<usize, KernelSnapshot> = BTreeMap::new();
         for p in ctx.position..ctx.position + h {
             if let Some(id) = self.extractor.expected(p) {
-                if let Some(rec) = self.extractor.record(id) {
-                    snapshots.insert(p, rec.snapshot());
+                let before = self.stats.stale_rejections;
+                if let Some(snap) = self.window_snapshot(ctx.run_index, p, id) {
+                    snapshots.insert(p, snap);
+                } else if p == ctx.position && self.stats.stale_rejections > before {
+                    // The head kernel's own record was discarded; any
+                    // resulting fail-safe is attributable to staleness.
+                    current_rejected = true;
                 }
             }
         }
@@ -313,6 +383,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         let overhead_s = self.cfg.overhead.cost_s(evals);
         self.stats.record_decision(h, evals, overhead_s, fail_safe);
         self.pending_overhead_s = overhead_s;
+        self.stats.prediction_anomalies += search.anomalies;
         if self.trace.enabled() {
             self.trace.record(&TraceEvent::Search {
                 run_index: ctx.run_index,
@@ -324,10 +395,17 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
                 overhead_s,
             });
             if fail_safe {
+                let reason = if current_rejected {
+                    FailSafeReason::StalePattern
+                } else if search.anomalies > 0 {
+                    FailSafeReason::PredictionAnomaly
+                } else {
+                    FailSafeReason::InfeasibleWindow
+                };
                 self.trace.record(&TraceEvent::FailSafe {
                     run_index: ctx.run_index,
                     position: ctx.position,
-                    reason: FailSafeReason::InfeasibleWindow,
+                    reason,
                 });
             }
         }
@@ -375,6 +453,18 @@ impl<P: PowerPerfPredictor> Governor for MpcGovernor<P> {
         outcome: &KernelOutcome,
         truth: Option<&KernelCharacteristics>,
     ) {
+        // Never let a corrupted measurement into the pattern store, the
+        // PPK lookback snapshot, or the horizon generator's budget tracker.
+        let mut sanitized = outcome.clone();
+        if sanitized.sanitize() && self.trace.enabled() {
+            self.trace.record(&TraceEvent::Recovered {
+                run_index: ctx.run_index,
+                position: ctx.position,
+                channel: FaultChannelKind::CounterNoise,
+                retries: 0,
+            });
+        }
+        let outcome = &sanitized;
         let truth = if self.cfg.store_truth {
             truth.cloned()
         } else {

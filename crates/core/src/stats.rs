@@ -22,6 +22,11 @@ pub struct MpcStats {
     pub pattern_mispredictions: usize,
     /// Post-profiling kernels checked against the reference pattern.
     pub pattern_checks: usize,
+    /// Predictor estimates the search layer rejected as anomalous
+    /// (non-finite or outside the plausibility envelope).
+    pub prediction_anomalies: u64,
+    /// Pattern-store records discarded as stale/corrupted at read time.
+    pub stale_rejections: u64,
 }
 
 impl MpcStats {

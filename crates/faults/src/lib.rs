@@ -1,0 +1,51 @@
+//! Deterministic fault injection and graceful degradation for gpm.
+//!
+//! A production power manager must keep honoring its throughput
+//! constraint when its inputs go bad: noisy or corrupted performance
+//! counters, predictor outliers, stale pattern-store records, knob
+//! transitions that fail transiently, thermal throttling. This crate
+//! provides the *fault side* of that contract; the governors' hardening
+//! (anomaly rejection, `FAIL_SAFE` fallbacks, bounded retries,
+//! observation sanitization) lives with the governors and is exercised by
+//! the robustness bench and the fuzz/property suites.
+//!
+//! The design constraint is determinism. A [`FaultPlan`] holds no mutable
+//! state; whether a fault fires at a site and with what magnitude is a
+//! pure hash of `(seed, channel, run index, kernel position)` — and, for
+//! predictor spikes, the prediction inputs themselves. The same plan
+//! therefore replays bit-identically, and the zero plan is provably the
+//! identity (property-tested in `crates/harness/tests/fault_invariance.rs`).
+//!
+//! * [`FaultPlan`] — the seeded schedule; five independent channels.
+//! * [`FaultInjector`] — the trait threaded through the dispatch loop
+//!   ([`gpm-harness`]'s `run_once_faulted`) and the MPC governor's
+//!   pattern-store reads; implemented by [`FaultPlan`] and by the
+//!   identity injector [`NoFaults`].
+//! * [`FaultyPredictor`] — wraps any `PowerPerfPredictor` with
+//!   deterministic outlier spikes.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpm_faults::{FaultInjector, FaultKey, FaultPlan};
+//!
+//! let plan = FaultPlan::uniform(42, 0.1);
+//! assert!(plan.enabled());
+//! let key = FaultKey { run_index: 1, position: 3 };
+//! // Pure function of (plan, key): same answer every time.
+//! let a = plan.transition(key, gpm_hw::HwConfig::FAIL_SAFE, gpm_hw::HwConfig::MAX_PERF);
+//! let b = plan.transition(key, gpm_hw::HwConfig::FAIL_SAFE, gpm_hw::HwConfig::MAX_PERF);
+//! assert_eq!(a, b);
+//! ```
+
+pub mod injector;
+pub mod plan;
+pub mod predictor;
+pub mod rng;
+
+pub use injector::{
+    no_faults, FaultInjector, FaultKey, InjectedFault, NoFaults, TransitionOutcome,
+    MAX_TRANSITION_ATTEMPTS, TRANSITION_RETRY_PENALTY_S,
+};
+pub use plan::{FaultChannel, FaultPlan};
+pub use predictor::FaultyPredictor;

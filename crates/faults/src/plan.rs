@@ -1,0 +1,143 @@
+//! The seeded fault schedule: which channels fire, how often, how hard.
+
+use serde::{Deserialize, Serialize};
+
+/// One fault channel's dials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultChannel {
+    /// Probability an eligible injection site fires, in `[0, 1]`.
+    pub rate: f64,
+    /// Channel-specific severity scale. `1.0` is the nominal severity
+    /// documented per channel on [`FaultPlan`]; `0.0` makes firings
+    /// harmless.
+    pub intensity: f64,
+}
+
+impl FaultChannel {
+    /// A channel that never fires.
+    pub const OFF: FaultChannel = FaultChannel {
+        rate: 0.0,
+        intensity: 0.0,
+    };
+
+    /// A channel firing with probability `rate` at severity `intensity`.
+    pub fn new(rate: f64, intensity: f64) -> FaultChannel {
+        FaultChannel { rate, intensity }
+    }
+
+    /// Whether the channel can never fire.
+    pub fn is_off(&self) -> bool {
+        self.rate <= 0.0
+    }
+}
+
+/// A fully deterministic fault schedule.
+///
+/// The plan holds no mutable state: whether a site fires and with what
+/// magnitude is a pure hash of `(seed, channel, run index, position)`
+/// (plus, for predictor spikes, the prediction inputs). Two runs with the
+/// same plan therefore see byte-identical fault schedules, and a plan
+/// with every channel off ([`FaultPlan::zero`]) is exactly the identity.
+///
+/// Channel severity at `intensity = 1.0`:
+///
+/// * `counter_noise` — observed counters perturbed up to ±100%, measured
+///   time and instruction count up to ±50%; a 20% sub-slice of firings
+///   additionally corrupts one counter to a non-finite value.
+/// * `predictor_spike` — predicted time inflated up to 9×; a 15%
+///   sub-slice returns a non-finite estimate instead.
+/// * `stale_pattern` — pattern-store records scaled 2–5× on read; half of
+///   the firings corrupt the record unambiguously (non-finite), which
+///   hardened governors detect and discard.
+/// * `transition_fail` — each knob-transition attempt fails with
+///   probability `rate`, costing `intensity × 250 µs` per failed attempt;
+///   after 3 failed attempts the dispatch falls back to
+///   `HwConfig::FAIL_SAFE`.
+/// * `tdp_throttle` — the kernel runs up to 2× slower at proportionally
+///   reduced power (energy-neutral thermal throttling).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_faults::FaultPlan;
+///
+/// assert!(FaultPlan::zero(42).is_zero());
+/// assert!(!FaultPlan::uniform(42, 0.1).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Root seed of every per-site hash draw.
+    pub seed: u64,
+    /// Observation corruption on counters / measured time / instructions.
+    pub counter_noise: FaultChannel,
+    /// Outlier spikes on predictor estimates.
+    pub predictor_spike: FaultChannel,
+    /// Stale or corrupted pattern-store records.
+    pub stale_pattern: FaultChannel,
+    /// Transient knob-transition failures with latency penalties.
+    pub transition_fail: FaultChannel,
+    /// Transient TDP-throttle events.
+    pub tdp_throttle: FaultChannel,
+}
+
+impl FaultPlan {
+    /// The identity plan: every channel off. Runs under it are
+    /// byte-identical to uninjected runs.
+    pub fn zero(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            counter_noise: FaultChannel::OFF,
+            predictor_spike: FaultChannel::OFF,
+            stale_pattern: FaultChannel::OFF,
+            transition_fail: FaultChannel::OFF,
+            tdp_throttle: FaultChannel::OFF,
+        }
+    }
+
+    /// Every channel firing at `rate` with nominal severity — the knob
+    /// the robustness degradation sweep turns.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        let ch = FaultChannel::new(rate, 1.0);
+        FaultPlan {
+            seed,
+            counter_noise: ch,
+            predictor_spike: ch,
+            stale_pattern: ch,
+            transition_fail: ch,
+            tdp_throttle: ch,
+        }
+    }
+
+    /// Whether no channel can ever fire.
+    pub fn is_zero(&self) -> bool {
+        self.counter_noise.is_off()
+            && self.predictor_spike.is_off()
+            && self.stale_pattern.is_off()
+            && self.transition_fail.is_off()
+            && self.tdp_throttle.is_off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_uniform_report_their_shape() {
+        assert!(FaultPlan::zero(1).is_zero());
+        let u = FaultPlan::uniform(1, 0.25);
+        assert!(!u.is_zero());
+        assert_eq!(u.counter_noise.rate, 0.25);
+        assert_eq!(u.tdp_throttle.intensity, 1.0);
+        // Rate 0 at nonzero intensity is still inert.
+        assert!(FaultPlan::uniform(1, 0.0).is_zero());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let p = FaultPlan::uniform(0xFEED, 0.1);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

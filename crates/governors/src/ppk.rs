@@ -12,7 +12,7 @@ use crate::search::{exhaustive_best, hill_climb_stats, EnergyEvaluator, SearchSt
 use gpm_hw::{ConfigSpace, HwConfig};
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
 use gpm_sim::{KernelCharacteristics, KernelOutcome, SimParams};
-use gpm_trace::{noop_sink, FailSafeReason, TraceEvent, TraceSink};
+use gpm_trace::{noop_sink, FailSafeReason, FaultChannelKind, TraceEvent, TraceSink};
 use std::sync::Arc;
 
 /// Search strategy used for the per-kernel optimization.
@@ -138,10 +138,17 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
                 overhead_s,
             });
             if best.is_none() {
+                // Distinguish a predictor gone bad from a genuinely
+                // unsatisfiable cap.
+                let reason = if stats.anomalies > 0 {
+                    FailSafeReason::PredictionAnomaly
+                } else {
+                    FailSafeReason::InfeasibleCap
+                };
                 self.trace.record(&TraceEvent::FailSafe {
                     run_index: ctx.run_index,
                     position: ctx.position,
-                    reason: FailSafeReason::InfeasibleCap,
+                    reason,
                 });
             }
         }
@@ -156,7 +163,7 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
 
     fn observe(
         &mut self,
-        _ctx: &KernelContext,
+        ctx: &KernelContext,
         executed_at: HwConfig,
         outcome: &KernelOutcome,
         truth: Option<&KernelCharacteristics>,
@@ -166,12 +173,29 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
         } else {
             None
         };
-        self.last = Some(KernelSnapshot {
+        let mut snapshot = KernelSnapshot {
             counters: outcome.counters,
             measured_at: executed_at,
             ginstructions: outcome.ginstructions,
             truth,
-        });
+        };
+        // A corrupted observation must not poison the one-kernel history:
+        // clamp it and note the recovery.
+        if !snapshot.is_well_formed() {
+            snapshot.counters.sanitize();
+            if !snapshot.ginstructions.is_finite() || snapshot.ginstructions < 0.0 {
+                snapshot.ginstructions = 0.0;
+            }
+            if self.trace.enabled() {
+                self.trace.record(&TraceEvent::Recovered {
+                    run_index: ctx.run_index,
+                    position: ctx.position,
+                    channel: FaultChannelKind::CounterNoise,
+                    retries: 0,
+                });
+            }
+        }
+        self.last = Some(snapshot);
     }
 
     fn end_run(&mut self) {
@@ -295,6 +319,32 @@ mod tests {
         );
         assert!(ppk.total_overhead_s() > before);
         assert_eq!(ppk.total_evaluations(), d.evaluations);
+    }
+
+    #[test]
+    fn corrupted_observation_is_sanitized_before_storage() {
+        let sim = ApuSimulator::noiseless();
+        let mut ppk = oracle_ppk(&sim);
+        let k = KernelCharacteristics::memory_bound("mb", 1.0);
+        let clean = sim.evaluate(&k, HwConfig::FAIL_SAFE);
+        let target = PerfTarget::new(clean.ginstructions * 5.0, clean.time_s * 5.0 * 2.0);
+        let mut corrupted = clean.clone();
+        corrupted.counters.values_mut()[0] = f64::NAN;
+        corrupted.ginstructions = f64::INFINITY;
+        ppk.observe(
+            &ctx(0, 0.0, 0.0, target),
+            HwConfig::FAIL_SAFE,
+            &corrupted,
+            Some(&k),
+        );
+        // The next decision must still be well-defined: finite overhead, a
+        // real configuration, no NaN leaking out of the search.
+        let d = ppk.select(&ctx(1, clean.ginstructions, clean.time_s, target));
+        assert!(ConfigSpace::full().contains(d.config));
+        assert!(d.overhead_s.is_finite());
+        if let Some(p) = d.predicted {
+            assert!(p.is_plausible());
+        }
     }
 
     #[test]

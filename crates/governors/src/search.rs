@@ -27,6 +27,9 @@ pub struct SearchStats {
     /// Candidates evaluated and rejected — an energy increase or a time-cap
     /// violation ended the sweep there (the pruned branches of the climb).
     pub pruned: u64,
+    /// Estimates rejected as anomalous (non-finite or outside the
+    /// plausibility envelope) — a corrupted predictor or stale input.
+    pub anomalies: u64,
 }
 
 impl SearchStats {
@@ -35,8 +38,18 @@ impl SearchStats {
         self.evaluations += other.evaluations;
         self.visits.merge(&other.visits);
         self.pruned += other.pruned;
+        self.anomalies += other.anomalies;
     }
 }
+
+/// Any predicted kernel time above this is treated as a prediction
+/// anomaly: the suite's kernels run in microseconds to seconds, so hours
+/// can only come from a corrupted estimate.
+pub const PLAUSIBLE_MAX_TIME_S: f64 = 1e4;
+
+/// Any predicted chip power above this is treated as a prediction
+/// anomaly — two orders of magnitude above the part's TDP.
+pub const PLAUSIBLE_MAX_POWER_W: f64 = 1e3;
 
 /// A fully evaluated candidate configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,6 +63,22 @@ pub struct ConfigEstimate {
     pub chip_power_w: f64,
     /// Predicted chip energy over the kernel, joules.
     pub energy_j: f64,
+}
+
+impl ConfigEstimate {
+    /// Anomaly detection: whether the estimate is finite and inside the
+    /// physically plausible envelope. Searches reject candidates failing
+    /// this check instead of letting a corrupted predictor steer the
+    /// governor toward a nonsense configuration.
+    pub fn is_plausible(&self) -> bool {
+        self.time_s.is_finite()
+            && self.time_s > 0.0
+            && self.time_s <= PLAUSIBLE_MAX_TIME_S
+            && self.chip_power_w.is_finite()
+            && self.chip_power_w >= 0.0
+            && self.chip_power_w <= PLAUSIBLE_MAX_POWER_W
+            && self.energy_j.is_finite()
+    }
 }
 
 /// Turns predictor output into chip-energy estimates.
@@ -122,7 +151,10 @@ pub fn exhaustive_best<P: PowerPerfPredictor>(
     for cfg in space {
         let est = eval.estimate(snapshot, cfg);
         evals += 1;
-        if est.time_s <= time_cap_s && best.is_none_or(|b| est.energy_j < b.energy_j) {
+        if est.is_plausible()
+            && est.time_s <= time_cap_s
+            && best.is_none_or(|b| est.energy_j < b.energy_j)
+        {
             best = Some(est);
         }
     }
@@ -162,6 +194,7 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
     let mut evals = 0u64;
     let mut visits = KnobVisits::default();
     let mut pruned = 0u64;
+    let mut anomalies = 0u64;
     let mut cache: std::collections::HashMap<usize, ConfigEstimate> =
         std::collections::HashMap::new();
     let mut estimate = |cfg: HwConfig| {
@@ -172,11 +205,15 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
     };
 
     let current = estimate(start);
-    if current.time_s > time_cap_s {
+    if !current.is_plausible() || current.time_s > time_cap_s {
+        if !current.is_plausible() {
+            anomalies += 1;
+        }
         let stats = SearchStats {
             evaluations: evals,
             visits,
             pruned,
+            anomalies,
         };
         return (None, stats);
     }
@@ -192,7 +229,14 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
                 .filter_map(|&dir| knob.step(current.config, dir))
                 .map(|cfg| {
                     visits.bump(knob);
-                    current.energy_j - estimate(cfg).energy_j
+                    let est = estimate(cfg);
+                    if !est.is_plausible() {
+                        // An anomalous probe makes the knob look maximally
+                        // unattractive rather than steering the ordering.
+                        anomalies += 1;
+                        return f64::NEG_INFINITY;
+                    }
+                    current.energy_j - est.energy_j
                 })
                 .fold(f64::NEG_INFINITY, f64::max);
             (knob, delta)
@@ -209,6 +253,11 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
             };
             visits.bump(knob);
             let first = estimate(first_cfg);
+            if !first.is_plausible() {
+                anomalies += 1;
+                pruned += 1;
+                continue;
+            }
             if !(first.energy_j < current.energy_j && first.time_s <= time_cap_s) {
                 pruned += 1;
                 continue;
@@ -217,6 +266,11 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
             while let Some(next_cfg) = knob.step(current.config, dir) {
                 visits.bump(knob);
                 let next = estimate(next_cfg);
+                if !next.is_plausible() {
+                    anomalies += 1;
+                    pruned += 1;
+                    break;
+                }
                 if next.energy_j < current.energy_j && next.time_s <= time_cap_s {
                     current = next;
                 } else {
@@ -231,6 +285,7 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
         evaluations: evals,
         visits,
         pruned,
+        anomalies,
     };
     (Some(current), stats)
 }
@@ -357,6 +412,112 @@ mod tests {
         assert_eq!(stats.evaluations, 1);
         assert_eq!(stats.visits.total(), 0);
         assert_eq!(stats.pruned, 0);
+    }
+
+    /// Oracle that returns a corrupted estimate at one configuration.
+    #[derive(Debug)]
+    struct PoisonedPredictor {
+        inner: OraclePredictor,
+        poison: HwConfig,
+    }
+
+    impl PowerPerfPredictor for PoisonedPredictor {
+        fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> gpm_sim::PowerPerfEstimate {
+            if cfg == self.poison {
+                return gpm_sim::PowerPerfEstimate {
+                    time_s: f64::NAN,
+                    gpu_power_w: 1e9,
+                };
+            }
+            self.inner.predict(snapshot, cfg)
+        }
+    }
+
+    fn poisoned_setup(poison: HwConfig) -> (EnergyEvaluator<PoisonedPredictor>, KernelSnapshot) {
+        let sim = ApuSimulator::noiseless();
+        let kernel = KernelCharacteristics::unscalable("us", 0.02);
+        let out = sim.evaluate(&kernel, HwConfig::FAIL_SAFE);
+        let snap = KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, kernel);
+        let predictor = PoisonedPredictor {
+            inner: OraclePredictor::new(&sim),
+            poison,
+        };
+        (
+            EnergyEvaluator::new(predictor, SimParams::noiseless()),
+            snap,
+        )
+    }
+
+    #[test]
+    fn anomalous_start_estimate_fails_safe() {
+        let (eval, snap) = poisoned_setup(HwConfig::FAIL_SAFE);
+        let (best, stats) = hill_climb_stats(&eval, &snap, HwConfig::FAIL_SAFE, f64::INFINITY);
+        assert!(best.is_none());
+        assert_eq!(stats.anomalies, 1);
+    }
+
+    #[test]
+    fn anomalous_candidates_are_rejected_mid_climb() {
+        // Poison a non-start configuration: the climb must complete with a
+        // plausible result and count the anomaly instead of absorbing NaN.
+        let mut poison = HwConfig::FAIL_SAFE;
+        poison.nb = gpm_hw::NbState::Nb3;
+        let (eval, snap) = poisoned_setup(poison);
+        let (best, stats) = hill_climb_stats(&eval, &snap, HwConfig::FAIL_SAFE, f64::INFINITY);
+        let best = best.expect("climb survives a poisoned candidate");
+        assert!(best.is_plausible());
+        assert_ne!(best.config, poison);
+        assert!(stats.anomalies >= 1);
+    }
+
+    #[test]
+    fn exhaustive_skips_anomalous_estimates() {
+        let poison = HwConfig::MAX_PERF;
+        let (eval, snap) = poisoned_setup(poison);
+        let space = ConfigSpace::paper_campaign();
+        let (best, _) = exhaustive_best(&eval, &snap, &space, f64::INFINITY);
+        let best = best.expect("335 clean candidates remain");
+        assert!(best.is_plausible());
+        assert_ne!(best.config, poison);
+    }
+
+    #[test]
+    fn plausibility_rejects_corrupt_estimates() {
+        let good = ConfigEstimate {
+            config: HwConfig::FAIL_SAFE,
+            time_s: 0.01,
+            chip_power_w: 40.0,
+            energy_j: 0.4,
+        };
+        assert!(good.is_plausible());
+        for bad in [
+            ConfigEstimate {
+                time_s: f64::NAN,
+                ..good
+            },
+            ConfigEstimate {
+                time_s: -1.0,
+                ..good
+            },
+            ConfigEstimate {
+                time_s: PLAUSIBLE_MAX_TIME_S * 10.0,
+                ..good
+            },
+            ConfigEstimate {
+                chip_power_w: f64::INFINITY,
+                ..good
+            },
+            ConfigEstimate {
+                chip_power_w: PLAUSIBLE_MAX_POWER_W * 10.0,
+                ..good
+            },
+            ConfigEstimate {
+                energy_j: f64::NAN,
+                ..good
+            },
+        ] {
+            assert!(!bad.is_plausible(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -52,6 +52,19 @@ pub fn parallel_campaign(
     Dataset::from_samples(samples)
 }
 
+/// [`parallel_campaign`] sized to the host: worker count defaults to
+/// [`std::thread::available_parallelism`] (1 if it cannot be queried).
+/// The result is still bit-identical to the sequential campaign.
+pub fn parallel_campaign_auto(
+    sim: &ApuSimulator,
+    kernels: &[KernelCharacteristics],
+    space: &ConfigSpace,
+    profile_cfg: HwConfig,
+) -> Dataset {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parallel_campaign(sim, kernels, space, profile_cfg, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +100,16 @@ mod tests {
         let space = ConfigSpace::nb_cu_sweep(CpuPState::P5, GpuDpm::Dpm4);
         let par = parallel_campaign(&sim, &ks, &space, HwConfig::FAIL_SAFE, 64);
         assert_eq!(par.len(), ks.len() * space.len());
+    }
+
+    #[test]
+    fn auto_worker_count_matches_sequential() {
+        let sim = ApuSimulator::default();
+        let ks = kernels();
+        let space = ConfigSpace::nb_cu_sweep(CpuPState::P5, GpuDpm::Dpm4);
+        let seq = Dataset::from_campaign(&sim, &ks, &space, HwConfig::FAIL_SAFE);
+        let auto = parallel_campaign_auto(&sim, &ks, &space, HwConfig::FAIL_SAFE);
+        assert_eq!(auto.samples(), seq.samples());
     }
 
     #[test]

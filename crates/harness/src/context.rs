@@ -125,14 +125,8 @@ impl EvalContext {
         let sim = ApuSimulator::new(options.sim_params.clone());
         let kernels = training_kernels();
         let space = training_space(options.train_config_stride);
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let dataset = crate::campaign::parallel_campaign(
-            &sim,
-            &kernels,
-            &space,
-            HwConfig::FAIL_SAFE,
-            threads,
-        );
+        let dataset =
+            crate::campaign::parallel_campaign_auto(&sim, &kernels, &space, HwConfig::FAIL_SAFE);
         let (rf, rf_report) = RandomForestPredictor::train_and_evaluate(
             &dataset,
             &options.forest,

@@ -13,7 +13,9 @@
 //!
 //! * [`run`] — the core replay loop ([`run::run_once`]); its traced twin
 //!   ([`run::run_once_traced`]) streams one decision-level
-//!   [`gpm_trace::TraceEvent`] per governor action into a pluggable sink.
+//!   [`gpm_trace::TraceEvent`] per governor action into a pluggable sink,
+//!   and [`run::run_once_faulted`] adds deterministic fault injection
+//!   (robustness studies; a disabled injector is the identity).
 //! * [`campaign`] — the measurement campaign, parallelized across worker
 //!   threads (bit-identical to the sequential path).
 //! * [`context`] — one-time setup shared by experiments: the simulator and
@@ -37,9 +39,11 @@ pub mod schemes;
 pub mod svg;
 pub mod traces;
 
+pub use campaign::{parallel_campaign, parallel_campaign_auto};
 pub use context::{EvalContext, EvalOptions};
 pub use metrics::{energy_savings_pct, geo_mean, speedup, Comparison};
-pub use run::{run_once, run_once_traced, KernelRun, RunResult};
+pub use run::{run_once, run_once_faulted, run_once_traced, KernelRun, RunResult};
 pub use schemes::{
-    evaluate_scheme, evaluate_scheme_traced, turbo_core_baseline, Scheme, SchemeOutcome,
+    evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced, turbo_core_baseline, Scheme,
+    SchemeOutcome,
 };

@@ -170,6 +170,11 @@ pub fn trace_summary_table(s: &gpm_trace::TraceSummary) -> Table {
         s.fail_safe_events.to_string(),
     ]);
     t.row(vec!["pattern misses".into(), s.pattern_misses.to_string()]);
+    t.row(vec![
+        "fault injections".into(),
+        s.fault_injections.to_string(),
+    ]);
+    t.row(vec!["recoveries".into(), s.recoveries.to_string()]);
     t.row(vec!["outcomes".into(), s.outcomes.to_string()]);
     t.row(vec![
         "mean |time error| (ms)".into(),

@@ -1,9 +1,10 @@
 //! The core replay loop: one application invocation under one governor.
 
+use gpm_faults::{FaultInjector, FaultKey, NoFaults};
 use gpm_governors::{Governor, KernelContext, PerfTarget};
 use gpm_hw::HwConfig;
-use gpm_sim::{EnergyBreakdown, Platform};
-use gpm_trace::{NoopSink, TraceEvent, TraceSink};
+use gpm_sim::{EnergyBreakdown, KernelOutcome, Platform};
+use gpm_trace::{FailSafeReason, FaultChannelKind, NoopSink, TraceEvent, TraceSink};
 use gpm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -141,7 +142,42 @@ pub fn run_once_traced(
     provide_truth: bool,
     sink: &dyn TraceSink,
 ) -> RunResult {
+    run_once_faulted(
+        sim,
+        workload,
+        governor,
+        target,
+        run_index,
+        provide_truth,
+        sink,
+        &NoFaults,
+    )
+}
+
+/// [`run_once_traced`] with deterministic fault injection on the dispatch
+/// path: knob-transition failures (bounded retry, then a
+/// `HwConfig::FAIL_SAFE` fallback), transient TDP-throttle events on the
+/// physical outcome, and corruption of the *observation* handed to the
+/// governor (the physical accounting stays truthful). Every firing and
+/// every recovery is emitted through `sink`.
+///
+/// With an injector whose [`FaultInjector::enabled`] is `false` (e.g.
+/// [`NoFaults`] or a zero [`FaultPlan`](gpm_faults::FaultPlan)) this is
+/// byte-identical to [`run_once_traced`] — property-tested in
+/// `tests/fault_invariance.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_faulted(
+    sim: &dyn Platform,
+    workload: &Workload,
+    governor: &mut dyn Governor,
+    target: PerfTarget,
+    run_index: usize,
+    provide_truth: bool,
+    sink: &dyn TraceSink,
+    faults: &dyn FaultInjector,
+) -> RunResult {
     let tracing = sink.enabled();
+    let injecting = faults.enabled();
     if tracing {
         sink.record(&TraceEvent::RunStart {
             workload: workload.name().to_string(),
@@ -207,27 +243,82 @@ pub fn run_once_traced(
             }
         }
 
+        // Route the knob-transition request through the fault injector:
+        // failed attempts cost retry latency, and a transition that fails
+        // its full retry budget leaves the chip at the fail-safe state.
+        let fault_key = FaultKey {
+            run_index,
+            position,
+        };
+        let mut executed = decision.config;
+        if injecting {
+            if let Some(prev) = prev_config {
+                if let Some(t) = faults.transition(fault_key, prev, decision.config) {
+                    executed = t.config;
+                    if t.penalty_s > 0.0 {
+                        result.transition_time_s += t.penalty_s;
+                        let te = sim.optimizer_energy(prev, t.penalty_s);
+                        result.overhead_energy.accumulate(&te);
+                    }
+                    if tracing {
+                        sink.record(&TraceEvent::FaultInjected {
+                            run_index,
+                            position,
+                            channel: FaultChannelKind::TransitionFail,
+                            magnitude: t.failed_attempts as f64,
+                        });
+                        if t.fell_back {
+                            sink.record(&TraceEvent::FailSafe {
+                                run_index,
+                                position,
+                                reason: FailSafeReason::TransitionFailed,
+                            });
+                        } else {
+                            sink.record(&TraceEvent::Recovered {
+                                run_index,
+                                position,
+                                channel: FaultChannelKind::TransitionFail,
+                                retries: t.failed_attempts,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
         // DVFS transition stall between the previous kernel's state and
         // this decision (free unless the simulator's transition model is
         // enabled).
         if let Some(prev) = prev_config {
-            let stall = gpm_sim::transition::transition_cost_s(sim.params(), prev, decision.config);
+            let stall = gpm_sim::transition::transition_cost_s(sim.params(), prev, executed);
             if stall > 0.0 {
                 result.transition_time_s += stall;
-                let te = sim.optimizer_energy(decision.config, stall);
+                let te = sim.optimizer_energy(executed, stall);
                 result.overhead_energy.accumulate(&te);
             }
         }
-        prev_config = Some(decision.config);
+        prev_config = Some(executed);
 
-        let outcome = sim.evaluate(kernel, decision.config);
+        let mut outcome = sim.evaluate(kernel, executed);
+        if injecting {
+            if let Some(f) = faults.throttle(fault_key, &mut outcome) {
+                if tracing {
+                    sink.record(&TraceEvent::FaultInjected {
+                        run_index,
+                        position,
+                        channel: f.channel,
+                        magnitude: f.magnitude,
+                    });
+                }
+            }
+        }
         result.kernel_time_s += outcome.time_s;
         result.ginstructions += outcome.ginstructions;
         result.energy.accumulate(&outcome.energy);
         result.per_kernel.push(KernelRun {
             position,
             name: kernel.name().to_string(),
-            config: decision.config,
+            config: executed,
             time_s: outcome.time_s,
             energy_j: outcome.energy.total_j(),
             gi: outcome.ginstructions,
@@ -246,7 +337,7 @@ pub fn run_once_traced(
             sink.record(&TraceEvent::Outcome {
                 run_index,
                 position,
-                config: decision.config,
+                config: executed,
                 time_s: outcome.time_s,
                 energy_j: outcome.energy.total_j(),
                 gi: outcome.ginstructions,
@@ -267,8 +358,26 @@ pub fn run_once_traced(
             });
         }
 
+        // Optionally corrupt the *observation* the governor learns from —
+        // the physical accounting above stays truthful.
+        let observed: Option<KernelOutcome> = if injecting {
+            let mut obs = outcome.clone();
+            faults.corrupt_observation(fault_key, &mut obs).map(|f| {
+                if tracing {
+                    sink.record(&TraceEvent::FaultInjected {
+                        run_index,
+                        position,
+                        channel: f.channel,
+                        magnitude: f.magnitude,
+                    });
+                }
+                obs
+            })
+        } else {
+            None
+        };
         let truth = provide_truth.then_some(kernel);
-        governor.observe(&ctx, decision.config, &outcome, truth);
+        governor.observe(&ctx, executed, observed.as_ref().unwrap_or(&outcome), truth);
     }
     governor.end_run();
     if tracing {

@@ -8,7 +8,8 @@
 //! measure its steady-state invocation including optimizer overheads.
 
 use crate::context::EvalContext;
-use crate::run::{run_once, run_once_traced, RunResult};
+use crate::run::{run_once, run_once_faulted, RunResult};
+use gpm_faults::{FaultInjector, FaultPlan, FaultyPredictor};
 use gpm_governors::{
     to, Governor, OverheadModel, PerfTarget, PlannedGovernor, PpkGovernor, TurboCore,
 };
@@ -154,7 +155,27 @@ pub fn evaluate_scheme_traced(
     scheme: Scheme,
     sink: &Arc<dyn TraceSink>,
 ) -> SchemeOutcome {
+    evaluate_scheme_faulted(ctx, workload, scheme, sink, &FaultPlan::zero(0))
+}
+
+/// [`evaluate_scheme_traced`] under a deterministic [`FaultPlan`]: the
+/// scheme's predictor is wrapped in a [`FaultyPredictor`], the MPC
+/// governor's pattern-store reads go through the plan, and both the
+/// profiling and measured replays run with dispatch-level injection
+/// (transition failures, TDP throttling, observation corruption).
+///
+/// The Turbo Core baseline stays clean — it defines the performance
+/// target the degraded scheme is judged against. A zero plan makes this
+/// byte-identical to [`evaluate_scheme_traced`].
+pub fn evaluate_scheme_faulted(
+    ctx: &EvalContext,
+    workload: &Workload,
+    scheme: Scheme,
+    sink: &Arc<dyn TraceSink>,
+    plan: &FaultPlan,
+) -> SchemeOutcome {
     let sim = &ctx.sim;
+    let injector: Arc<dyn FaultInjector> = Arc::new(plan.clone());
     let (baseline, target) = turbo_core_baseline(sim, workload);
     let space = ConfigSpace::paper_campaign();
 
@@ -169,26 +190,51 @@ pub fn evaluate_scheme_traced(
 
     // The standard two-invocation protocol: profile on run 0, measure on
     // run 1, tracing both.
-    let profile_and_measure = |gov: &mut dyn Governor,
-                               provide_truth: bool|
-     -> (RunResult, RunResult) {
-        gov.set_trace_sink(Arc::clone(sink));
-        let profiling =
-            run_once_traced(sim, workload, gov, target, 0, provide_truth, sink.as_ref());
-        let measured = run_once_traced(sim, workload, gov, target, 1, provide_truth, sink.as_ref());
-        (profiling, measured)
-    };
+    let profile_and_measure =
+        |gov: &mut dyn Governor, provide_truth: bool| -> (RunResult, RunResult) {
+            gov.set_trace_sink(Arc::clone(sink));
+            let profiling = run_once_faulted(
+                sim,
+                workload,
+                gov,
+                target,
+                0,
+                provide_truth,
+                sink.as_ref(),
+                plan,
+            );
+            let measured = run_once_faulted(
+                sim,
+                workload,
+                gov,
+                target,
+                1,
+                provide_truth,
+                sink.as_ref(),
+                plan,
+            );
+            (profiling, measured)
+        };
 
     match scheme {
         Scheme::TurboCore => {
             let mut tc = TurboCore::new(sim.params().tdp_w);
             tc.set_trace_sink(Arc::clone(sink));
-            let measured = run_once_traced(sim, workload, &mut tc, target, 0, false, sink.as_ref());
+            let measured = run_once_faulted(
+                sim,
+                workload,
+                &mut tc,
+                target,
+                0,
+                false,
+                sink.as_ref(),
+                plan,
+            );
             outcome(None, measured, None)
         }
         Scheme::PpkOracle => {
             let mut gov = PpkGovernor::new(
-                OraclePredictor::new(sim),
+                FaultyPredictor::new(OraclePredictor::new(sim), plan),
                 sim.params().clone(),
                 space,
                 OverheadModel::free(),
@@ -199,7 +245,7 @@ pub fn evaluate_scheme_traced(
         }
         Scheme::PpkRf => {
             let mut gov = PpkGovernor::new(
-                ctx.rf.clone(),
+                FaultyPredictor::new(ctx.rf.clone(), plan),
                 sim.params().clone(),
                 space,
                 OverheadModel::default(),
@@ -214,7 +260,12 @@ pub fn evaluate_scheme_traced(
                 store_truth: false,
                 ..MpcConfig::default()
             };
-            let mut gov = MpcGovernor::new(ctx.rf.clone(), sim.params().clone(), cfg);
+            let mut gov = MpcGovernor::new(
+                FaultyPredictor::new(ctx.rf.clone(), plan),
+                sim.params().clone(),
+                cfg,
+            )
+            .with_fault_injector(Arc::clone(&injector));
             let (profiling, measured) = profile_and_measure(&mut gov, false);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
@@ -226,7 +277,12 @@ pub fn evaluate_scheme_traced(
                 store_truth: false,
                 ..MpcConfig::default()
             };
-            let mut gov = MpcGovernor::new(ctx.rf.clone(), sim.params().clone(), cfg);
+            let mut gov = MpcGovernor::new(
+                FaultyPredictor::new(ctx.rf.clone(), plan),
+                sim.params().clone(),
+                cfg,
+            )
+            .with_fault_injector(Arc::clone(&injector));
             let (profiling, measured) = profile_and_measure(&mut gov, false);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
@@ -238,7 +294,12 @@ pub fn evaluate_scheme_traced(
                 store_truth: false,
                 ..MpcConfig::default()
             };
-            let mut gov = MpcGovernor::new(ctx.rf.clone(), sim.params().clone(), cfg);
+            let mut gov = MpcGovernor::new(
+                FaultyPredictor::new(ctx.rf.clone(), plan),
+                sim.params().clone(),
+                cfg,
+            )
+            .with_fault_injector(Arc::clone(&injector));
             let (profiling, measured) = profile_and_measure(&mut gov, false);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
@@ -250,7 +311,12 @@ pub fn evaluate_scheme_traced(
                 store_truth: true,
                 ..MpcConfig::default()
             };
-            let mut gov = MpcGovernor::new(OraclePredictor::new(sim), sim.params().clone(), cfg);
+            let mut gov = MpcGovernor::new(
+                FaultyPredictor::new(OraclePredictor::new(sim), plan),
+                sim.params().clone(),
+                cfg,
+            )
+            .with_fault_injector(Arc::clone(&injector));
             let (profiling, measured) = profile_and_measure(&mut gov, true);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
@@ -263,7 +329,12 @@ pub fn evaluate_scheme_traced(
                 ..MpcConfig::default()
             };
             let predictor = ErrorInjectedPredictor::new(sim, spec, ctx.options.seed);
-            let mut gov = MpcGovernor::new(predictor, sim.params().clone(), cfg);
+            let mut gov = MpcGovernor::new(
+                FaultyPredictor::new(predictor, plan),
+                sim.params().clone(),
+                cfg,
+            )
+            .with_fault_injector(Arc::clone(&injector));
             let (profiling, measured) = profile_and_measure(&mut gov, true);
             let stats = gov.stats().clone();
             outcome(Some(profiling), measured, Some(stats))
@@ -274,11 +345,19 @@ pub fn evaluate_scheme_traced(
             outcome(Some(profiling), measured, None)
         }
         Scheme::TheoreticallyOptimal => {
-            let plan = to::plan_optimal(sim, workload.kernels(), &space, target.total_time_s());
-            let mut gov = PlannedGovernor::new("theoretically-optimal", plan.configs);
+            let to_plan = to::plan_optimal(sim, workload.kernels(), &space, target.total_time_s());
+            let mut gov = PlannedGovernor::new("theoretically-optimal", to_plan.configs);
             gov.set_trace_sink(Arc::clone(sink));
-            let measured =
-                run_once_traced(sim, workload, &mut gov, target, 0, false, sink.as_ref());
+            let measured = run_once_faulted(
+                sim,
+                workload,
+                &mut gov,
+                target,
+                0,
+                false,
+                sink.as_ref(),
+                plan,
+            );
             outcome(None, measured, None)
         }
     }

@@ -84,6 +84,31 @@ impl CounterSet {
         &self.0
     }
 
+    /// Mutable raw values, for fault-injection layers that perturb the
+    /// counters a governor observes.
+    pub fn values_mut(&mut self) -> &mut [f64; NUM_COUNTERS] {
+        &mut self.0
+    }
+
+    /// Whether every counter is finite and non-negative — the invariant
+    /// all synthesized counters satisfy and predictors rely on.
+    pub fn is_well_formed(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Repairs corrupted values in place: non-finite or negative entries
+    /// are clamped to 0.0. Returns `true` when anything changed.
+    pub fn sanitize(&mut self) -> bool {
+        let mut changed = false;
+        for v in &mut self.0 {
+            if !v.is_finite() || *v < 0.0 {
+                *v = 0.0;
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// Looks a counter up by its Table III name.
     pub fn get(&self, name: &str) -> Option<f64> {
         COUNTER_NAMES
@@ -236,6 +261,27 @@ mod tests {
         assert_eq!(a.log_distance(&a), 0.0);
         let b = synth(&KernelCharacteristics::memory_bound("b", 2.0), 4);
         assert!(a.log_distance(&b) > 0.1);
+    }
+
+    #[test]
+    fn sanitize_clamps_only_corrupted_values() {
+        let mut clean = CounterSet::from_values([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert!(clean.is_well_formed());
+        assert!(!clean.sanitize());
+
+        let mut bad = clean;
+        bad.values_mut()[1] = f64::NAN;
+        bad.values_mut()[4] = -3.0;
+        bad.values_mut()[6] = f64::INFINITY;
+        assert!(!bad.is_well_formed());
+        assert!(bad.sanitize());
+        assert!(bad.is_well_formed());
+        assert_eq!(bad.values()[1], 0.0);
+        assert_eq!(bad.values()[4], 0.0);
+        assert_eq!(bad.values()[6], 0.0);
+        // Untouched slots keep their values.
+        assert_eq!(bad.values()[0], 1.0);
+        assert_eq!(bad.values()[7], 8.0);
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub use kernel::{KernelCharacteristics, KernelClass};
 pub use outcome::{EnergyBreakdown, KernelOutcome, PowerBreakdown, TimeBreakdown};
 pub use params::SimParams;
 pub use platform::{Platform, ReplayPlatform};
-pub use predictor::{OraclePredictor, PowerPerfEstimate, PowerPerfPredictor};
+pub use predictor::{KernelSnapshot, OraclePredictor, PowerPerfEstimate, PowerPerfPredictor};

@@ -70,6 +70,25 @@ impl KernelOutcome {
     pub fn throughput(&self) -> f64 {
         self.ginstructions / self.time_s
     }
+
+    /// Repairs a corrupted observation so learning components (pattern
+    /// store, headroom tracker, predictors) can consume it without
+    /// poisoning their state: counters are clamped finite and
+    /// non-negative, and a non-finite or non-positive time / negative
+    /// instruction count falls back to a tiny safe default. Returns
+    /// `true` when anything had to change.
+    pub fn sanitize(&mut self) -> bool {
+        let mut changed = self.counters.sanitize();
+        if !self.time_s.is_finite() || self.time_s <= 0.0 {
+            self.time_s = 1e-9;
+            changed = true;
+        }
+        if !self.ginstructions.is_finite() || self.ginstructions < 0.0 {
+            self.ginstructions = 0.0;
+            changed = true;
+        }
+        changed
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +116,36 @@ mod tests {
         assert!((e.dram_j - 6.0).abs() < 1e-12);
         assert!((e.other_j - 2.0).abs() < 1e-12);
         assert!((e.total_j() - power().total_w() * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sanitize_repairs_corrupted_outcomes() {
+        let mut out = KernelOutcome {
+            time_s: 0.5,
+            time_breakdown: TimeBreakdown {
+                compute_s: 0.3,
+                memory_s: 0.1,
+                fixed_s: 0.05,
+                launch_s: 0.05,
+                total_s: 0.5,
+                alu_activity: 0.5,
+                mem_util: 0.2,
+                dram_traffic_gb: 0.1,
+            },
+            power: power(),
+            energy: EnergyBreakdown::from_power(&power(), 0.5),
+            counters: CounterSet::from_values([1.0; 8]),
+            ginstructions: 2.0,
+        };
+        assert!(!out.clone().sanitize());
+        out.time_s = f64::NAN;
+        out.ginstructions = f64::NEG_INFINITY;
+        out.counters.values_mut()[3] = f64::NAN;
+        assert!(out.sanitize());
+        assert!(out.time_s > 0.0 && out.time_s.is_finite());
+        assert_eq!(out.ginstructions, 0.0);
+        assert!(out.counters.is_well_formed());
+        assert!(out.throughput().is_finite());
     }
 
     #[test]

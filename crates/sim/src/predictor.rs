@@ -53,6 +53,16 @@ impl KernelSnapshot {
         }
     }
 
+    /// Whether the snapshot can safely drive a predictor: every counter
+    /// finite and non-negative, instruction count finite and non-negative.
+    /// Corrupted (e.g. fault-injected) records fail this check and must be
+    /// discarded rather than extrapolated from.
+    pub fn is_well_formed(&self) -> bool {
+        self.counters.is_well_formed()
+            && self.ginstructions.is_finite()
+            && self.ginstructions >= 0.0
+    }
+
     /// Counter-only snapshot (for model-driven predictors).
     pub fn counters_only(
         counters: CounterSet,

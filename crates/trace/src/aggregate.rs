@@ -100,6 +100,10 @@ pub struct TraceSummary {
     pub fail_safe_events: u64,
     /// `PatternMiss` events seen.
     pub pattern_misses: u64,
+    /// `FaultInjected` events seen.
+    pub fault_injections: u64,
+    /// `Recovered` events seen.
+    pub recoveries: u64,
     /// `Outcome` events seen.
     pub outcomes: u64,
     /// Mean |signed time error| over outcomes carrying predictions, s.
@@ -146,6 +150,8 @@ impl Default for TraceSummary {
             pruned_candidates: 0,
             fail_safe_events: 0,
             pattern_misses: 0,
+            fault_injections: 0,
+            recoveries: 0,
             outcomes: 0,
             mean_abs_time_error_s: 0.0,
             mean_signed_energy_error_j: 0.0,
@@ -234,6 +240,8 @@ impl TraceSink for AggregateSink {
             }
             TraceEvent::FailSafe { .. } => st.summary.fail_safe_events += 1,
             TraceEvent::PatternMiss { .. } => st.summary.pattern_misses += 1,
+            TraceEvent::FaultInjected { .. } => st.summary.fault_injections += 1,
+            TraceEvent::Recovered { .. } => st.summary.recoveries += 1,
             TraceEvent::Outcome {
                 energy_j,
                 time_error_s,

@@ -57,6 +57,33 @@ pub enum FailSafeReason {
     /// The window optimizer could not keep the whole window on target and
     /// fell back for the current kernel.
     InfeasibleWindow,
+    /// The search rejected predictor estimates as anomalous (non-finite or
+    /// outside the physically plausible envelope) and no trustworthy
+    /// candidate satisfied the cap.
+    PredictionAnomaly,
+    /// The pattern-store record for the current position was stale or
+    /// corrupted and had to be discarded.
+    StalePattern,
+    /// A hardware knob transition failed even after bounded retries; the
+    /// kernel ran at the fail-safe configuration instead.
+    TransitionFailed,
+}
+
+/// The injectable fault channels of the `gpm-faults` layer, as they
+/// appear in trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultChannelKind {
+    /// Measurement corruption on the observation handed to the governor
+    /// (performance counters, measured time, instruction count).
+    CounterNoise,
+    /// A predictor estimate replaced by an outlier spike.
+    PredictorSpike,
+    /// A stale or corrupted pattern-store record.
+    StalePattern,
+    /// A transiently failing hardware knob transition.
+    TransitionFail,
+    /// A transient TDP-throttle event stretching the kernel.
+    TdpThrottle,
 }
 
 /// One governor action, as recorded by a [`TraceSink`](crate::TraceSink).
@@ -181,6 +208,31 @@ pub enum TraceEvent {
         /// Accumulated schedule slack, seconds.
         slack_s: f64,
     },
+    /// A deterministic fault plan injected a fault at this site.
+    FaultInjected {
+        /// Invocation index.
+        run_index: usize,
+        /// Kernel position the fault applies to.
+        position: usize,
+        /// Which fault channel fired.
+        channel: FaultChannelKind,
+        /// Channel-specific severity: relative perturbation amplitude,
+        /// throttle factor, or seconds of latency penalty.
+        magnitude: f64,
+    },
+    /// A governor or the dispatch path absorbed a fault and recovered
+    /// without abandoning the run (sanitized input, successful retry).
+    Recovered {
+        /// Invocation index.
+        run_index: usize,
+        /// Kernel position the recovery applies to.
+        position: usize,
+        /// Which fault channel was recovered from.
+        channel: FaultChannelKind,
+        /// Retries spent before recovery (0 when recovery was
+        /// sanitization or rejection rather than a retry).
+        retries: u32,
+    },
     /// An application invocation finished.
     RunEnd {
         /// Invocation index.
@@ -210,6 +262,8 @@ impl TraceEvent {
             | TraceEvent::PatternMiss { run_index, .. }
             | TraceEvent::Outcome { run_index, .. }
             | TraceEvent::Headroom { run_index, .. }
+            | TraceEvent::FaultInjected { run_index, .. }
+            | TraceEvent::Recovered { run_index, .. }
             | TraceEvent::RunEnd { run_index, .. } => run_index,
         }
     }
@@ -225,6 +279,8 @@ impl TraceEvent {
             TraceEvent::PatternMiss { .. } => "PatternMiss",
             TraceEvent::Outcome { .. } => "Outcome",
             TraceEvent::Headroom { .. } => "Headroom",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::Recovered { .. } => "Recovered",
             TraceEvent::RunEnd { .. } => "RunEnd",
         }
     }
@@ -287,6 +343,18 @@ mod tests {
                 run_index: 3,
                 position: 1,
                 slack_s: -0.1,
+            },
+            TraceEvent::FaultInjected {
+                run_index: 3,
+                position: 2,
+                channel: FaultChannelKind::TdpThrottle,
+                magnitude: 1.4,
+            },
+            TraceEvent::Recovered {
+                run_index: 3,
+                position: 2,
+                channel: FaultChannelKind::TransitionFail,
+                retries: 1,
             },
         ];
         for e in &events {

@@ -37,5 +37,5 @@ pub mod event;
 pub mod sink;
 
 pub use aggregate::{AggregateSink, Histogram, TraceSummary};
-pub use event::{FailSafeReason, KnobVisits, TraceEvent};
+pub use event::{FailSafeReason, FaultChannelKind, KnobVisits, TraceEvent};
 pub use sink::{noop_sink, FanoutSink, JsonlSink, NoopSink, RingSink, TraceSink};

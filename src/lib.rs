@@ -20,6 +20,8 @@
 //! | [`mpc`] | `gpm-mpc` | **the adaptive-MPC governor (the contribution)** |
 //! | [`workloads`] | `gpm-workloads` | the 15 Table IV benchmarks |
 //! | [`harness`] | `gpm-harness` | experiment runner, comparisons, reports |
+//! | [`trace`] | `gpm-trace` | decision-level observability events and sinks |
+//! | [`faults`] | `gpm-faults` | deterministic fault injection (robustness studies) |
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 //! println!("energy savings {:.1}%, speedup {:.3}", c.energy_savings_pct, c.speedup);
 //! ```
 
+pub use gpm_faults as faults;
 pub use gpm_governors as governors;
 pub use gpm_harness as harness;
 pub use gpm_hw as hw;
@@ -46,4 +49,5 @@ pub use gpm_model as model;
 pub use gpm_mpc as mpc;
 pub use gpm_pattern as pattern;
 pub use gpm_sim as sim;
+pub use gpm_trace as trace;
 pub use gpm_workloads as workloads;

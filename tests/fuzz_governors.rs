@@ -1,11 +1,13 @@
 //! Governor fuzzing: every policy must uphold its invariants on arbitrary
 //! generated applications, not just the curated 15-benchmark suite.
 
-use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::faults::FaultPlan;
+use gpm::harness::{evaluate_scheme, evaluate_scheme_faulted, EvalContext, EvalOptions, Scheme};
 use gpm::hw::ConfigSpace;
 use gpm::mpc::HorizonMode;
+use gpm::trace::{AggregateSink, TraceSink};
 use gpm::workloads::{generate_population, GeneratorParams};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 fn ctx() -> &'static EvalContext {
     static CTX: OnceLock<EvalContext> = OnceLock::new();
@@ -64,6 +66,52 @@ fn all_schemes_uphold_invariants_on_generated_workloads() {
             );
         }
     }
+}
+
+#[test]
+fn all_schemes_survive_seeded_fault_schedules() {
+    // Deterministic fault schedules at a substantial rate: no governor may
+    // panic, leave the hardware configuration space, or produce
+    // non-finite accounting — and the injector must actually fire.
+    let population = generate_population(&GeneratorParams::default(), 0xBAD5EED, 6);
+    let schemes = [
+        Scheme::TurboCore,
+        Scheme::PpkRf,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+        Scheme::Equalizer {
+            mode: gpm::governors::EqualizerMode::Efficiency,
+        },
+    ];
+    let space = ConfigSpace::full();
+    let mut total_faults = 0u64;
+    for (i, w) in population.iter().enumerate() {
+        let plan = FaultPlan::uniform(0x5EED ^ i as u64, 0.15);
+        for scheme in schemes {
+            let agg = Arc::new(AggregateSink::new());
+            let sink: Arc<dyn TraceSink> = agg.clone();
+            let out = evaluate_scheme_faulted(ctx(), w, scheme, &sink, &plan);
+            let m = &out.measured;
+            assert_eq!(m.per_kernel.len(), w.len(), "{}/{}", out.label, w.name());
+            assert!(m.kernel_time_s.is_finite() && m.kernel_time_s > 0.0);
+            assert!(m.total_energy_j().is_finite() && m.total_energy_j() > 0.0);
+            assert!(m.overhead_time_s.is_finite() && m.overhead_time_s >= 0.0);
+            assert!(m.transition_time_s.is_finite() && m.transition_time_s >= 0.0);
+            for k in &m.per_kernel {
+                assert!(
+                    space.contains(k.config),
+                    "{} chose {:?} under faults",
+                    out.label,
+                    k.config
+                );
+                assert!(k.time_s.is_finite() && k.time_s > 0.0);
+                assert!(k.energy_j.is_finite() && k.energy_j >= 0.0);
+            }
+            total_faults += agg.summary().fault_injections;
+        }
+    }
+    assert!(total_faults > 0, "fault schedules never fired");
 }
 
 #[test]

@@ -56,6 +56,71 @@ fn fig2_classes_have_their_documented_shapes() {
     assert!(max < 1.35, "unscalable spread {max}");
 }
 
+#[test]
+fn fig2_class_ordering_survives_mild_counter_noise() {
+    // Golden robustness regression: with every measurement routed through
+    // the deterministic counter-noise channel at 5% intensity (≤ ±2.5%
+    // timing jitter), the four scaling classes of Figure 2 must keep
+    // their qualitative shapes — only the numeric thresholds widen.
+    use gpm::faults::{FaultChannel, FaultInjector, FaultKey, FaultPlan};
+    use gpm::hw::{CpuPState, CuCount, GpuDpm, HwConfig};
+    use gpm::sim::KernelCharacteristics;
+
+    let sim = ApuSimulator::noiseless();
+    let mut plan = FaultPlan::zero(0xF162);
+    plan.counter_noise = FaultChannel::new(1.0, 0.05);
+
+    let cfg_at = |nb: NbState, cu: CuCount| HwConfig::new(CpuPState::P5, nb, GpuDpm::Dpm4, cu);
+    let mut site = 0usize;
+    let mut noisy_time = |kernel: &KernelCharacteristics, nb: NbState, cu: CuCount| {
+        let mut out = sim.evaluate(kernel, cfg_at(nb, cu));
+        let key = FaultKey {
+            run_index: 0,
+            position: site,
+        };
+        plan.corrupt_observation(key, &mut out);
+        site += 1;
+        out.time_s
+    };
+    let mut sweep = |kernel: &KernelCharacteristics| -> Vec<(NbState, u32, f64)> {
+        let base = noisy_time(kernel, NbState::Nb3, CuCount::MIN);
+        let mut points = Vec::new();
+        for &nb in &NbState::ALL {
+            for &cu in &CuCount::ALL {
+                let t = noisy_time(kernel, nb, cu);
+                points.push((nb, cu.get(), base / t));
+            }
+        }
+        points
+    };
+    let sp = |points: &[(NbState, u32, f64)], nb: NbState, cu: u32| {
+        points.iter().find(|p| p.0 == nb && p.1 == cu).unwrap().2
+    };
+
+    // (a) compute-bound still scales with CUs.
+    let a = sweep(&max_flops());
+    assert!(sp(&a, NbState::Nb0, 8) > 2.8);
+    // (b) memory-bound still plateaus by NB2 and collapses at NB3.
+    let b = sweep(&read_global_memory_coalesced());
+    assert!((sp(&b, NbState::Nb2, 8) / sp(&b, NbState::Nb0, 8) - 1.0).abs() < 0.12);
+    assert!(sp(&b, NbState::Nb3, 8) < 0.80 * sp(&b, NbState::Nb2, 8));
+    // (c) peak still has an interior CU optimum.
+    let c = sweep(&write_candidates());
+    let best = c
+        .iter()
+        .max_by(|x, y| x.2.partial_cmp(&y.2).unwrap())
+        .unwrap();
+    assert!(
+        best.1 < 8,
+        "peak kernel fastest at {} CUs under noise",
+        best.1
+    );
+    // (d) unscalable still barely moves.
+    let d = sweep(&astar());
+    let max = d.iter().map(|p| p.2).fold(f64::MIN, f64::max);
+    assert!(max < 1.45, "unscalable spread {max} under noise");
+}
+
 // ---- Figure 3 ----
 
 #[test]

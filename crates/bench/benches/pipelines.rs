@@ -4,7 +4,8 @@
 //! modelled hardware.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpm_harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm_harness::env::ExecEnv;
+use gpm_harness::{EvalContext, EvalOptions, Scheme};
 use gpm_mpc::HorizonMode;
 use gpm_workloads::workload_by_name;
 use std::hint::black_box;
@@ -16,18 +17,19 @@ fn ctx() -> &'static EvalContext {
 }
 
 fn bench_schemes(c: &mut Criterion) {
+    let env = ExecEnv::new();
     let w = workload_by_name("Spmv").unwrap();
     let mut group = c.benchmark_group("pipeline/spmv");
     group.sample_size(10);
     group.bench_function("turbo_core", |b| {
-        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::TurboCore)))
+        b.iter(|| black_box(env.evaluate(ctx(), &w, Scheme::TurboCore)))
     });
     group.bench_function("ppk_rf", |b| {
-        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::PpkRf)))
+        b.iter(|| black_box(env.evaluate(ctx(), &w, Scheme::PpkRf)))
     });
     group.bench_function("mpc_rf_adaptive", |b| {
         b.iter(|| {
-            black_box(evaluate_scheme(
+            black_box(env.evaluate(
                 ctx(),
                 &w,
                 Scheme::MpcRf {
@@ -37,22 +39,23 @@ fn bench_schemes(c: &mut Criterion) {
         })
     });
     group.bench_function("mpc_oracle_full", |b| {
-        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::MpcOracle)))
+        b.iter(|| black_box(env.evaluate(ctx(), &w, Scheme::MpcOracle)))
     });
     group.bench_function("theoretically_optimal", |b| {
-        b.iter(|| black_box(evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal)))
+        b.iter(|| black_box(env.evaluate(ctx(), &w, Scheme::TheoreticallyOptimal)))
     });
     group.finish();
 }
 
 fn bench_workload_sizes(c: &mut Criterion) {
+    let env = ExecEnv::new();
     let mut group = c.benchmark_group("pipeline/mpc_by_workload");
     group.sample_size(10);
     for name in ["XSBench", "kmeans", "Spmv"] {
         let w = workload_by_name(name).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {
-                black_box(evaluate_scheme(
+                black_box(env.evaluate(
                     ctx(),
                     &w,
                     Scheme::MpcRf {

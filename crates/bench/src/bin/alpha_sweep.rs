@@ -7,14 +7,16 @@
 //! admits more optimizer time than it can repay on short-kernel apps.
 
 use gpm_bench::figure_context;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::{summarize, Comparison};
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{evaluate_scheme, Scheme};
+use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
 use gpm_workloads::suite;
 
 fn main() {
     let ctx = figure_context();
+    let env = ExecEnv::new();
     let alphas = [0.01, 0.02, 0.05, 0.10, 0.25];
 
     let mut table = Table::new(vec![
@@ -31,7 +33,7 @@ fn main() {
         let mut overhead_sum = 0.0;
         let workloads = suite();
         for w in &workloads {
-            let out = evaluate_scheme(
+            let out = env.evaluate(
                 &ctx,
                 w,
                 Scheme::MpcRf {

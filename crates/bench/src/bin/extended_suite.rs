@@ -5,14 +5,16 @@
 //! unseen kernel *instances*.
 
 use gpm_bench::figure_context;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::{summarize, Comparison};
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{evaluate_scheme, Scheme};
+use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
 use gpm_workloads::extended_suite;
 
 fn main() {
     let ctx = figure_context();
+    let env = ExecEnv::new();
     let mut table = Table::new(vec![
         "benchmark",
         "category",
@@ -25,8 +27,8 @@ fn main() {
     let mut mpc_cs = Vec::new();
     for w in extended_suite() {
         eprintln!("  extended suite: {} ...", w.name());
-        let ppk = evaluate_scheme(&ctx, &w, Scheme::PpkRf);
-        let mpc = evaluate_scheme(
+        let ppk = env.evaluate(&ctx, &w, Scheme::PpkRf);
+        let mpc = env.evaluate(
             &ctx,
             &w,
             Scheme::MpcRf {

@@ -1,6 +1,7 @@
 //! Figure 3: per-invocation kernel throughput (normalized to the overall
 //! application throughput) for Spmv, kmeans, and hybridsort.
 
+use gpm_bench::emit_svg;
 use gpm_harness::svg::{line_chart, BarSeries};
 use gpm_harness::traces::fig3_trace;
 use gpm_sim::ApuSimulator;
@@ -29,8 +30,5 @@ fn main() {
         &svg_series,
         "normalized throughput",
     );
-    std::fs::create_dir_all("results").ok();
-    if std::fs::write("results/fig3.svg", svg).is_ok() {
-        eprintln!("wrote results/fig3.svg");
-    }
+    emit_svg("results/fig3.svg", &svg);
 }

@@ -4,7 +4,7 @@
 //!
 //! Paper headline: MPC saves 24.8% energy with a 1.8% performance loss.
 
-use gpm_bench::{evaluate_suite, figure_context, suite_average};
+use gpm_bench::{emit_svg, evaluate_suite, figure_context, suite_average};
 use gpm_harness::report::{fmt, Table};
 use gpm_harness::svg::{bar_chart, BarSeries};
 use gpm_harness::Scheme;
@@ -94,10 +94,6 @@ fn main() {
         "speedup",
         Some(1.0),
     );
-    std::fs::create_dir_all("results").ok();
-    if std::fs::write("results/fig8a.svg", savings).is_ok()
-        && std::fs::write("results/fig8b.svg", speedup).is_ok()
-    {
-        eprintln!("wrote results/fig8a.svg and results/fig8b.svg");
-    }
+    emit_svg("results/fig8a.svg", &savings);
+    emit_svg("results/fig8b.svg", &speedup);
 }

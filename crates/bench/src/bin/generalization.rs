@@ -5,14 +5,16 @@
 //! saw — the honest out-of-distribution test of the whole pipeline.
 
 use gpm_bench::figure_context;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::{summarize, Comparison};
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{evaluate_scheme, Scheme};
+use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
 use gpm_workloads::{generate_population, GeneratorParams};
 
 fn main() {
     let ctx = figure_context(); // trained on the 15-benchmark suite only
+    let env = ExecEnv::new();
     let population = generate_population(&GeneratorParams::default(), 0xBEEF, 25);
 
     let mut table = Table::new(vec![
@@ -27,14 +29,14 @@ fn main() {
     let mut ppk_cs: Vec<Comparison> = Vec::new();
     for w in &population {
         eprintln!("  generalization on {} ...", w.name());
-        let mpc = evaluate_scheme(
+        let mpc = env.evaluate(
             &ctx,
             w,
             Scheme::MpcRf {
                 horizon: HorizonMode::default(),
             },
         );
-        let ppk = evaluate_scheme(&ctx, w, Scheme::PpkRf);
+        let ppk = env.evaluate(&ctx, w, Scheme::PpkRf);
         let mc = Comparison::between(&mpc.baseline, &mpc.measured);
         let pc = Comparison::between(&ppk.baseline, &ppk.measured);
         table.row(vec![

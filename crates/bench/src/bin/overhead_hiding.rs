@@ -7,14 +7,16 @@
 //! adaptive-horizon MPC with modelled CPU phases equal to 10% of each
 //! kernel's baseline time and reports how much of the overhead disappears.
 
+use gpm_bench::bench_context;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{evaluate_scheme, EvalContext, Scheme};
+use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
 use gpm_workloads::suite;
 
 fn main() {
-    eprintln!("building evaluation context ...");
-    let ctx = EvalContext::default();
+    let ctx = bench_context(false);
+    let env = ExecEnv::new();
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
     };
@@ -29,7 +31,7 @@ fn main() {
     for w in suite() {
         eprintln!("  {} ...", w.name());
         // Worst case: back-to-back kernels.
-        let worst = evaluate_scheme(&ctx, &w, scheme);
+        let worst = env.evaluate(&ctx, &w, scheme);
 
         // CPU phases of 10% of each kernel's baseline time.
         let phases: Vec<f64> = worst
@@ -39,7 +41,7 @@ fn main() {
             .map(|k| k.time_s * 0.10)
             .collect();
         let with_phases_workload = w.clone().with_cpu_phases(phases);
-        let hidden = evaluate_scheme(&ctx, &with_phases_workload, scheme);
+        let hidden = env.evaluate(&ctx, &with_phases_workload, scheme);
 
         let w_ms = worst.measured.overhead_time_s * 1e3;
         let h_ms = hidden.measured.overhead_time_s * 1e3;

@@ -17,12 +17,17 @@
 //! Graceful-degradation gate (exit status): every swept point must
 //! complete without panics and with finite accounting, and every point
 //! with rate ≤ 0.10 must keep its wall-time slowdown under
-//! `--max-slowdown` (default 1.5×). The degradation curve is written to
-//! `--json` for CI artifact upload.
+//! `--max-slowdown` (default 1.5×). The whole sweep shares one
+//! evaluation context, so the Turbo Core baseline must be simulated
+//! exactly once — every later rate resolves it from the baseline cache
+//! (also gated). The degradation curve is written to `--json` for CI
+//! artifact upload.
 
+use gpm_bench::{bench_context, emit_artifact, fast_from_env};
 use gpm_faults::FaultPlan;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::Comparison;
-use gpm_harness::{evaluate_scheme_faulted, EvalContext, EvalOptions, Scheme};
+use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
 use gpm_trace::{AggregateSink, TraceSink};
 use gpm_workloads::workload_by_name;
@@ -48,6 +53,10 @@ struct DegradationPoint {
     recoveries: u64,
     /// Fail-safe decisions taken by the governor.
     fail_safe_events: u64,
+    /// Turbo Core baselines simulated while sweeping this point.
+    baseline_simulations: u64,
+    /// Baseline resolutions served from the shared cache at this point.
+    baseline_cache_hits: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -56,6 +65,8 @@ struct RobustnessReport {
     scheme: String,
     seed: u64,
     max_slowdown: f64,
+    baseline_simulations: u64,
+    baseline_cache_hits: u64,
     curve: Vec<DegradationPoint>,
 }
 
@@ -75,7 +86,7 @@ fn parse_args() -> Args {
         seed: 0xFA_15AFE,
         max_slowdown: 1.5,
         json: None,
-        fast: std::env::var("GPM_BENCH_FAST").is_ok_and(|v| v != "0"),
+        fast: fast_from_env(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -115,16 +126,7 @@ fn main() -> ExitCode {
     let workload = workload_by_name(&args.workload)
         .unwrap_or_else(|| panic!("unknown workload {:?}", args.workload));
 
-    eprintln!(
-        "building evaluation context ({})...",
-        if args.fast { "fast" } else { "full" }
-    );
-    let options = if args.fast {
-        EvalOptions::fast()
-    } else {
-        EvalOptions::default()
-    };
-    let ctx = EvalContext::build(options);
+    let ctx = bench_context(args.fast);
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
     };
@@ -140,7 +142,8 @@ fn main() -> ExitCode {
         let plan = FaultPlan::uniform(args.seed, rate);
         let agg = Arc::new(AggregateSink::new());
         let sink: Arc<dyn TraceSink> = agg.clone();
-        let out = evaluate_scheme_faulted(&ctx, &workload, scheme, &sink, &plan);
+        let env = ExecEnv::new().with_trace(sink).with_fault_plan(plan);
+        let out = env.evaluate(&ctx, &workload, scheme);
         let summary = agg.summary();
         let c = Comparison::between(&out.baseline, &out.measured);
         let violation_pct = (1.0 / c.speedup - 1.0).max(0.0) * 100.0;
@@ -174,20 +177,39 @@ fn main() -> ExitCode {
             fault_injections: summary.fault_injections,
             recoveries: summary.recoveries,
             fail_safe_events: summary.fail_safe_events,
+            baseline_simulations: summary.baseline_simulations,
+            baseline_cache_hits: summary.baseline_cache_hits,
         });
+    }
+
+    // The whole sweep shares one context, so the baseline must have been
+    // simulated exactly once, with every later rate a cache hit.
+    let cache = ctx.baseline_stats();
+    println!(
+        "baseline cache: {} simulated, {} served from cache",
+        cache.computed, cache.hits
+    );
+    if cache.computed != 1 || cache.hits != args.rates.len() as u64 - 1 {
+        eprintln!(
+            "GATE: baseline cache expected 1 compute / {} hits, got {} / {}",
+            args.rates.len() - 1,
+            cache.computed,
+            cache.hits
+        );
+        ok = false;
     }
 
     if let Some(path) = &args.json {
         let report = RobustnessReport {
             workload: workload.name().to_string(),
-            scheme: scheme.label(),
+            scheme: scheme.label().to_string(),
             seed: args.seed,
             max_slowdown: args.max_slowdown,
+            baseline_simulations: cache.computed,
+            baseline_cache_hits: cache.hits,
             curve,
         };
-        let text = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(path, text).expect("write --json report");
-        eprintln!("wrote {path}");
+        emit_artifact(path, &report);
     }
 
     if ok {

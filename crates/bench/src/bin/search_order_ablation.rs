@@ -8,15 +8,17 @@
 //! throughput phases (Spmv, kmeans, lud).
 
 use gpm_governors::OverheadModel;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::{summarize, Comparison};
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{run_once, turbo_core_baseline};
+use gpm_harness::turbo_core_baseline;
 use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor};
 use gpm_sim::{ApuSimulator, OraclePredictor};
 use gpm_workloads::suite;
 
 fn main() {
     let sim = ApuSimulator::default();
+    let env = ExecEnv::new();
     let mut table = Table::new(vec![
         "benchmark",
         "ordered savings (%)",
@@ -41,8 +43,8 @@ fn main() {
                 ..MpcConfig::default()
             };
             let mut gov = MpcGovernor::new(OraclePredictor::new(&sim), sim.params().clone(), cfg);
-            run_once(&sim, &w, &mut gov, target, 0, true);
-            let measured = run_once(&sim, &w, &mut gov, target, 1, true);
+            env.run(&sim, &w, &mut gov, target, 0, true);
+            let measured = env.run(&sim, &w, &mut gov, target, 1, true);
             comparisons.push(Comparison::between(&baseline, &measured));
         }
         row.push(fmt(comparisons[0].energy_savings_pct, 1));

@@ -17,11 +17,14 @@
 //! campaign, for CI smoke runs.
 //!
 //! Exits non-zero when the trace-derived statistics disagree with
-//! `MpcStats`.
+//! `MpcStats`, or when the context's baseline cache fails to collapse the
+//! repeated Turbo Core baseline resolutions into a single simulation.
 
+use gpm_bench::{bench_context, emit_artifact, fast_from_env};
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::Comparison;
 use gpm_harness::report::trace_summary_table;
-use gpm_harness::{evaluate_scheme_traced, EvalContext, EvalOptions, Scheme};
+use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
 use gpm_trace::{AggregateSink, FanoutSink, JsonlSink, TraceSink, TraceSummary};
 use gpm_workloads::workload_by_name;
@@ -35,6 +38,8 @@ struct TraceReport {
     scheme: String,
     energy_savings_pct: f64,
     speedup: f64,
+    baseline_simulations: u64,
+    baseline_cache_hits: u64,
     summary: TraceSummary,
 }
 
@@ -50,7 +55,7 @@ fn parse_args() -> Args {
         workload: "kmeans".to_string(),
         json: None,
         jsonl: None,
-        fast: std::env::var("GPM_BENCH_FAST").is_ok_and(|v| v != "0"),
+        fast: fast_from_env(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,16 +84,7 @@ fn main() -> ExitCode {
     let workload = workload_by_name(&args.workload)
         .unwrap_or_else(|| panic!("unknown workload {:?}", args.workload));
 
-    eprintln!(
-        "building evaluation context ({})...",
-        if args.fast { "fast" } else { "full" }
-    );
-    let options = if args.fast {
-        EvalOptions::fast()
-    } else {
-        EvalOptions::default()
-    };
-    let ctx = EvalContext::build(options);
+    let ctx = bench_context(args.fast);
 
     let agg = Arc::new(AggregateSink::new());
     let mut sinks: Vec<Arc<dyn TraceSink>> = vec![agg.clone()];
@@ -97,13 +93,24 @@ fn main() -> ExitCode {
         sinks.push(Arc::new(jsonl));
     }
     let sink: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(sinks));
+    let env = ExecEnv::new().with_trace(sink);
 
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
     };
-    let out = evaluate_scheme_traced(&ctx, &workload, scheme, &sink);
+    // Evaluate twice through the same context: the second pass must hit the
+    // shared baseline cache instead of re-simulating Turbo Core. The warm
+    // pass gets its own sink so the reported trace covers exactly one
+    // evaluation and stays comparable with that evaluation's MpcStats.
+    let warm_agg = Arc::new(AggregateSink::new());
+    let _warm = ExecEnv::new()
+        .with_trace(warm_agg.clone())
+        .evaluate(&ctx, &workload, scheme);
+    let warm_summary = warm_agg.summary();
+    let out = env.evaluate(&ctx, &workload, scheme);
     let summary = agg.summary();
     let stats = out.mpc_stats.as_ref().expect("MPC scheme returns stats");
+    let cache = ctx.baseline_stats();
     let vs_baseline = Comparison::between(&out.baseline, &out.measured);
 
     println!("Decision trace: {} on {}", out.label, workload.name());
@@ -112,22 +119,27 @@ fn main() -> ExitCode {
         "vs Turbo Core: energy savings {:+.2}%, speedup {:.3}",
         vs_baseline.energy_savings_pct, vs_baseline.speedup
     );
+    println!(
+        "baseline cache: {} simulated, {} served from cache",
+        cache.computed, cache.hits
+    );
 
     if let Some(path) = &args.json {
         let report = TraceReport {
             workload: workload.name().to_string(),
-            scheme: out.label.clone(),
+            scheme: out.label.to_string(),
             energy_savings_pct: vs_baseline.energy_savings_pct,
             speedup: vs_baseline.speedup,
+            baseline_simulations: cache.computed,
+            baseline_cache_hits: cache.hits,
             summary: summary.clone(),
         };
-        let text = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(path, text).expect("write --json report");
-        eprintln!("wrote {path}");
+        emit_artifact(path, &report);
     }
 
-    // The acceptance cross-check: the event stream must reproduce the
-    // governor's internal accounting exactly.
+    // The acceptance cross-checks: the event stream must reproduce the
+    // governor's internal accounting exactly, and the baseline must have
+    // been simulated once — every later resolution a cache hit.
     let mut ok = true;
     ok &= check(
         "mean horizon",
@@ -144,6 +156,23 @@ fn main() -> ExitCode {
         summary.horizon_evaluations as f64,
         stats.total_evaluations() as f64,
     );
+    ok &= check(
+        "warm-pass baseline simulations",
+        warm_summary.baseline_simulations as f64,
+        1.0,
+    );
+    ok &= check(
+        "traced-pass baseline simulations",
+        summary.baseline_simulations as f64,
+        0.0,
+    );
+    ok &= check(
+        "traced-pass baseline cache hits",
+        summary.baseline_cache_hits as f64,
+        1.0,
+    );
+    ok &= check("context baseline computes", cache.computed as f64, 1.0);
+    ok &= check("context baseline cache hits", cache.hits as f64, 1.0);
     if ok {
         eprintln!("trace/stats cross-check passed");
         ExitCode::SUCCESS

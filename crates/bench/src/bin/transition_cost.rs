@@ -8,8 +8,9 @@
 //! that kernel-granularity DVFS remains profitable under realistic
 //! switching costs.
 
+use gpm_harness::env::ExecEnv;
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm_harness::{EvalContext, EvalOptions, Scheme};
 use gpm_mpc::HorizonMode;
 use gpm_sim::SimParams;
 use gpm_workloads::suite;
@@ -39,11 +40,12 @@ fn main() {
     for &scale in &scales {
         eprintln!("building context at transition scale {scale}x ...");
         let ctx = context_with_scale(scale);
+        let env = ExecEnv::new();
         let rows: Vec<(String, f64, f64, f64)> = suite()
             .iter()
             .map(|w| {
                 eprintln!("  {} @{}x ...", w.name(), scale);
-                let out = evaluate_scheme(
+                let out = env.evaluate(
                     &ctx,
                     w,
                     Scheme::MpcRf {

@@ -7,15 +7,17 @@
 //! backtracking)?
 
 use gpm_governors::OverheadModel;
+use gpm_harness::env::ExecEnv;
 use gpm_harness::metrics::Comparison;
 use gpm_harness::report::{fmt, Table};
-use gpm_harness::{run_once, turbo_core_baseline};
+use gpm_harness::turbo_core_baseline;
 use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor, WindowSolver};
 use gpm_sim::{ApuSimulator, OraclePredictor};
 use gpm_workloads::suite;
 
 fn main() {
     let sim = ApuSimulator::default();
+    let env = ExecEnv::new();
     let mut table = Table::new(vec![
         "benchmark",
         "greedy savings (%)",
@@ -45,8 +47,8 @@ fn main() {
                 ..MpcConfig::default()
             };
             let mut gov = MpcGovernor::new(OraclePredictor::new(&sim), sim.params().clone(), cfg);
-            run_once(&sim, &w, &mut gov, target, 0, true);
-            let measured = run_once(&sim, &w, &mut gov, target, 1, true);
+            env.run(&sim, &w, &mut gov, target, 0, true);
+            let measured = env.run(&sim, &w, &mut gov, target, 1, true);
             let c = Comparison::between(&baseline, &measured);
             row.push(fmt(c.energy_savings_pct, 1));
             row.push(fmt(c.speedup, 3));

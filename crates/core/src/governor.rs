@@ -537,6 +537,10 @@ impl<P: PowerPerfPredictor> Governor for MpcGovernor<P> {
     fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.trace = sink;
     }
+
+    fn set_fault_injector(&mut self, faults: Arc<dyn FaultInjector>) {
+        self.faults = faults;
+    }
 }
 
 #[cfg(test)]

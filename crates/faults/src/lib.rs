@@ -17,10 +17,10 @@
 //! identity (property-tested in `crates/harness/tests/fault_invariance.rs`).
 //!
 //! * [`FaultPlan`] — the seeded schedule; five independent channels.
-//! * [`FaultInjector`] — the trait threaded through the dispatch loop
-//!   ([`gpm-harness`]'s `run_once_faulted`) and the MPC governor's
-//!   pattern-store reads; implemented by [`FaultPlan`] and by the
-//!   identity injector [`NoFaults`].
+//! * [`FaultInjector`] — the trait the execution environment
+//!   (`gpm_harness::ExecEnv::with_fault_plan`) installs into the dispatch
+//!   loop and the MPC governor's pattern-store reads; implemented by
+//!   [`FaultPlan`] and by the identity injector [`NoFaults`].
 //! * [`FaultyPredictor`] — wraps any `PowerPerfPredictor` with
 //!   deterministic outlier spikes.
 //!

@@ -1,6 +1,7 @@
 //! The governor interface and shared accounting types.
 
 use crate::search::ConfigEstimate;
+use gpm_faults::FaultInjector;
 use gpm_hw::HwConfig;
 use gpm_sim::{KernelCharacteristics, KernelOutcome};
 use gpm_trace::TraceSink;
@@ -206,6 +207,15 @@ pub trait Governor {
     /// regardless. Installing any sink must never change decisions.
     fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         let _ = sink;
+    }
+
+    /// Installs a fault injector on the governor's *internal* state paths
+    /// (e.g. the MPC pattern-store read path). Governors without
+    /// injectable internals ignore it — the harness routes dispatch-level
+    /// faults (transitions, throttling, observation corruption) itself.
+    /// Installing a disabled injector must never change decisions.
+    fn set_fault_injector(&mut self, faults: Arc<dyn FaultInjector>) {
+        let _ = faults;
     }
 }
 

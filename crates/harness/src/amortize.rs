@@ -8,9 +8,8 @@
 //! energy and wall time, plus the steady-state (no-initial-loss) limit.
 
 use crate::context::EvalContext;
+use crate::env::ExecEnv;
 use crate::metrics::{energy_savings_pct, speedup};
-use crate::run::run_once;
-use crate::schemes::turbo_core_baseline;
 use gpm_governors::{OverheadModel, PpkGovernor};
 use gpm_mpc::{MpcConfig, MpcGovernor};
 use gpm_workloads::Workload;
@@ -38,8 +37,9 @@ pub fn amortization(
     re_executions: &[usize],
 ) -> Vec<AmortizationPoint> {
     let sim = &ctx.sim;
-    let (_, target) = turbo_core_baseline(sim, workload);
-    let space = gpm_hw::ConfigSpace::paper_campaign();
+    let env = ExecEnv::new();
+    let (_, target) = env.baseline(ctx, workload);
+    let space = ctx.campaign_space().clone();
     let max_runs = re_executions.iter().copied().max().unwrap_or(0) + 1;
 
     // Collect per-run (energy, wall) sequences for both schemes.
@@ -53,8 +53,8 @@ pub fn amortization(
     let mut mpc_runs = Vec::with_capacity(max_runs);
     let mut ppk_runs = Vec::with_capacity(max_runs);
     for run in 0..max_runs {
-        mpc_runs.push(run_once(sim, workload, &mut mpc_gov, target, run, false));
-        ppk_runs.push(run_once(sim, workload, &mut ppk_gov, target, run, false));
+        mpc_runs.push(env.run(sim, workload, &mut mpc_gov, target, run, false));
+        ppk_runs.push(env.run(sim, workload, &mut ppk_gov, target, run, false));
     }
 
     let cum = |runs: &[crate::run::RunResult], upto: usize| -> (f64, f64) {

@@ -11,18 +11,21 @@
 //!
 //! Layers:
 //!
-//! * [`run`] — the core replay loop ([`run::run_once`]); its traced twin
-//!   ([`run::run_once_traced`]) streams one decision-level
-//!   [`gpm_trace::TraceEvent`] per governor action into a pluggable sink,
-//!   and [`run::run_once_faulted`] adds deterministic fault injection
-//!   (robustness studies; a disabled injector is the identity).
+//! * [`mod@env`] — the unified execution environment
+//!   ([`env::ExecEnv`]): *the* dispatch path. One replay engine with
+//!   layered middleware — a decision-level trace sink and a
+//!   deterministic fault injector, both disabled no-ops by default —
+//!   plus the cached Turbo Core baseline resolution and end-to-end
+//!   scheme evaluation ([`env::ExecEnv::evaluate`]).
+//! * [`run`] — the replay result types ([`run::RunResult`]) and the
+//!   deprecated `run_once*` shims kept for one release.
 //! * [`campaign`] — the measurement campaign, parallelized across worker
 //!   threads (bit-identical to the sequential path).
-//! * [`context`] — one-time setup shared by experiments: the simulator and
-//!   the offline-trained Random Forest ([`context::EvalContext`]).
+//! * [`context`] — one-time setup shared by experiments: the simulator,
+//!   the offline-trained Random Forest, the hoisted campaign space, and
+//!   the per-workload baseline cache ([`context::EvalContext`]).
 //! * [`schemes`] — named scheme constructors (PPK/MPC × oracle/RF/error
-//!   models, TO) and end-to-end evaluation
-//!   ([`schemes::evaluate_scheme`]).
+//!   models, TO) and the deprecated `evaluate_scheme*` shims.
 //! * [`metrics`] — energy-savings / speedup arithmetic and geometric means.
 //! * [`amortize`] — Figure 11's re-execution amortization study.
 //! * [`traces`] — Figure 2 sweeps and Figure 3 throughput traces.
@@ -32,6 +35,7 @@
 pub mod amortize;
 pub mod campaign;
 pub mod context;
+pub mod env;
 pub mod metrics;
 pub mod report;
 pub mod run;
@@ -40,10 +44,12 @@ pub mod svg;
 pub mod traces;
 
 pub use campaign::{parallel_campaign, parallel_campaign_auto};
-pub use context::{EvalContext, EvalOptions};
+pub use context::{BaselineCacheStats, EvalContext, EvalOptions};
+pub use env::ExecEnv;
 pub use metrics::{energy_savings_pct, geo_mean, speedup, Comparison};
-pub use run::{run_once, run_once_faulted, run_once_traced, KernelRun, RunResult};
-pub use schemes::{
-    evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced, turbo_core_baseline, Scheme,
-    SchemeOutcome,
-};
+#[allow(deprecated)]
+pub use run::{run_once, run_once_faulted, run_once_traced};
+pub use run::{KernelRun, RunResult};
+#[allow(deprecated)]
+pub use schemes::{evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced};
+pub use schemes::{turbo_core_baseline, Scheme, SchemeOutcome};

@@ -125,6 +125,14 @@ pub fn pct(value: f64) -> String {
 pub fn trace_summary_table(s: &gpm_trace::TraceSummary) -> Table {
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec!["runs".into(), s.runs.to_string()]);
+    t.row(vec![
+        "baseline simulations".into(),
+        s.baseline_simulations.to_string(),
+    ]);
+    t.row(vec![
+        "baseline cache hits".into(),
+        s.baseline_cache_hits.to_string(),
+    ]);
     t.row(vec!["dispatches".into(), s.dispatches.to_string()]);
     t.row(vec!["decisions".into(), s.decisions.to_string()]);
     t.row(vec![

@@ -1,10 +1,29 @@
-//! The core replay loop: one application invocation under one governor.
+//! Replay result types, plus the deprecated free-function entry points
+//! to the engine that now lives in [`crate::env`].
+//!
+//! The `run_once` / `run_once_traced` / `run_once_faulted` ladder is kept
+//! for one release as thin shims over [`ExecEnv`](crate::env::ExecEnv);
+//! new code should build an environment instead:
+//!
+//! ```
+//! use gpm_harness::env::ExecEnv;
+//! use gpm_governors::{PerfTarget, TurboCore};
+//! use gpm_sim::ApuSimulator;
+//! use gpm_workloads::workload_by_name;
+//!
+//! let sim = ApuSimulator::default();
+//! let w = workload_by_name("Spmv").unwrap();
+//! let mut tc = TurboCore::new(sim.params().tdp_w);
+//! let run = ExecEnv::new().run(&sim, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+//! assert!(run.total_energy_j() > 0.0);
+//! ```
 
-use gpm_faults::{FaultInjector, FaultKey, NoFaults};
-use gpm_governors::{Governor, KernelContext, PerfTarget};
+use crate::env::Middleware;
+use gpm_faults::{FaultInjector, NoFaults};
+use gpm_governors::{Governor, PerfTarget};
 use gpm_hw::HwConfig;
-use gpm_sim::{EnergyBreakdown, KernelOutcome, Platform};
-use gpm_trace::{FailSafeReason, FaultChannelKind, NoopSink, TraceEvent, TraceSink};
+use gpm_sim::{EnergyBreakdown, Platform};
+use gpm_trace::{NoopSink, TraceSink};
 use gpm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -91,19 +110,12 @@ impl RunResult {
     }
 }
 
-/// Replays `workload` once under `governor`.
+/// Replays `workload` once under `governor` with no middleware.
 ///
-/// `run_index` distinguishes the profiling invocation (0) from later ones;
-/// `provide_truth` hands the governor ground-truth kernel characteristics
-/// (oracle-predictor studies only). Optimizer overhead is charged at the
-/// paper's MPC host configuration (`[P5, NB0, DPM0, 2 CUs]`) with the GPU
-/// idle, per Section V's worst-case assumption.
-///
-/// The governor's `end_run` is invoked before returning.
-///
-/// `sim` is any [`Platform`] — the live analytical simulator or a
-/// recorded [`ReplayPlatform`](gpm_sim::ReplayPlatform) measurement table
-/// (`&ApuSimulator` coerces automatically).
+/// Deprecated shim over the unified engine — see
+/// [`ExecEnv::run`](crate::env::ExecEnv::run) for the parameter
+/// semantics.
+#[deprecated(note = "build a `gpm_harness::env::ExecEnv` and call `ExecEnv::run`")]
 pub fn run_once(
     sim: &dyn Platform,
     workload: &Workload,
@@ -112,27 +124,27 @@ pub fn run_once(
     run_index: usize,
     provide_truth: bool,
 ) -> RunResult {
-    run_once_traced(
+    crate::env::replay(
         sim,
         workload,
         governor,
         target,
         run_index,
         provide_truth,
-        &NoopSink,
+        Middleware {
+            sink: &NoopSink,
+            faults: &NoFaults,
+        },
     )
 }
 
-/// [`run_once`] with decision-level observability: one [`TraceEvent`] per
-/// dispatch, decision, outcome, and headroom check is emitted to `sink`.
+/// Replays with decision-level observability streamed to `sink`.
 ///
-/// Tracing is strictly read-only: with any sink installed the replay makes
-/// byte-identical decisions to the untraced path (all event construction is
-/// gated on [`TraceSink::enabled`] and consumes only values the replay
-/// already computed). Governor-internal events (search statistics,
-/// fail-safe triggers) are *not* emitted here — install the sink on the
-/// governor too via [`Governor::set_trace_sink`] to capture those.
-#[allow(clippy::too_many_arguments)]
+/// Deprecated shim over the unified engine — use
+/// [`ExecEnv::with_trace`](crate::env::ExecEnv::with_trace) instead.
+#[deprecated(
+    note = "build a `gpm_harness::env::ExecEnv` with `with_trace` and call `ExecEnv::run`"
+)]
 pub fn run_once_traced(
     sim: &dyn Platform,
     workload: &Workload,
@@ -142,29 +154,29 @@ pub fn run_once_traced(
     provide_truth: bool,
     sink: &dyn TraceSink,
 ) -> RunResult {
-    run_once_faulted(
+    crate::env::replay(
         sim,
         workload,
         governor,
         target,
         run_index,
         provide_truth,
-        sink,
-        &NoFaults,
+        Middleware {
+            sink,
+            faults: &NoFaults,
+        },
     )
 }
 
-/// [`run_once_traced`] with deterministic fault injection on the dispatch
-/// path: knob-transition failures (bounded retry, then a
-/// `HwConfig::FAIL_SAFE` fallback), transient TDP-throttle events on the
-/// physical outcome, and corruption of the *observation* handed to the
-/// governor (the physical accounting stays truthful). Every firing and
-/// every recovery is emitted through `sink`.
+/// Replays with observability *and* deterministic fault injection on the
+/// dispatch path.
 ///
-/// With an injector whose [`FaultInjector::enabled`] is `false` (e.g.
-/// [`NoFaults`] or a zero [`FaultPlan`](gpm_faults::FaultPlan)) this is
-/// byte-identical to [`run_once_traced`] — property-tested in
-/// `tests/fault_invariance.rs`.
+/// Deprecated shim over the unified engine — use
+/// [`ExecEnv::with_fault_plan`](crate::env::ExecEnv::with_fault_plan)
+/// instead.
+#[deprecated(
+    note = "build a `gpm_harness::env::ExecEnv` with `with_fault_plan` and call `ExecEnv::run`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_once_faulted(
     sim: &dyn Platform,
@@ -176,226 +188,21 @@ pub fn run_once_faulted(
     sink: &dyn TraceSink,
     faults: &dyn FaultInjector,
 ) -> RunResult {
-    let tracing = sink.enabled();
-    let injecting = faults.enabled();
-    if tracing {
-        sink.record(&TraceEvent::RunStart {
-            workload: workload.name().to_string(),
-            governor: governor.name().to_string(),
-            run_index,
-            total_kernels: workload.len(),
-        });
-    }
-    let mut result = RunResult {
-        governor: governor.name().to_string(),
-        workload: workload.name().to_string(),
-        kernel_time_s: 0.0,
-        overhead_time_s: 0.0,
-        transition_time_s: 0.0,
-        energy: EnergyBreakdown::default(),
-        overhead_energy: EnergyBreakdown::default(),
-        ginstructions: 0.0,
-        per_kernel: Vec::with_capacity(workload.len()),
-    };
-
-    let mut prev_config: Option<gpm_hw::HwConfig> = None;
-    for (position, kernel) in workload.kernels().iter().enumerate() {
-        let ctx = KernelContext {
-            position,
-            run_index,
-            elapsed_kernel_s: result.kernel_time_s,
-            elapsed_gi: result.ginstructions,
-            target,
-            total_kernels: Some(workload.len()),
-        };
-        if tracing {
-            sink.record(&TraceEvent::Dispatch {
-                run_index,
-                position,
-                kernel: kernel.name().to_string(),
-            });
-        }
-        let decision = governor.select(&ctx);
-        if tracing {
-            sink.record(&TraceEvent::Decision {
-                run_index,
-                position,
-                config: decision.config,
-                horizon: decision.horizon,
-                evaluations: decision.evaluations,
-                overhead_s: decision.overhead_s,
-                predicted_time_s: decision.predicted.map(|p| p.time_s),
-                predicted_power_w: decision.predicted.map(|p| p.chip_power_w),
-                predicted_energy_j: decision.predicted.map(|p| p.energy_j),
-            });
-        }
-        if decision.overhead_s > 0.0 {
-            // Optimizer time overlapping a host CPU phase is hidden: the
-            // CPU was busy with application work anyway, so neither extra
-            // wall time nor extra energy is charged for that portion
-            // (Section VI-E). With no modelled CPU phases (the default)
-            // this is the paper's worst case: everything is charged.
-            let visible = (decision.overhead_s - workload.cpu_phase_s(position)).max(0.0);
-            result.overhead_time_s += visible;
-            if visible > 0.0 {
-                let oh = sim.optimizer_energy(HwConfig::MPC_HOST, visible);
-                result.overhead_energy.accumulate(&oh);
-            }
-        }
-
-        // Route the knob-transition request through the fault injector:
-        // failed attempts cost retry latency, and a transition that fails
-        // its full retry budget leaves the chip at the fail-safe state.
-        let fault_key = FaultKey {
-            run_index,
-            position,
-        };
-        let mut executed = decision.config;
-        if injecting {
-            if let Some(prev) = prev_config {
-                if let Some(t) = faults.transition(fault_key, prev, decision.config) {
-                    executed = t.config;
-                    if t.penalty_s > 0.0 {
-                        result.transition_time_s += t.penalty_s;
-                        let te = sim.optimizer_energy(prev, t.penalty_s);
-                        result.overhead_energy.accumulate(&te);
-                    }
-                    if tracing {
-                        sink.record(&TraceEvent::FaultInjected {
-                            run_index,
-                            position,
-                            channel: FaultChannelKind::TransitionFail,
-                            magnitude: t.failed_attempts as f64,
-                        });
-                        if t.fell_back {
-                            sink.record(&TraceEvent::FailSafe {
-                                run_index,
-                                position,
-                                reason: FailSafeReason::TransitionFailed,
-                            });
-                        } else {
-                            sink.record(&TraceEvent::Recovered {
-                                run_index,
-                                position,
-                                channel: FaultChannelKind::TransitionFail,
-                                retries: t.failed_attempts,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        // DVFS transition stall between the previous kernel's state and
-        // this decision (free unless the simulator's transition model is
-        // enabled).
-        if let Some(prev) = prev_config {
-            let stall = gpm_sim::transition::transition_cost_s(sim.params(), prev, executed);
-            if stall > 0.0 {
-                result.transition_time_s += stall;
-                let te = sim.optimizer_energy(executed, stall);
-                result.overhead_energy.accumulate(&te);
-            }
-        }
-        prev_config = Some(executed);
-
-        let mut outcome = sim.evaluate(kernel, executed);
-        if injecting {
-            if let Some(f) = faults.throttle(fault_key, &mut outcome) {
-                if tracing {
-                    sink.record(&TraceEvent::FaultInjected {
-                        run_index,
-                        position,
-                        channel: f.channel,
-                        magnitude: f.magnitude,
-                    });
-                }
-            }
-        }
-        result.kernel_time_s += outcome.time_s;
-        result.ginstructions += outcome.ginstructions;
-        result.energy.accumulate(&outcome.energy);
-        result.per_kernel.push(KernelRun {
-            position,
-            name: kernel.name().to_string(),
-            config: executed,
-            time_s: outcome.time_s,
-            energy_j: outcome.energy.total_j(),
-            gi: outcome.ginstructions,
-            overhead_s: decision.overhead_s,
-            horizon: decision.horizon,
-        });
-
-        if tracing {
-            let observed_power_w = if outcome.time_s > 0.0 {
-                Some(outcome.energy.total_j() / outcome.time_s)
-            } else {
-                None
-            };
-            // Signed errors follow the convention predicted − observed:
-            // positive means the predictor overestimated.
-            sink.record(&TraceEvent::Outcome {
-                run_index,
-                position,
-                config: executed,
-                time_s: outcome.time_s,
-                energy_j: outcome.energy.total_j(),
-                gi: outcome.ginstructions,
-                time_error_s: decision.predicted.map(|p| p.time_s - outcome.time_s),
-                power_error_w: decision
-                    .predicted
-                    .and_then(|p| observed_power_w.map(|ow| p.chip_power_w - ow)),
-                energy_error_j: decision
-                    .predicted
-                    .map(|p| p.energy_j - outcome.energy.total_j()),
-            });
-            // Eq. 5 slack after this kernel retired: how much longer the
-            // run could afford to take while still meeting the target.
-            sink.record(&TraceEvent::Headroom {
-                run_index,
-                position,
-                slack_s: target.time_cap(result.ginstructions, result.kernel_time_s, 0.0),
-            });
-        }
-
-        // Optionally corrupt the *observation* the governor learns from —
-        // the physical accounting above stays truthful.
-        let observed: Option<KernelOutcome> = if injecting {
-            let mut obs = outcome.clone();
-            faults.corrupt_observation(fault_key, &mut obs).map(|f| {
-                if tracing {
-                    sink.record(&TraceEvent::FaultInjected {
-                        run_index,
-                        position,
-                        channel: f.channel,
-                        magnitude: f.magnitude,
-                    });
-                }
-                obs
-            })
-        } else {
-            None
-        };
-        let truth = provide_truth.then_some(kernel);
-        governor.observe(&ctx, executed, observed.as_ref().unwrap_or(&outcome), truth);
-    }
-    governor.end_run();
-    if tracing {
-        sink.record(&TraceEvent::RunEnd {
-            run_index,
-            kernel_time_s: result.kernel_time_s,
-            overhead_time_s: result.overhead_time_s,
-            transition_time_s: result.transition_time_s,
-            energy_j: result.total_energy_j(),
-            gi: result.ginstructions,
-        });
-    }
-    result
+    crate::env::replay(
+        sim,
+        workload,
+        governor,
+        target,
+        run_index,
+        provide_truth,
+        Middleware { sink, faults },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::ExecEnv;
     use gpm_governors::{FixedGovernor, TurboCore};
     use gpm_sim::ApuSimulator;
     use gpm_workloads::workload_by_name;
@@ -409,7 +216,7 @@ mod tests {
         let sim = sim();
         let w = workload_by_name("Spmv").unwrap();
         let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
-        let res = run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
+        let res = ExecEnv::new().run(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
         assert_eq!(res.per_kernel.len(), 30);
         let t: f64 = res.per_kernel.iter().map(|k| k.time_s).sum();
         assert!((t - res.kernel_time_s).abs() < 1e-9);
@@ -423,10 +230,11 @@ mod tests {
     fn turbo_core_run_is_deterministic() {
         let sim = ApuSimulator::default();
         let w = workload_by_name("kmeans").unwrap();
+        let env = ExecEnv::new();
         let run = |i: usize| {
             let mut gov = TurboCore::new(95.0);
             let _ = i;
-            run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false)
+            env.run(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false)
         };
         let a = run(0);
         let b = run(1);
@@ -441,9 +249,10 @@ mod tests {
         use gpm_sim::{OraclePredictor, SimParams};
         let sim = sim();
         let w = workload_by_name("EigenValue").unwrap();
+        let env = ExecEnv::new();
         // Target from a fail-safe run.
         let mut fixed = FixedGovernor::new(HwConfig::FAIL_SAFE);
-        let base = run_once(&sim, &w, &mut fixed, PerfTarget::new(1.0, 1.0), 0, false);
+        let base = env.run(&sim, &w, &mut fixed, PerfTarget::new(1.0, 1.0), 0, false);
         let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
         let mut ppk = PpkGovernor::new(
             OraclePredictor::new(&sim),
@@ -452,7 +261,7 @@ mod tests {
             OverheadModel::default(),
         )
         .with_truth_snapshots(true);
-        let res = run_once(&sim, &w, &mut ppk, target, 0, true);
+        let res = env.run(&sim, &w, &mut ppk, target, 0, true);
         assert!(res.overhead_time_s > 0.0);
         assert!(res.overhead_energy.total_j() > 0.0);
         assert!(res.total_energy_j() > res.energy.total_j());
@@ -463,7 +272,7 @@ mod tests {
         let sim = sim();
         let w = workload_by_name("hybridsort").unwrap();
         let mut gov = FixedGovernor::new(HwConfig::MAX_PERF);
-        let res = run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
+        let res = ExecEnv::new().run(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
         for k in &res.per_kernel {
             assert!(k.throughput() > 0.0, "{} throughput", k.name);
         }

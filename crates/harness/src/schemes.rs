@@ -2,23 +2,26 @@
 //!
 //! A [`Scheme`] identifies one of the paper's evaluated policies —
 //! Turbo Core, PPK or MPC with a given predictor, or Theoretically
-//! Optimal. [`evaluate_scheme`] runs the full protocol for one workload:
-//! establish the Turbo Core baseline (which defines the Eq. 1 performance
-//! target), run the scheme's profiling invocation where applicable, then
-//! measure its steady-state invocation including optimizer overheads.
+//! Optimal. [`ExecEnv::evaluate`](crate::env::ExecEnv::evaluate) runs
+//! the full protocol for one workload: resolve the Turbo Core baseline
+//! (which defines the Eq. 1 performance target) through the context's
+//! shared cache, run the scheme's profiling invocation where applicable,
+//! then measure its steady-state invocation including optimizer
+//! overheads.
 
 use crate::context::EvalContext;
-use crate::run::{run_once, run_once_faulted, RunResult};
-use gpm_faults::{FaultInjector, FaultPlan, FaultyPredictor};
+use crate::env::ExecEnv;
+use crate::run::RunResult;
+use gpm_faults::{FaultPlan, FaultyPredictor};
 use gpm_governors::{
     to, Governor, OverheadModel, PerfTarget, PlannedGovernor, PpkGovernor, TurboCore,
 };
-use gpm_hw::ConfigSpace;
 use gpm_model::{ErrorInjectedPredictor, ErrorSpec};
 use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor, MpcStats};
 use gpm_sim::{ApuSimulator, OraclePredictor};
-use gpm_trace::{noop_sink, TraceSink};
+use gpm_trace::TraceSink;
 use gpm_workloads::Workload;
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// The evaluated power-management schemes.
@@ -71,42 +74,42 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    /// Short display name used in tables.
-    pub fn label(&self) -> String {
+    /// Short display name used in tables. Borrowed for every fixed
+    /// scheme; only parameterized variants (fixed horizons, error specs)
+    /// allocate.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            Scheme::TurboCore => "TurboCore".into(),
-            Scheme::PpkOracle => "PPK(oracle)".into(),
-            Scheme::PpkRf => "PPK(RF)".into(),
+            Scheme::TurboCore => Cow::Borrowed("TurboCore"),
+            Scheme::PpkOracle => Cow::Borrowed("PPK(oracle)"),
+            Scheme::PpkRf => Cow::Borrowed("PPK(RF)"),
             Scheme::MpcRf {
                 horizon: HorizonMode::Adaptive { .. },
-            } => "MPC(RF,adaptive)".into(),
+            } => Cow::Borrowed("MPC(RF,adaptive)"),
             Scheme::MpcRf {
                 horizon: HorizonMode::Full,
-            } => "MPC(RF,full)".into(),
+            } => Cow::Borrowed("MPC(RF,full)"),
             Scheme::MpcRf {
                 horizon: HorizonMode::Fixed(h),
-            } => format!("MPC(RF,H={h})"),
+            } => Cow::Owned(format!("MPC(RF,H={h})")),
             Scheme::MpcRfOverhead {
                 horizon: HorizonMode::Full,
                 ..
-            } => "MPC(RF,full,custom-oh)".into(),
-            Scheme::MpcRfOverhead { .. } => "MPC(RF,adaptive,custom-oh)".into(),
-            Scheme::MpcRfIdealized => "MPC(RF,ideal)".into(),
-            Scheme::MpcOracle => "MPC(oracle)".into(),
-            Scheme::MpcError { spec } => {
-                format!(
-                    "MPC(Err_{:.0}%_{:.0}%)",
-                    spec.time_mae * 100.0,
-                    spec.power_mae * 100.0
-                )
-            }
-            Scheme::TheoreticallyOptimal => "TO".into(),
+            } => Cow::Borrowed("MPC(RF,full,custom-oh)"),
+            Scheme::MpcRfOverhead { .. } => Cow::Borrowed("MPC(RF,adaptive,custom-oh)"),
+            Scheme::MpcRfIdealized => Cow::Borrowed("MPC(RF,ideal)"),
+            Scheme::MpcOracle => Cow::Borrowed("MPC(oracle)"),
+            Scheme::MpcError { spec } => Cow::Owned(format!(
+                "MPC(Err_{:.0}%_{:.0}%)",
+                spec.time_mae * 100.0,
+                spec.power_mae * 100.0
+            )),
+            Scheme::TheoreticallyOptimal => Cow::Borrowed("TO"),
             Scheme::Equalizer {
                 mode: gpm_governors::EqualizerMode::Performance,
-            } => "Equalizer(perf)".into(),
+            } => Cow::Borrowed("Equalizer(perf)"),
             Scheme::Equalizer {
                 mode: gpm_governors::EqualizerMode::Efficiency,
-            } => "Equalizer(eff)".into(),
+            } => Cow::Borrowed("Equalizer(eff)"),
         }
     }
 }
@@ -114,8 +117,9 @@ impl Scheme {
 /// Everything measured for one (workload, scheme) pair.
 #[derive(Debug, Clone)]
 pub struct SchemeOutcome {
-    /// Scheme display label.
-    pub label: String,
+    /// Scheme display label (borrowed for fixed schemes — no per-run
+    /// allocation on hot paths).
+    pub label: Cow<'static, str>,
     /// The Turbo Core baseline run.
     pub baseline: RunResult,
     /// The performance target derived from the baseline.
@@ -130,43 +134,218 @@ pub struct SchemeOutcome {
 
 /// Runs Turbo Core once and derives the Eq. 1 performance target from its
 /// kernel-time totals.
+///
+/// This is the raw, uncached primitive; scheme evaluation goes through
+/// the per-workload cache via
+/// [`ExecEnv::baseline`](crate::env::ExecEnv::baseline).
 pub fn turbo_core_baseline(sim: &ApuSimulator, workload: &Workload) -> (RunResult, PerfTarget) {
     let mut tc = TurboCore::new(sim.params().tdp_w);
     // Target placeholder: Turbo Core ignores it.
-    let result = run_once(sim, workload, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let result = ExecEnv::new().run(sim, workload, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
     let target = PerfTarget::new(result.ginstructions, result.kernel_time_s);
     (result, target)
 }
 
-/// Evaluates `scheme` on `workload` under the shared context.
-pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -> SchemeOutcome {
-    evaluate_scheme_traced(ctx, workload, scheme, &noop_sink())
+impl ExecEnv {
+    /// Evaluates `scheme` on `workload` under the shared context, with
+    /// this environment's middleware installed on the scheme's governor
+    /// (capturing internal search / fail-safe telemetry) and threaded
+    /// through every profiling and measured replay.
+    ///
+    /// The Turbo Core baseline that defines the performance target stays
+    /// clean — untraced and unfaulted — and is resolved through the
+    /// context's per-workload cache; with fault injection active, the
+    /// scheme's predictor is additionally wrapped in a
+    /// [`FaultyPredictor`] driven by the environment's plan.
+    pub fn evaluate(
+        &self,
+        ctx: &EvalContext,
+        workload: &Workload,
+        scheme: Scheme,
+    ) -> SchemeOutcome {
+        let sim = &ctx.sim;
+        let plan = self.fault_plan();
+        let (baseline, target) = self.baseline(ctx, workload);
+        let space = ctx.campaign_space().clone();
+
+        let outcome = |profiling, measured, mpc_stats| SchemeOutcome {
+            label: scheme.label(),
+            baseline: baseline.clone(),
+            target,
+            profiling,
+            measured,
+            mpc_stats,
+        };
+
+        // The standard two-invocation protocol: profile on run 0, measure
+        // on run 1, with the environment's middleware installed once.
+        let profile_and_measure =
+            |gov: &mut dyn Governor, provide_truth: bool| -> (RunResult, RunResult) {
+                self.install(gov);
+                let profiling = self.run(sim, workload, gov, target, 0, provide_truth);
+                let measured = self.run(sim, workload, gov, target, 1, provide_truth);
+                (profiling, measured)
+            };
+
+        match scheme {
+            Scheme::TurboCore => {
+                let mut tc = TurboCore::new(sim.params().tdp_w);
+                self.install(&mut tc);
+                let measured = self.run(sim, workload, &mut tc, target, 0, false);
+                outcome(None, measured, None)
+            }
+            Scheme::PpkOracle => {
+                let mut gov = PpkGovernor::new(
+                    FaultyPredictor::new(OraclePredictor::new(sim), plan),
+                    sim.params().clone(),
+                    space,
+                    OverheadModel::free(),
+                )
+                .with_truth_snapshots(true);
+                let (profiling, measured) = profile_and_measure(&mut gov, true);
+                outcome(Some(profiling), measured, None)
+            }
+            Scheme::PpkRf => {
+                let mut gov = PpkGovernor::new(
+                    FaultyPredictor::new(ctx.rf.clone(), plan),
+                    sim.params().clone(),
+                    space,
+                    OverheadModel::default(),
+                );
+                let (profiling, measured) = profile_and_measure(&mut gov, false);
+                outcome(Some(profiling), measured, None)
+            }
+            Scheme::MpcRf { horizon } => {
+                let cfg = MpcConfig {
+                    horizon_mode: horizon,
+                    overhead: OverheadModel::default(),
+                    store_truth: false,
+                    ..MpcConfig::default()
+                };
+                let mut gov = MpcGovernor::new(
+                    FaultyPredictor::new(ctx.rf.clone(), plan),
+                    sim.params().clone(),
+                    cfg,
+                );
+                let (profiling, measured) = profile_and_measure(&mut gov, false);
+                let stats = gov.stats().clone();
+                outcome(Some(profiling), measured, Some(stats))
+            }
+            Scheme::MpcRfOverhead { horizon, overhead } => {
+                let cfg = MpcConfig {
+                    horizon_mode: horizon,
+                    overhead,
+                    store_truth: false,
+                    ..MpcConfig::default()
+                };
+                let mut gov = MpcGovernor::new(
+                    FaultyPredictor::new(ctx.rf.clone(), plan),
+                    sim.params().clone(),
+                    cfg,
+                );
+                let (profiling, measured) = profile_and_measure(&mut gov, false);
+                let stats = gov.stats().clone();
+                outcome(Some(profiling), measured, Some(stats))
+            }
+            Scheme::MpcRfIdealized => {
+                let cfg = MpcConfig {
+                    horizon_mode: HorizonMode::Full,
+                    overhead: OverheadModel::free(),
+                    store_truth: false,
+                    ..MpcConfig::default()
+                };
+                let mut gov = MpcGovernor::new(
+                    FaultyPredictor::new(ctx.rf.clone(), plan),
+                    sim.params().clone(),
+                    cfg,
+                );
+                let (profiling, measured) = profile_and_measure(&mut gov, false);
+                let stats = gov.stats().clone();
+                outcome(Some(profiling), measured, Some(stats))
+            }
+            Scheme::MpcOracle => {
+                let cfg = MpcConfig {
+                    horizon_mode: HorizonMode::Full,
+                    overhead: OverheadModel::free(),
+                    store_truth: true,
+                    ..MpcConfig::default()
+                };
+                let mut gov = MpcGovernor::new(
+                    FaultyPredictor::new(OraclePredictor::new(sim), plan),
+                    sim.params().clone(),
+                    cfg,
+                );
+                let (profiling, measured) = profile_and_measure(&mut gov, true);
+                let stats = gov.stats().clone();
+                outcome(Some(profiling), measured, Some(stats))
+            }
+            Scheme::MpcError { spec } => {
+                let cfg = MpcConfig {
+                    horizon_mode: HorizonMode::Full,
+                    overhead: OverheadModel::free(),
+                    store_truth: true,
+                    ..MpcConfig::default()
+                };
+                let predictor = ErrorInjectedPredictor::new(sim, spec, ctx.options.seed);
+                let mut gov = MpcGovernor::new(
+                    FaultyPredictor::new(predictor, plan),
+                    sim.params().clone(),
+                    cfg,
+                );
+                let (profiling, measured) = profile_and_measure(&mut gov, true);
+                let stats = gov.stats().clone();
+                outcome(Some(profiling), measured, Some(stats))
+            }
+            Scheme::Equalizer { mode } => {
+                let mut gov = gpm_governors::Equalizer::new(mode);
+                let (profiling, measured) = profile_and_measure(&mut gov, false);
+                outcome(Some(profiling), measured, None)
+            }
+            Scheme::TheoreticallyOptimal => {
+                let to_plan =
+                    to::plan_optimal(sim, workload.kernels(), &space, target.total_time_s());
+                let mut gov = PlannedGovernor::new("theoretically-optimal", to_plan.configs);
+                self.install(&mut gov);
+                let measured = self.run(sim, workload, &mut gov, target, 0, false);
+                outcome(None, measured, None)
+            }
+        }
+    }
 }
 
-/// [`evaluate_scheme`] with decision-level observability: the sink is
-/// installed on the scheme's governor (capturing its internal search /
-/// fail-safe telemetry) and threaded through every profiling and measured
-/// replay. The Turbo Core baseline run that defines the performance target
-/// stays untraced — it is shared context, not part of the scheme under
-/// observation.
+/// Evaluates `scheme` on `workload` under the shared context.
+///
+/// Deprecated shim over [`ExecEnv::evaluate`].
+#[deprecated(note = "build a `gpm_harness::env::ExecEnv` and call `ExecEnv::evaluate`")]
+pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -> SchemeOutcome {
+    ExecEnv::new().evaluate(ctx, workload, scheme)
+}
+
+/// Scheme evaluation with decision-level observability.
+///
+/// Deprecated shim over [`ExecEnv::evaluate`] with
+/// [`with_trace`](ExecEnv::with_trace).
+#[deprecated(
+    note = "build a `gpm_harness::env::ExecEnv` with `with_trace` and call `ExecEnv::evaluate`"
+)]
 pub fn evaluate_scheme_traced(
     ctx: &EvalContext,
     workload: &Workload,
     scheme: Scheme,
     sink: &Arc<dyn TraceSink>,
 ) -> SchemeOutcome {
-    evaluate_scheme_faulted(ctx, workload, scheme, sink, &FaultPlan::zero(0))
+    ExecEnv::new()
+        .with_trace(Arc::clone(sink))
+        .evaluate(ctx, workload, scheme)
 }
 
-/// [`evaluate_scheme_traced`] under a deterministic [`FaultPlan`]: the
-/// scheme's predictor is wrapped in a [`FaultyPredictor`], the MPC
-/// governor's pattern-store reads go through the plan, and both the
-/// profiling and measured replays run with dispatch-level injection
-/// (transition failures, TDP throttling, observation corruption).
+/// Scheme evaluation under a deterministic [`FaultPlan`].
 ///
-/// The Turbo Core baseline stays clean — it defines the performance
-/// target the degraded scheme is judged against. A zero plan makes this
-/// byte-identical to [`evaluate_scheme_traced`].
+/// Deprecated shim over [`ExecEnv::evaluate`] with
+/// [`with_fault_plan`](ExecEnv::with_fault_plan).
+#[deprecated(
+    note = "build a `gpm_harness::env::ExecEnv` with `with_fault_plan` and call `ExecEnv::evaluate`"
+)]
 pub fn evaluate_scheme_faulted(
     ctx: &EvalContext,
     workload: &Workload,
@@ -174,193 +353,10 @@ pub fn evaluate_scheme_faulted(
     sink: &Arc<dyn TraceSink>,
     plan: &FaultPlan,
 ) -> SchemeOutcome {
-    let sim = &ctx.sim;
-    let injector: Arc<dyn FaultInjector> = Arc::new(plan.clone());
-    let (baseline, target) = turbo_core_baseline(sim, workload);
-    let space = ConfigSpace::paper_campaign();
-
-    let outcome = |profiling, measured, mpc_stats| SchemeOutcome {
-        label: scheme.label(),
-        baseline: baseline.clone(),
-        target,
-        profiling,
-        measured,
-        mpc_stats,
-    };
-
-    // The standard two-invocation protocol: profile on run 0, measure on
-    // run 1, tracing both.
-    let profile_and_measure =
-        |gov: &mut dyn Governor, provide_truth: bool| -> (RunResult, RunResult) {
-            gov.set_trace_sink(Arc::clone(sink));
-            let profiling = run_once_faulted(
-                sim,
-                workload,
-                gov,
-                target,
-                0,
-                provide_truth,
-                sink.as_ref(),
-                plan,
-            );
-            let measured = run_once_faulted(
-                sim,
-                workload,
-                gov,
-                target,
-                1,
-                provide_truth,
-                sink.as_ref(),
-                plan,
-            );
-            (profiling, measured)
-        };
-
-    match scheme {
-        Scheme::TurboCore => {
-            let mut tc = TurboCore::new(sim.params().tdp_w);
-            tc.set_trace_sink(Arc::clone(sink));
-            let measured = run_once_faulted(
-                sim,
-                workload,
-                &mut tc,
-                target,
-                0,
-                false,
-                sink.as_ref(),
-                plan,
-            );
-            outcome(None, measured, None)
-        }
-        Scheme::PpkOracle => {
-            let mut gov = PpkGovernor::new(
-                FaultyPredictor::new(OraclePredictor::new(sim), plan),
-                sim.params().clone(),
-                space,
-                OverheadModel::free(),
-            )
-            .with_truth_snapshots(true);
-            let (profiling, measured) = profile_and_measure(&mut gov, true);
-            outcome(Some(profiling), measured, None)
-        }
-        Scheme::PpkRf => {
-            let mut gov = PpkGovernor::new(
-                FaultyPredictor::new(ctx.rf.clone(), plan),
-                sim.params().clone(),
-                space,
-                OverheadModel::default(),
-            );
-            let (profiling, measured) = profile_and_measure(&mut gov, false);
-            outcome(Some(profiling), measured, None)
-        }
-        Scheme::MpcRf { horizon } => {
-            let cfg = MpcConfig {
-                horizon_mode: horizon,
-                overhead: OverheadModel::default(),
-                store_truth: false,
-                ..MpcConfig::default()
-            };
-            let mut gov = MpcGovernor::new(
-                FaultyPredictor::new(ctx.rf.clone(), plan),
-                sim.params().clone(),
-                cfg,
-            )
-            .with_fault_injector(Arc::clone(&injector));
-            let (profiling, measured) = profile_and_measure(&mut gov, false);
-            let stats = gov.stats().clone();
-            outcome(Some(profiling), measured, Some(stats))
-        }
-        Scheme::MpcRfOverhead { horizon, overhead } => {
-            let cfg = MpcConfig {
-                horizon_mode: horizon,
-                overhead,
-                store_truth: false,
-                ..MpcConfig::default()
-            };
-            let mut gov = MpcGovernor::new(
-                FaultyPredictor::new(ctx.rf.clone(), plan),
-                sim.params().clone(),
-                cfg,
-            )
-            .with_fault_injector(Arc::clone(&injector));
-            let (profiling, measured) = profile_and_measure(&mut gov, false);
-            let stats = gov.stats().clone();
-            outcome(Some(profiling), measured, Some(stats))
-        }
-        Scheme::MpcRfIdealized => {
-            let cfg = MpcConfig {
-                horizon_mode: HorizonMode::Full,
-                overhead: OverheadModel::free(),
-                store_truth: false,
-                ..MpcConfig::default()
-            };
-            let mut gov = MpcGovernor::new(
-                FaultyPredictor::new(ctx.rf.clone(), plan),
-                sim.params().clone(),
-                cfg,
-            )
-            .with_fault_injector(Arc::clone(&injector));
-            let (profiling, measured) = profile_and_measure(&mut gov, false);
-            let stats = gov.stats().clone();
-            outcome(Some(profiling), measured, Some(stats))
-        }
-        Scheme::MpcOracle => {
-            let cfg = MpcConfig {
-                horizon_mode: HorizonMode::Full,
-                overhead: OverheadModel::free(),
-                store_truth: true,
-                ..MpcConfig::default()
-            };
-            let mut gov = MpcGovernor::new(
-                FaultyPredictor::new(OraclePredictor::new(sim), plan),
-                sim.params().clone(),
-                cfg,
-            )
-            .with_fault_injector(Arc::clone(&injector));
-            let (profiling, measured) = profile_and_measure(&mut gov, true);
-            let stats = gov.stats().clone();
-            outcome(Some(profiling), measured, Some(stats))
-        }
-        Scheme::MpcError { spec } => {
-            let cfg = MpcConfig {
-                horizon_mode: HorizonMode::Full,
-                overhead: OverheadModel::free(),
-                store_truth: true,
-                ..MpcConfig::default()
-            };
-            let predictor = ErrorInjectedPredictor::new(sim, spec, ctx.options.seed);
-            let mut gov = MpcGovernor::new(
-                FaultyPredictor::new(predictor, plan),
-                sim.params().clone(),
-                cfg,
-            )
-            .with_fault_injector(Arc::clone(&injector));
-            let (profiling, measured) = profile_and_measure(&mut gov, true);
-            let stats = gov.stats().clone();
-            outcome(Some(profiling), measured, Some(stats))
-        }
-        Scheme::Equalizer { mode } => {
-            let mut gov = gpm_governors::Equalizer::new(mode);
-            let (profiling, measured) = profile_and_measure(&mut gov, false);
-            outcome(Some(profiling), measured, None)
-        }
-        Scheme::TheoreticallyOptimal => {
-            let to_plan = to::plan_optimal(sim, workload.kernels(), &space, target.total_time_s());
-            let mut gov = PlannedGovernor::new("theoretically-optimal", to_plan.configs);
-            gov.set_trace_sink(Arc::clone(sink));
-            let measured = run_once_faulted(
-                sim,
-                workload,
-                &mut gov,
-                target,
-                0,
-                false,
-                sink.as_ref(),
-                plan,
-            );
-            outcome(None, measured, None)
-        }
-    }
+    ExecEnv::new()
+        .with_trace(Arc::clone(sink))
+        .with_fault_plan(plan.clone())
+        .evaluate(ctx, workload, scheme)
 }
 
 #[cfg(test)]
@@ -387,7 +383,7 @@ mod tests {
     #[test]
     fn to_beats_turbo_core_on_energy_without_perf_loss() {
         let w = workload_by_name("Spmv").unwrap();
-        let out = evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal);
+        let out = ExecEnv::new().evaluate(ctx(), &w, Scheme::TheoreticallyOptimal);
         let c = Comparison::between(&out.baseline, &out.measured);
         assert!(
             c.energy_savings_pct > 5.0,
@@ -402,7 +398,7 @@ mod tests {
     #[test]
     fn ppk_oracle_saves_energy_on_regular_benchmark() {
         let w = workload_by_name("mandelbulbGPU").unwrap();
-        let out = evaluate_scheme(ctx(), &w, Scheme::PpkOracle);
+        let out = ExecEnv::new().evaluate(ctx(), &w, Scheme::PpkOracle);
         let c = Comparison::between(&out.baseline, &out.measured);
         assert!(
             c.energy_savings_pct > 10.0,
@@ -415,8 +411,9 @@ mod tests {
     #[test]
     fn mpc_oracle_tracks_to_on_irregular_benchmark() {
         let w = workload_by_name("kmeans").unwrap();
-        let to_out = evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal);
-        let mpc_out = evaluate_scheme(ctx(), &w, Scheme::MpcOracle);
+        let env = ExecEnv::new();
+        let to_out = env.evaluate(ctx(), &w, Scheme::TheoreticallyOptimal);
+        let mpc_out = env.evaluate(ctx(), &w, Scheme::MpcOracle);
         let to_c = Comparison::between(&to_out.baseline, &to_out.measured);
         let mpc_c = Comparison::between(&mpc_out.baseline, &mpc_out.measured);
         // MPC should capture a large share of TO's savings (92% suite-wide
@@ -432,7 +429,7 @@ mod tests {
     #[test]
     fn mpc_rf_scheme_produces_stats() {
         let w = workload_by_name("EigenValue").unwrap();
-        let out = evaluate_scheme(
+        let out = ExecEnv::new().evaluate(
             ctx(),
             &w,
             Scheme::MpcRf {
@@ -464,9 +461,28 @@ mod tests {
             },
             Scheme::TheoreticallyOptimal,
         ];
-        let mut labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+        let mut labels: Vec<Cow<'static, str>> = schemes.iter().map(|s| s.label()).collect();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), schemes.len());
+    }
+
+    #[test]
+    fn fixed_scheme_labels_do_not_allocate() {
+        assert!(matches!(Scheme::TurboCore.label(), Cow::Borrowed(_)));
+        assert!(matches!(
+            Scheme::MpcRf {
+                horizon: HorizonMode::default()
+            }
+            .label(),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            Scheme::MpcRf {
+                horizon: HorizonMode::Fixed(4)
+            }
+            .label(),
+            Cow::Owned(_)
+        ));
     }
 }

@@ -164,13 +164,13 @@ mod tests {
 
     #[test]
     fn power_segments_reconstruct_run_energy() {
-        use crate::run::run_once;
+        use crate::env::ExecEnv;
         use gpm_governors::{FixedGovernor, PerfTarget};
         use gpm_sim::sampling::{sample_trace, trace_energy_j};
         let sim = ApuSimulator::noiseless();
         let w = workload_by_name("EigenValue").unwrap();
         let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
-        let res = run_once(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
+        let res = ExecEnv::new().run(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
         let segments = power_segments(&sim, &w, &res);
         assert_eq!(segments.len(), w.len());
         let total_seg: f64 = segments.iter().map(|s| s.duration_s).sum();

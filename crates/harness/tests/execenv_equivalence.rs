@@ -1,0 +1,251 @@
+//! The refactor's golden guarantee: the unified [`ExecEnv`] dispatch path
+//! is byte-identical to the legacy `run_once*` / `evaluate_scheme*`
+//! free-function ladder it replaced, and the context's shared baseline
+//! cache returns bit-identical Turbo Core targets while simulating the
+//! baseline exactly once per workload per context — even under
+//! concurrent resolution.
+//!
+//! This file is the one sanctioned caller of the deprecated shims.
+#![allow(deprecated)]
+
+use gpm_faults::FaultPlan;
+use gpm_governors::{EqualizerMode, FixedGovernor, OverheadModel, PerfTarget};
+use gpm_harness::{
+    evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced, run_once,
+    turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme, SchemeOutcome,
+};
+use gpm_hw::HwConfig;
+use gpm_model::ErrorSpec;
+use gpm_mpc::HorizonMode;
+use gpm_trace::{AggregateSink, RingSink, TraceSink};
+use gpm_workloads::{suite, workload_by_name};
+use std::sync::{Arc, OnceLock};
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| EvalContext::build(EvalOptions::fast()))
+}
+
+/// Every scheme constructor, parameterized variants included.
+fn all_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::TurboCore,
+        Scheme::PpkOracle,
+        Scheme::PpkRf,
+        Scheme::MpcRf {
+            horizon: HorizonMode::default(),
+        },
+        Scheme::MpcRf {
+            horizon: HorizonMode::Full,
+        },
+        Scheme::MpcRf {
+            horizon: HorizonMode::Fixed(3),
+        },
+        Scheme::MpcRfOverhead {
+            horizon: HorizonMode::default(),
+            overhead: OverheadModel::default(),
+        },
+        Scheme::MpcRfIdealized,
+        Scheme::MpcOracle,
+        Scheme::MpcError {
+            spec: ErrorSpec::ERR_15_10,
+        },
+        Scheme::TheoreticallyOptimal,
+        Scheme::Equalizer {
+            mode: EqualizerMode::Efficiency,
+        },
+    ]
+}
+
+/// Full outcome fingerprint: label, both trajectories, baseline, target.
+fn fingerprint(out: &SchemeOutcome) -> String {
+    let profiling = out
+        .profiling
+        .as_ref()
+        .map(|p| serde_json::to_string(&p.per_kernel).unwrap())
+        .unwrap_or_default();
+    format!(
+        "{}\n{}\n{}\n{}\n{:x}/{:x}",
+        out.label,
+        profiling,
+        serde_json::to_string(&out.measured.per_kernel).unwrap(),
+        serde_json::to_string(&out.baseline.per_kernel).unwrap(),
+        out.target.total_ginstructions().to_bits(),
+        out.target.total_time_s().to_bits(),
+    )
+}
+
+#[test]
+fn clean_execenv_matches_legacy_evaluate_scheme_for_all_schemes() {
+    let w = workload_by_name("kmeans").unwrap();
+    let env = ExecEnv::new();
+    for scheme in all_schemes() {
+        let legacy = evaluate_scheme(ctx(), &w, scheme);
+        let unified = env.evaluate(ctx(), &w, scheme);
+        assert_eq!(
+            fingerprint(&legacy),
+            fingerprint(&unified),
+            "{} diverged between the legacy shim and ExecEnv",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn traced_execenv_matches_legacy_traced_shim() {
+    let w = workload_by_name("Spmv").unwrap();
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
+    let legacy_agg = Arc::new(AggregateSink::new());
+    let legacy_sink: Arc<dyn TraceSink> = legacy_agg.clone();
+    let legacy = evaluate_scheme_traced(ctx(), &w, scheme, &legacy_sink);
+
+    let agg = Arc::new(AggregateSink::new());
+    let env = ExecEnv::new().with_trace(agg.clone());
+    let unified = env.evaluate(ctx(), &w, scheme);
+
+    assert_eq!(fingerprint(&legacy), fingerprint(&unified));
+    // Same decision stream → same aggregate counters (the ExecEnv path
+    // additionally records its BaselineResolved events).
+    let (ls, us) = (legacy_agg.summary(), agg.summary());
+    assert_eq!(ls.dispatches, us.dispatches);
+    assert_eq!(ls.decisions, us.decisions);
+    assert_eq!(ls.horizon_evaluations, us.horizon_evaluations);
+    assert_eq!(us.baseline_simulations + us.baseline_cache_hits, 1);
+}
+
+#[test]
+fn faulted_execenv_matches_legacy_faulted_shim() {
+    let w = workload_by_name("EigenValue").unwrap();
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
+    let plan = FaultPlan::uniform(0xFEED_BEEF, 0.15);
+
+    let legacy_agg = Arc::new(AggregateSink::new());
+    let legacy_sink: Arc<dyn TraceSink> = legacy_agg.clone();
+    let legacy = evaluate_scheme_faulted(ctx(), &w, scheme, &legacy_sink, &plan);
+
+    let agg = Arc::new(AggregateSink::new());
+    let env = ExecEnv::new().with_trace(agg.clone()).with_fault_plan(plan);
+    let unified = env.evaluate(ctx(), &w, scheme);
+
+    assert_eq!(fingerprint(&legacy), fingerprint(&unified));
+    assert_eq!(
+        legacy_agg.summary().fault_injections,
+        agg.summary().fault_injections
+    );
+    assert!(
+        agg.summary().fault_injections > 0,
+        "the 15% plan never fired"
+    );
+}
+
+#[test]
+fn execenv_run_matches_legacy_run_once() {
+    let w = workload_by_name("NBody").unwrap();
+    let target = PerfTarget::new(1.0, 1.0);
+    let legacy = {
+        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        run_once(&ctx().sim, &w, &mut gov, target, 0, false)
+    };
+    let unified = {
+        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        ExecEnv::new().run(&ctx().sim, &w, &mut gov, target, 0, false)
+    };
+    assert_eq!(
+        serde_json::to_string(&legacy.per_kernel).unwrap(),
+        serde_json::to_string(&unified.per_kernel).unwrap()
+    );
+    assert_eq!(
+        legacy.total_energy_j().to_bits(),
+        unified.total_energy_j().to_bits()
+    );
+    assert_eq!(
+        legacy.wall_time_s().to_bits(),
+        unified.wall_time_s().to_bits()
+    );
+}
+
+#[test]
+fn cached_baselines_are_bit_identical_to_uncached_recomputation() {
+    let env = ExecEnv::new();
+    // A fresh context so this test owns the cache-hit accounting.
+    let local = EvalContext::build(EvalOptions::fast());
+    for w in suite() {
+        let (cached_run, cached_target) = env.baseline(&local, &w);
+        let (raw_run, raw_target) = turbo_core_baseline(&local.sim, &w);
+        assert_eq!(
+            cached_target.total_ginstructions().to_bits(),
+            raw_target.total_ginstructions().to_bits(),
+            "{}: cached target instructions differ",
+            w.name()
+        );
+        assert_eq!(
+            cached_target.total_time_s().to_bits(),
+            raw_target.total_time_s().to_bits(),
+            "{}: cached target time differs",
+            w.name()
+        );
+        assert_eq!(
+            cached_run.total_energy_j().to_bits(),
+            raw_run.total_energy_j().to_bits(),
+            "{}: cached baseline energy differs",
+            w.name()
+        );
+    }
+    // Second resolution round: all hits, no recomputation.
+    let after_first = local.baseline_stats();
+    for w in suite() {
+        let _ = env.baseline(&local, &w);
+    }
+    let after_second = local.baseline_stats();
+    assert_eq!(after_first.computed, suite().len() as u64);
+    assert_eq!(after_second.computed, after_first.computed);
+    assert_eq!(after_second.hits, after_first.hits + suite().len() as u64);
+}
+
+#[test]
+fn concurrent_resolution_simulates_each_baseline_once() {
+    let local = EvalContext::build(EvalOptions::fast());
+    let names = ["kmeans", "Spmv", "EigenValue", "NBody"];
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let env = ExecEnv::new();
+                for name in names {
+                    let w = workload_by_name(name).unwrap();
+                    let (_, target) = env.baseline(&local, &w);
+                    assert!(target.total_time_s() > 0.0);
+                }
+            });
+        }
+    });
+    let stats = local.baseline_stats();
+    assert_eq!(
+        stats.computed,
+        names.len() as u64,
+        "each workload's baseline must be simulated exactly once"
+    );
+    assert_eq!(stats.hits, (names.len() * 3) as u64);
+}
+
+#[test]
+fn baseline_resolutions_are_traced_with_cache_state() {
+    let local = EvalContext::build(EvalOptions::fast());
+    let ring = Arc::new(RingSink::new(64));
+    let env = ExecEnv::new().with_trace(ring.clone());
+    let w = workload_by_name("kmeans").unwrap();
+    let _ = env.baseline(&local, &w);
+    let _ = env.baseline(&local, &w);
+    let cached_flags: Vec<bool> = ring
+        .snapshot()
+        .iter()
+        .filter_map(|e| match e {
+            gpm_trace::TraceEvent::BaselineResolved { cached, .. } => Some(*cached),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cached_flags, vec![false, true]);
+}

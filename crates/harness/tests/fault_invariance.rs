@@ -9,9 +9,7 @@
 //!    completes with finite accounting and bounded slowdown.
 
 use gpm_faults::FaultPlan;
-use gpm_harness::{
-    evaluate_scheme, evaluate_scheme_faulted, EvalContext, EvalOptions, Scheme, SchemeOutcome,
-};
+use gpm_harness::{EvalContext, EvalOptions, ExecEnv, Scheme, SchemeOutcome};
 use gpm_mpc::HorizonMode;
 use gpm_trace::{AggregateSink, TraceSink};
 use gpm_workloads::workload_by_name;
@@ -54,7 +52,10 @@ fn faulted(workload_name: &str, scheme: Scheme, plan: &FaultPlan) -> (SchemeOutc
     let workload = workload_by_name(workload_name).unwrap();
     let agg = Arc::new(AggregateSink::new());
     let sink: Arc<dyn TraceSink> = agg.clone();
-    let out = evaluate_scheme_faulted(ctx(), &workload, scheme, &sink, plan);
+    let env = ExecEnv::new()
+        .with_trace(sink)
+        .with_fault_plan(plan.clone());
+    let out = env.evaluate(ctx(), &workload, scheme);
     (out, agg.summary().fault_injections)
 }
 
@@ -71,7 +72,7 @@ proptest! {
     ) {
         let workload = workload_by_name(WORKLOADS[w_idx]).unwrap();
         let scheme = scheme_for(s_idx);
-        let clean = evaluate_scheme(ctx(), &workload, scheme);
+        let clean = ExecEnv::new().evaluate(ctx(), &workload, scheme);
         let (zeroed, fired) = faulted(WORKLOADS[w_idx], scheme, &FaultPlan::zero(seed));
         prop_assert_eq!(trajectory(&clean), trajectory(&zeroed));
         prop_assert_eq!(fired, 0);

@@ -2,9 +2,7 @@
 //! never change a governor's decisions, and the aggregating sink must
 //! reproduce the statistics the MPC governor already keeps.
 
-use gpm_harness::{
-    evaluate_scheme, evaluate_scheme_traced, EvalContext, EvalOptions, Scheme, SchemeOutcome,
-};
+use gpm_harness::{EvalContext, EvalOptions, ExecEnv, Scheme, SchemeOutcome};
 use gpm_mpc::HorizonMode;
 use gpm_trace::{AggregateSink, FanoutSink, RingSink, TraceSink};
 use gpm_workloads::workload_by_name;
@@ -53,13 +51,13 @@ proptest! {
         let workload = workload_by_name(WORKLOADS[w_idx]).unwrap();
         let scheme = scheme_for(s_idx);
 
-        let plain = evaluate_scheme(ctx(), &workload, scheme);
+        let plain = ExecEnv::new().evaluate(ctx(), &workload, scheme);
 
         let ring = Arc::new(RingSink::new(256));
         let agg = Arc::new(AggregateSink::new());
         let sink: Arc<dyn TraceSink> =
             Arc::new(FanoutSink::new(vec![ring.clone(), agg.clone()]));
-        let traced = evaluate_scheme_traced(ctx(), &workload, scheme, &sink);
+        let traced = ExecEnv::new().with_trace(sink).evaluate(ctx(), &workload, scheme);
 
         prop_assert_eq!(trajectory(&plain), trajectory(&traced));
         // And the sink really observed the replay.
@@ -76,13 +74,12 @@ fn aggregate_summary_reproduces_mpc_stats() {
     let workload = workload_by_name("kmeans").unwrap();
     let agg = Arc::new(AggregateSink::new());
     let sink: Arc<dyn TraceSink> = agg.clone();
-    let out = evaluate_scheme_traced(
+    let out = ExecEnv::new().with_trace(sink).evaluate(
         ctx(),
         &workload,
         Scheme::MpcRf {
             horizon: HorizonMode::default(),
         },
-        &sink,
     );
     let stats = out.mpc_stats.expect("MPC scheme returns stats");
     let summary = agg.summary();
@@ -110,14 +107,15 @@ fn traced_run_events_roundtrip_jsonl() {
     let workload = workload_by_name("Spmv").unwrap();
     let jsonl = Arc::new(gpm_trace::JsonlSink::new(Vec::new()));
     let sink: Arc<dyn TraceSink> = jsonl.clone();
-    let _ = evaluate_scheme_traced(
+    let env = ExecEnv::new().with_trace(Arc::clone(&sink));
+    let _ = env.evaluate(
         ctx(),
         &workload,
         Scheme::MpcRf {
             horizon: HorizonMode::default(),
         },
-        &sink,
     );
+    drop(env);
     drop(sink);
     let bytes = Arc::try_unwrap(jsonl).expect("sole owner").into_inner();
     let text = String::from_utf8(bytes).unwrap();

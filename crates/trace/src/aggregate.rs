@@ -72,6 +72,12 @@ impl Histogram {
 pub struct TraceSummary {
     /// `RunStart` events seen.
     pub runs: u64,
+    /// `BaselineResolved` events with `cached == false`: Turbo Core
+    /// baselines actually simulated.
+    pub baseline_simulations: u64,
+    /// `BaselineResolved` events with `cached == true`: baselines served
+    /// from the evaluation context's shared cache.
+    pub baseline_cache_hits: u64,
     /// `Dispatch` events seen.
     pub dispatches: u64,
     /// All `Decision` events seen.
@@ -137,6 +143,8 @@ impl Default for TraceSummary {
     fn default() -> TraceSummary {
         TraceSummary {
             runs: 0,
+            baseline_simulations: 0,
+            baseline_cache_hits: 0,
             dispatches: 0,
             decisions: 0,
             horizon_decisions: 0,
@@ -216,6 +224,13 @@ impl TraceSink for AggregateSink {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         match event {
             TraceEvent::RunStart { .. } => st.summary.runs += 1,
+            TraceEvent::BaselineResolved { cached, .. } => {
+                if *cached {
+                    st.summary.baseline_cache_hits += 1;
+                } else {
+                    st.summary.baseline_simulations += 1;
+                }
+            }
             TraceEvent::Dispatch { .. } => st.summary.dispatches += 1,
             TraceEvent::Search { visits, pruned, .. } => {
                 st.summary.searches += 1;
@@ -372,6 +387,21 @@ mod tests {
         assert_eq!(s.energy_error_rel.count(), 1);
         assert_eq!(s.min_headroom_s, -0.1);
         assert!((s.mean_headroom_s - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_splits_baseline_resolutions_by_cache_state() {
+        let agg = AggregateSink::new();
+        for cached in [false, true, true, true] {
+            agg.record(&TraceEvent::BaselineResolved {
+                run_index: 0,
+                workload: "w".into(),
+                cached,
+            });
+        }
+        let s = agg.summary();
+        assert_eq!(s.baseline_simulations, 1);
+        assert_eq!(s.baseline_cache_hits, 3);
     }
 
     #[test]

@@ -104,6 +104,18 @@ pub enum TraceEvent {
         /// Kernels in the application.
         total_kernels: usize,
     },
+    /// A Turbo Core baseline (run + Eq. 1 performance target) was
+    /// resolved for a workload — either freshly simulated or served from
+    /// the evaluation context's shared cache.
+    BaselineResolved {
+        /// Invocation index the baseline replays as (always 0).
+        run_index: usize,
+        /// Workload the baseline belongs to.
+        workload: String,
+        /// `true` when the cached baseline was reused, `false` when the
+        /// Turbo Core run was actually simulated.
+        cached: bool,
+    },
     /// A kernel is about to be dispatched (before the governor decides).
     Dispatch {
         /// Invocation index.
@@ -255,6 +267,7 @@ impl TraceEvent {
     pub fn run_index(&self) -> usize {
         match *self {
             TraceEvent::RunStart { run_index, .. }
+            | TraceEvent::BaselineResolved { run_index, .. }
             | TraceEvent::Dispatch { run_index, .. }
             | TraceEvent::Search { run_index, .. }
             | TraceEvent::Decision { run_index, .. }
@@ -272,6 +285,7 @@ impl TraceEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::RunStart { .. } => "RunStart",
+            TraceEvent::BaselineResolved { .. } => "BaselineResolved",
             TraceEvent::Dispatch { .. } => "Dispatch",
             TraceEvent::Search { .. } => "Search",
             TraceEvent::Decision { .. } => "Decision",
@@ -313,6 +327,11 @@ mod tests {
                 governor: "g".into(),
                 run_index: 3,
                 total_kernels: 7,
+            },
+            TraceEvent::BaselineResolved {
+                run_index: 3,
+                workload: "w".into(),
+                cached: true,
             },
             TraceEvent::Dispatch {
                 run_index: 3,

@@ -15,9 +15,7 @@
 use gpm::governors::{Governor, GovernorDecision, KernelContext};
 use gpm::harness::metrics::Comparison;
 use gpm::harness::report::{fmt, Table};
-use gpm::harness::{
-    evaluate_scheme, run_once, turbo_core_baseline, EvalContext, EvalOptions, Scheme,
-};
+use gpm::harness::{turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::hw::{CpuPState, CuCount, GpuDpm, HwConfig, NbState};
 use gpm::mpc::HorizonMode;
 use gpm::sim::{KernelCharacteristics, KernelOutcome};
@@ -52,6 +50,7 @@ impl Governor for RaceToIdle {
 
 fn main() {
     let ctx = EvalContext::build(EvalOptions::fast());
+    let env = ExecEnv::new();
 
     let mut table = Table::new(vec![
         "benchmark",
@@ -67,10 +66,10 @@ fn main() {
         let (baseline, target) = turbo_core_baseline(&ctx.sim, &workload);
 
         let mut rti = RaceToIdle;
-        let rti_run = run_once(&ctx.sim, &workload, &mut rti, target, 0, false);
+        let rti_run = env.run(&ctx.sim, &workload, &mut rti, target, 0, false);
         let rti_c = Comparison::between(&baseline, &rti_run);
 
-        let mpc = evaluate_scheme(
+        let mpc = env.evaluate(
             &ctx,
             &workload,
             Scheme::MpcRf {

@@ -15,7 +15,7 @@
 use gpm::governors::to;
 use gpm::harness::metrics::Comparison;
 use gpm::harness::report::{fmt, Table};
-use gpm::harness::{evaluate_scheme, turbo_core_baseline, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::hw::ConfigSpace;
 use gpm::mpc::HorizonMode;
 use gpm::sim::{KernelCharacteristics, KernelClass};
@@ -91,11 +91,12 @@ fn main() {
         "energy savings (%)",
         "speedup",
     ]);
+    let env = ExecEnv::new();
     for scheme in schemes {
-        let out = evaluate_scheme(&ctx, &app, scheme);
+        let out = env.evaluate(&ctx, &app, scheme);
         let c = Comparison::between(&out.baseline, &out.measured);
         table.row(vec![
-            out.label.clone(),
+            out.label.to_string(),
             fmt(out.measured.total_energy_j(), 2),
             fmt(out.measured.wall_time_s() * 1e3, 1),
             fmt(c.energy_savings_pct, 1),

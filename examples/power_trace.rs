@@ -7,7 +7,7 @@
 //! ```
 
 use gpm::harness::traces::power_segments;
-use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::mpc::HorizonMode;
 use gpm::sim::sampling::{sample_trace, trace_energy_j, PowerSample};
 use gpm::workloads::workload_by_name;
@@ -43,8 +43,9 @@ fn main() {
         workload_by_name("kmeans").unwrap()
     });
 
-    let tc = evaluate_scheme(&ctx, &workload, Scheme::TurboCore);
-    let mpc = evaluate_scheme(
+    let env = ExecEnv::new();
+    let tc = env.evaluate(&ctx, &workload, Scheme::TurboCore);
+    let mpc = env.evaluate(
         &ctx,
         &workload,
         Scheme::MpcRf {

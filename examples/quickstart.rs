@@ -11,7 +11,7 @@
 //! application on its first invocation, then measure the steady state.
 
 use gpm::harness::metrics::Comparison;
-use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::mpc::HorizonMode;
 use gpm::workloads::workload_by_name;
 
@@ -32,15 +32,17 @@ fn main() {
     println!("workload: {workload}");
 
     // 3. Evaluate the full MPC system (adaptive horizon, α = 5%,
-    //    optimizer overheads charged) and the PPK baseline.
-    let mpc = evaluate_scheme(
+    //    optimizer overheads charged) and the PPK baseline. The execution
+    //    environment is clean here — no tracing, no fault injection.
+    let env = ExecEnv::new();
+    let mpc = env.evaluate(
         &ctx,
         &workload,
         Scheme::MpcRf {
             horizon: HorizonMode::default(),
         },
     );
-    let ppk = evaluate_scheme(&ctx, &workload, Scheme::PpkRf);
+    let ppk = env.evaluate(&ctx, &workload, Scheme::PpkRf);
 
     let mpc_c = Comparison::between(&mpc.baseline, &mpc.measured);
     let ppk_c = Comparison::between(&ppk.baseline, &ppk.measured);

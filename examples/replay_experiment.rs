@@ -7,7 +7,7 @@
 //! ```
 
 use gpm::governors::{PerfTarget, TurboCore};
-use gpm::harness::run_once;
+use gpm::harness::ExecEnv;
 use gpm::hw::ConfigSpace;
 use gpm::mpc::{MpcConfig, MpcGovernor};
 use gpm::sim::{ApuSimulator, OraclePredictor, Platform, ReplayPlatform, SimParams};
@@ -29,10 +29,11 @@ fn main() {
 
     // 2. From here on, only the recorded table is consulted.
     let table: &dyn Platform = &replay;
+    let env = ExecEnv::new();
 
     // Baseline: Turbo Core, which also defines the performance target.
     let mut tc = TurboCore::new(table.params().tdp_w);
-    let base = run_once(
+    let base = env.run(
         table,
         &workload,
         &mut tc,
@@ -56,8 +57,8 @@ fn main() {
             ..MpcConfig::default()
         },
     );
-    run_once(table, &workload, &mut mpc, target, 0, true);
-    let measured = run_once(table, &workload, &mut mpc, target, 1, true);
+    env.run(table, &workload, &mut mpc, target, 0, true);
+    let measured = env.run(table, &workload, &mut mpc, target, 1, true);
     println!(
         "MPC        (replayed): {:.2} J over {:.1} ms — {:.1}% savings, speedup {:.3}",
         measured.total_energy_j(),
@@ -71,7 +72,7 @@ fn main() {
     let restored = ReplayPlatform::from_json(&json).expect("roundtrip");
     let again = {
         let mut tc = TurboCore::new(restored.params().tdp_w);
-        run_once(
+        env.run(
             &restored,
             &workload,
             &mut tc,

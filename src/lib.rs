@@ -29,14 +29,15 @@
 //! `examples/quickstart.rs` for the full program):
 //!
 //! ```no_run
-//! use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+//! use gpm::harness::{EvalContext, EvalOptions, ExecEnv, Scheme};
 //! use gpm::harness::metrics::Comparison;
 //! use gpm::mpc::HorizonMode;
 //! use gpm::workloads::workload_by_name;
 //!
 //! let ctx = EvalContext::build(EvalOptions::default());
 //! let kmeans = workload_by_name("kmeans").unwrap();
-//! let out = evaluate_scheme(&ctx, &kmeans, Scheme::MpcRf { horizon: HorizonMode::default() });
+//! let env = ExecEnv::new();
+//! let out = env.evaluate(&ctx, &kmeans, Scheme::MpcRf { horizon: HorizonMode::default() });
 //! let c = Comparison::between(&out.baseline, &out.measured);
 //! println!("energy savings {:.1}%, speedup {:.3}", c.energy_savings_pct, c.speedup);
 //! ```

@@ -16,7 +16,7 @@ use gpm::governors::EqualizerMode;
 use gpm::harness::metrics::Comparison;
 use gpm::harness::report::{fmt, Table};
 use gpm::harness::traces::{fig2_sweep, fig3_trace};
-use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::model::ErrorSpec;
 use gpm::mpc::HorizonMode;
 use gpm::sim::ApuSimulator;
@@ -209,12 +209,12 @@ fn cmd_run(flags: &HashMap<String, String>) -> ExitCode {
             ctx
         }
     };
-    let out = evaluate_scheme(&ctx, &workload, scheme);
+    let out = ExecEnv::new().evaluate(&ctx, &workload, scheme);
     let c = Comparison::between(&out.baseline, &out.measured);
 
     let report = RunReport {
         workload: workload.name().to_string(),
-        scheme: out.label.clone(),
+        scheme: out.label.to_string(),
         baseline_energy_j: out.baseline.total_energy_j(),
         baseline_wall_s: out.baseline.wall_time_s(),
         scheme_energy_j: out.measured.total_energy_j(),

@@ -2,9 +2,7 @@
 //! measurement campaign to scheme comparison.
 
 use gpm::harness::metrics::Comparison;
-use gpm::harness::{
-    evaluate_scheme, run_once, turbo_core_baseline, EvalContext, EvalOptions, Scheme,
-};
+use gpm::harness::{turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::hw::HwConfig;
 use gpm::mpc::HorizonMode;
 use gpm::workloads::{suite, workload_by_name};
@@ -29,8 +27,8 @@ fn evaluate_scheme_is_deterministic() {
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
     };
-    let a = evaluate_scheme(ctx(), &w, scheme);
-    let b = evaluate_scheme(ctx(), &w, scheme);
+    let a = ExecEnv::new().evaluate(ctx(), &w, scheme);
+    let b = ExecEnv::new().evaluate(ctx(), &w, scheme);
     assert_eq!(a.measured.total_energy_j(), b.measured.total_energy_j());
     assert_eq!(a.measured.wall_time_s(), b.measured.wall_time_s());
     assert_eq!(
@@ -59,7 +57,7 @@ fn every_scheme_saves_energy_on_every_benchmark() {
             },
             Scheme::TheoreticallyOptimal,
         ] {
-            let out = evaluate_scheme(ctx(), &w, scheme);
+            let out = ExecEnv::new().evaluate(ctx(), &w, scheme);
             let c = Comparison::between(&out.baseline, &out.measured);
             assert!(
                 c.energy_savings_pct > 0.0,
@@ -76,7 +74,7 @@ fn every_scheme_saves_energy_on_every_benchmark() {
 fn mpc_keeps_suite_performance_near_target() {
     // The adaptive scheme bounds total performance loss to roughly α = 5%.
     for w in suite() {
-        let out = evaluate_scheme(
+        let out = ExecEnv::new().evaluate(
             ctx(),
             &w,
             Scheme::MpcRf {
@@ -96,7 +94,7 @@ fn mpc_keeps_suite_performance_near_target() {
 #[test]
 fn to_never_misses_its_time_budget_badly() {
     for w in suite() {
-        let out = evaluate_scheme(ctx(), &w, Scheme::TheoreticallyOptimal);
+        let out = ExecEnv::new().evaluate(ctx(), &w, Scheme::TheoreticallyOptimal);
         // TO plans on the noiseless model; measurement noise may cost a few
         // percent but not more.
         assert!(
@@ -114,14 +112,14 @@ fn mpc_dominates_ppk_on_wall_time_suite_wide() {
     let mut mpc_total = 0.0;
     let mut ppk_total = 0.0;
     for w in suite() {
-        let m = evaluate_scheme(
+        let m = ExecEnv::new().evaluate(
             ctx(),
             &w,
             Scheme::MpcRf {
                 horizon: HorizonMode::default(),
             },
         );
-        let p = evaluate_scheme(ctx(), &w, Scheme::PpkRf);
+        let p = ExecEnv::new().evaluate(ctx(), &w, Scheme::PpkRf);
         mpc_total += m.measured.wall_time_s() / m.baseline.wall_time_s();
         ppk_total += p.measured.wall_time_s() / p.baseline.wall_time_s();
     }
@@ -138,7 +136,7 @@ fn baseline_runs_are_reusable_across_governors() {
     // Replaying any fixed config against that target must account the same
     // instruction totals.
     let mut gov = gpm::governors::FixedGovernor::new(HwConfig::FAIL_SAFE);
-    let run = run_once(&ctx().sim, &w, &mut gov, target, 0, false);
+    let run = ExecEnv::new().run(&ctx().sim, &w, &mut gov, target, 0, false);
     assert!((run.ginstructions - base.ginstructions).abs() < 1e-9);
 }
 
@@ -147,7 +145,7 @@ fn overheads_are_small_under_adaptive_horizon() {
     // Figure 14's regime: sub-percent performance overhead.
     for name in ["Spmv", "hybridsort", "XSBench"] {
         let w = workload_by_name(name).unwrap();
-        let out = evaluate_scheme(
+        let out = ExecEnv::new().evaluate(
             ctx(),
             &w,
             Scheme::MpcRf {
@@ -162,7 +160,7 @@ fn overheads_are_small_under_adaptive_horizon() {
 #[test]
 fn profiling_run_uses_fail_safe_first_kernel() {
     let w = workload_by_name("lud").unwrap();
-    let out = evaluate_scheme(
+    let out = ExecEnv::new().evaluate(
         ctx(),
         &w,
         Scheme::MpcRf {

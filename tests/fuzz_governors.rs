@@ -2,7 +2,7 @@
 //! generated applications, not just the curated 15-benchmark suite.
 
 use gpm::faults::FaultPlan;
-use gpm::harness::{evaluate_scheme, evaluate_scheme_faulted, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::hw::ConfigSpace;
 use gpm::mpc::HorizonMode;
 use gpm::trace::{AggregateSink, TraceSink};
@@ -31,7 +31,7 @@ fn all_schemes_uphold_invariants_on_generated_workloads() {
     let space = ConfigSpace::full();
     for w in &population {
         for scheme in schemes {
-            let out = evaluate_scheme(ctx(), w, scheme);
+            let out = ExecEnv::new().evaluate(ctx(), w, scheme);
             let m = &out.measured;
             // Structural invariants.
             assert_eq!(m.per_kernel.len(), w.len(), "{}/{}", out.label, w.name());
@@ -91,7 +91,10 @@ fn all_schemes_survive_seeded_fault_schedules() {
         for scheme in schemes {
             let agg = Arc::new(AggregateSink::new());
             let sink: Arc<dyn TraceSink> = agg.clone();
-            let out = evaluate_scheme_faulted(ctx(), w, scheme, &sink, &plan);
+            let env = ExecEnv::new()
+                .with_trace(Arc::clone(&sink))
+                .with_fault_plan(plan.clone());
+            let out = env.evaluate(ctx(), w, scheme);
             let m = &out.measured;
             assert_eq!(m.per_kernel.len(), w.len(), "{}/{}", out.label, w.name());
             assert!(m.kernel_time_s.is_finite() && m.kernel_time_s > 0.0);
@@ -118,7 +121,7 @@ fn all_schemes_survive_seeded_fault_schedules() {
 fn mpc_horizons_stay_bounded_on_generated_workloads() {
     let population = generate_population(&GeneratorParams::default(), 0xCAFE, 10);
     for w in &population {
-        let out = evaluate_scheme(
+        let out = ExecEnv::new().evaluate(
             ctx(),
             w,
             Scheme::MpcRf {
@@ -150,7 +153,7 @@ fn no_scheme_sustains_power_above_tdp() {
             },
             Scheme::TheoreticallyOptimal,
         ] {
-            let out = evaluate_scheme(ctx(), w, scheme);
+            let out = ExecEnv::new().evaluate(ctx(), w, scheme);
             for (k, kernel) in out.measured.per_kernel.iter().zip(w.kernels()) {
                 let p = ctx().sim.evaluate(kernel, k.config).power.package_w();
                 assert!(
@@ -178,7 +181,7 @@ fn generated_workloads_keep_schemes_within_sane_perf_band() {
                 horizon: HorizonMode::default(),
             },
         ] {
-            let out = evaluate_scheme(ctx(), w, scheme);
+            let out = ExecEnv::new().evaluate(ctx(), w, scheme);
             let slowdown = out.measured.wall_time_s() / out.baseline.wall_time_s();
             assert!(
                 slowdown < 2.0,

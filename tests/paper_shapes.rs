@@ -3,7 +3,7 @@
 
 use gpm::harness::metrics::Comparison;
 use gpm::harness::traces::{fig2_sweep, fig3_trace};
-use gpm::harness::{evaluate_scheme, EvalContext, EvalOptions, Scheme};
+use gpm::harness::{EvalContext, EvalOptions, ExecEnv, Scheme};
 use gpm::hw::NbState;
 use gpm::model::ErrorSpec;
 use gpm::mpc::HorizonMode;
@@ -20,7 +20,7 @@ fn ctx() -> &'static EvalContext {
 
 fn compare(scheme: Scheme, workload: &str) -> Comparison {
     let w = workload_by_name(workload).unwrap();
-    let out = evaluate_scheme(ctx(), &w, scheme);
+    let out = ExecEnv::new().evaluate(ctx(), &w, scheme);
     Comparison::between(&out.baseline, &out.measured)
 }
 
@@ -247,7 +247,7 @@ fn fig10_cpu_dominates_chipwide_savings() {
     // Section VI-A: most of MPC's savings come from parking the
     // busy-waiting CPU (paper: 75% CPU / 25% GPU).
     let w = workload_by_name("NBody").unwrap();
-    let out = evaluate_scheme(
+    let out = ExecEnv::new().evaluate(
         ctx(),
         &w,
         Scheme::MpcRf {
@@ -308,7 +308,7 @@ fn fig13_results_are_insensitive_to_moderate_prediction_error() {
 fn fig14_adaptive_overheads_are_sub_percent_range() {
     let mut worst = 0.0f64;
     for w in suite() {
-        let out = evaluate_scheme(
+        let out = ExecEnv::new().evaluate(
             ctx(),
             &w,
             Scheme::MpcRf {
@@ -326,14 +326,14 @@ fn fig14_adaptive_overheads_are_sub_percent_range() {
 
 #[test]
 fn fig15_long_kernel_benchmarks_use_longer_horizons() {
-    let long = evaluate_scheme(
+    let long = ExecEnv::new().evaluate(
         ctx(),
         &workload_by_name("XSBench").unwrap(),
         Scheme::MpcRf {
             horizon: HorizonMode::default(),
         },
     );
-    let short = evaluate_scheme(
+    let short = ExecEnv::new().evaluate(
         ctx(),
         &workload_by_name("hybridsort").unwrap(),
         Scheme::MpcRf {

@@ -4,7 +4,7 @@
 //! campaign's coverage.
 
 use gpm::governors::{OverheadModel, PerfTarget, PpkGovernor, TurboCore};
-use gpm::harness::run_once;
+use gpm::harness::ExecEnv;
 use gpm::hw::ConfigSpace;
 use gpm::mpc::{MpcConfig, MpcGovernor};
 use gpm::sim::{ApuSimulator, OraclePredictor, Platform, ReplayPlatform, SimParams};
@@ -26,7 +26,7 @@ fn turbo_core_replay_is_bit_identical_to_live() {
     let (w, replay) = replay_for(&sim, "EigenValue");
     let run = |platform: &dyn Platform| {
         let mut gov = TurboCore::new(95.0);
-        run_once(platform, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false)
+        ExecEnv::new().run(platform, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false)
     };
     let live = run(&sim);
     let replayed = run(&replay);
@@ -41,7 +41,7 @@ fn mpc_replay_makes_identical_decisions() {
     let (w, replay) = replay_for(&sim, "kmeans");
     // Target from a live Turbo Core run.
     let mut tc = TurboCore::new(95.0);
-    let base = run_once(&sim, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let base = ExecEnv::new().run(&sim, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
     let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
 
     let run = |platform: &dyn Platform| {
@@ -53,8 +53,9 @@ fn mpc_replay_makes_identical_decisions() {
                 ..MpcConfig::default()
             },
         );
-        run_once(platform, &w, &mut gov, target, 0, true);
-        run_once(platform, &w, &mut gov, target, 1, true)
+        let env = ExecEnv::new();
+        env.run(platform, &w, &mut gov, target, 0, true);
+        env.run(platform, &w, &mut gov, target, 1, true)
     };
     let live = run(&sim);
     let replayed = run(&replay);
@@ -77,7 +78,7 @@ fn governors_stay_within_the_full_lattice_coverage() {
     let sim = ApuSimulator::default();
     let (w, replay) = replay_for(&sim, "hybridsort");
     let mut tc = TurboCore::new(95.0);
-    let base = run_once(&replay, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
+    let base = ExecEnv::new().run(&replay, &w, &mut tc, PerfTarget::new(1.0, 1.0), 0, false);
     let target = PerfTarget::new(base.ginstructions, base.kernel_time_s);
     let mut ppk = PpkGovernor::new(
         OraclePredictor::new(&sim),
@@ -86,6 +87,6 @@ fn governors_stay_within_the_full_lattice_coverage() {
         OverheadModel::default(),
     )
     .with_truth_snapshots(true);
-    let res = run_once(&replay, &w, &mut ppk, target, 0, true);
+    let res = ExecEnv::new().run(&replay, &w, &mut ppk, target, 0, true);
     assert_eq!(res.per_kernel.len(), w.len());
 }

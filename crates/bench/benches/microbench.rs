@@ -39,6 +39,22 @@ fn bench_rf_predict(c: &mut Criterion) {
     c.bench_function("model/rf_predict", |b| {
         b.iter(|| black_box(rf.predict(black_box(&snap), black_box(HwConfig::MAX_PERF))))
     });
+    // One decision's worth of candidates, scalar loop vs one batched call.
+    let cfgs: Vec<HwConfig> = ConfigSpace::paper_campaign().iter().collect();
+    c.bench_function("model/rf_predict_scalar_336", |b| {
+        b.iter(|| {
+            for &cfg in &cfgs {
+                black_box(rf.predict(black_box(&snap), cfg));
+            }
+        })
+    });
+    let mut batch = Vec::new();
+    c.bench_function("model/rf_predict_batch_336", |b| {
+        b.iter(|| {
+            rf.predict_batch(black_box(&snap), &cfgs, &mut batch);
+            black_box(&batch);
+        })
+    });
 }
 
 fn bench_rf_train(c: &mut Criterion) {
@@ -78,6 +94,30 @@ fn bench_searches(c: &mut Criterion) {
     });
     c.bench_function("search/exhaustive_336", |b| {
         b.iter(|| black_box(exhaustive_best(&eval, black_box(&snap), &space, cap)))
+    });
+
+    // The governor's real per-decision search: hill climb priced by the
+    // Random-Forest predictor through its batched flat engine.
+    let kernels = vec![
+        KernelCharacteristics::compute_bound("a", 15.0),
+        KernelCharacteristics::memory_bound("b", 1.5),
+    ];
+    let campaign = context::training_space(4);
+    let ds = Dataset::from_campaign(&sim, &kernels, &campaign, HwConfig::FAIL_SAFE);
+    let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 7);
+    let rf_eval = EnergyEvaluator::new(rf, SimParams::noiseless());
+    c.bench_function("search/hill_climb_rf", |b| {
+        b.iter(|| {
+            black_box(hill_climb(
+                &rf_eval,
+                black_box(&snap),
+                HwConfig::FAIL_SAFE,
+                cap,
+            ))
+        })
+    });
+    c.bench_function("search/exhaustive_rf_336", |b| {
+        b.iter(|| black_box(exhaustive_best(&rf_eval, black_box(&snap), &space, cap)))
     });
 }
 

@@ -7,7 +7,7 @@
 //! with the search-order heuristic cuts total search cost ~65× relative
 //! to exhaustive backtracking MPC.
 
-use gpm_bench::{evaluate_suite, figure_context};
+use gpm_bench::{bench_context, evaluate_suite, fast_from_env};
 use gpm_governors::search::{exhaustive_best, hill_climb, EnergyEvaluator};
 use gpm_harness::report::{fmt, Table};
 use gpm_harness::Scheme;
@@ -65,7 +65,7 @@ fn main() {
     );
 
     // System level: measured MPC evaluations vs the backtracking bound.
-    let ctx = figure_context();
+    let ctx = bench_context(fast_from_env());
     let mpc = evaluate_suite(
         &ctx,
         Scheme::MpcRf {

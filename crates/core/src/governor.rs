@@ -15,11 +15,11 @@
 //!    performance tracker feeding back actual elapsed time/instructions.
 
 use crate::horizon::{HorizonGenerator, HorizonMode};
-use crate::optimizer::{optimize_window, optimize_window_exact};
+use crate::optimizer::{optimize_window_exact, optimize_window_with};
 use crate::search_order::{average_full_horizon, search_order, ProfiledKernel};
 use crate::stats::MpcStats;
 use gpm_faults::{no_faults, FaultInjector, FaultKey};
-use gpm_governors::search::{hill_climb_stats, EnergyEvaluator};
+use gpm_governors::search::{hill_climb_with_memo, EnergyEvaluator, EvalMemo};
 use gpm_governors::{Governor, GovernorDecision, KernelContext, OverheadModel, PerfTarget};
 use gpm_hw::HwConfig;
 use gpm_pattern::PatternExtractor;
@@ -86,6 +86,10 @@ pub struct MpcGovernor<P> {
     stats: MpcStats,
     trace: Arc<dyn TraceSink>,
     faults: Arc<dyn FaultInjector>,
+    /// Hoisted hill-climb memo shared by every window position, horizon
+    /// step, and decision of this governor — one allocation for its
+    /// lifetime (each climb re-scopes it, so decisions are unaffected).
+    memo: EvalMemo,
 }
 
 impl<P: PowerPerfPredictor> MpcGovernor<P> {
@@ -106,6 +110,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             stats: MpcStats::new(),
             trace: noop_sink(),
             faults: no_faults(),
+            memo: EvalMemo::new(),
         }
     }
 
@@ -204,7 +209,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             }
         }
         let order: Vec<usize> = snapshots.keys().copied().collect();
-        let plan = optimize_window(
+        let plan = optimize_window_with(
             &self.evaluator,
             &snapshots,
             &order,
@@ -213,6 +218,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             ctx.elapsed_gi,
             ctx.elapsed_kernel_s,
             &ctx.target,
+            &mut self.memo,
         )?;
         let overhead_s = self.cfg.overhead.cost_s(plan.evaluations);
         self.t_ppk += overhead_s; // still first-invocation optimization cost
@@ -262,7 +268,13 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         let cap = ctx
             .target
             .time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
-        let (best, stats) = hill_climb_stats(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap);
+        let (best, stats) = hill_climb_with_memo(
+            &self.evaluator,
+            &last,
+            HwConfig::FAIL_SAFE,
+            cap,
+            &mut self.memo,
+        );
         let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
         let overhead_s = self.cfg.overhead.cost_s(stats.evaluations);
         if charge_t_ppk {
@@ -355,7 +367,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
             &execution_order
         };
         let plan = match self.cfg.solver {
-            WindowSolver::Greedy => optimize_window(
+            WindowSolver::Greedy => optimize_window_with(
                 &self.evaluator,
                 &snapshots,
                 search,
@@ -364,6 +376,7 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
                 ctx.elapsed_gi,
                 ctx.elapsed_kernel_s,
                 &ctx.target,
+                &mut self.memo,
             ),
             WindowSolver::ExactDp => optimize_window_exact(
                 &self.evaluator,

@@ -10,7 +10,9 @@
 //! the window is provisional and will be re-optimized when the horizon
 //! slides.
 
-use gpm_governors::search::{hill_climb_stats, ConfigEstimate, EnergyEvaluator, SearchStats};
+use gpm_governors::search::{
+    hill_climb_with_memo, ConfigEstimate, EnergyEvaluator, EvalMemo, SearchStats,
+};
 use gpm_governors::to::ToSolver;
 use gpm_governors::PerfTarget;
 use gpm_hw::{ConfigSpace, HwConfig};
@@ -59,6 +61,36 @@ pub fn optimize_window<P: PowerPerfPredictor>(
     elapsed_gi: f64,
     elapsed_s: f64,
     target: &PerfTarget,
+) -> Option<WindowPlan> {
+    optimize_window_with(
+        eval,
+        snapshots,
+        search_order,
+        current,
+        horizon,
+        elapsed_gi,
+        elapsed_s,
+        target,
+        &mut EvalMemo::new(),
+    )
+}
+
+/// [`optimize_window`] against a caller-provided [`EvalMemo`], the form
+/// the MPC governor's hot path uses so every hill climb across all
+/// horizon steps of a decision (and across decisions) reuses one memo
+/// allocation. Each climb re-scopes the memo, so plans and evaluation
+/// counts are identical to [`optimize_window`].
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_window_with<P: PowerPerfPredictor>(
+    eval: &EnergyEvaluator<P>,
+    snapshots: &BTreeMap<usize, KernelSnapshot>,
+    search_order: &[usize],
+    current: usize,
+    horizon: usize,
+    elapsed_gi: f64,
+    elapsed_s: f64,
+    target: &PerfTarget,
+    memo: &mut EvalMemo,
 ) -> Option<WindowPlan> {
     snapshots.get(&current)?;
     let end = current + horizon.max(1);
@@ -114,7 +146,7 @@ pub fn optimize_window<P: PowerPerfPredictor>(
         // were the last one standing; never negative protection needed —
         // hill_climb handles infeasible caps by returning None.
         let cap = cap_shared;
-        let (best, stats) = hill_climb_stats(eval, snap, HwConfig::FAIL_SAFE, cap);
+        let (best, stats) = hill_climb_with_memo(eval, snap, HwConfig::FAIL_SAFE, cap, memo);
         evaluations += stats.evaluations;
         search.merge(&stats);
         let est = match best {
@@ -186,17 +218,18 @@ pub fn optimize_window_exact<P: PowerPerfPredictor>(
 
     let configs: Vec<HwConfig> = space.iter().collect();
     let mut evaluations = 0u64;
+    // The candidate set per position is the whole space, so each position
+    // is priced in one batched call; per-candidate estimates (and the
+    // evaluation count) are identical to the former scalar loop.
+    let mut estimates = Vec::new();
     let options: Vec<Vec<(f64, f64)>> = positions
         .iter()
         .map(|p| {
-            let snap = &snapshots[p];
-            configs
+            eval.estimate_batch(&snapshots[p], &configs, &mut estimates);
+            evaluations += estimates.len() as u64;
+            estimates
                 .iter()
-                .map(|&cfg| {
-                    evaluations += 1;
-                    let est = eval.estimate(snap, cfg);
-                    (est.time_s, est.energy_j)
-                })
+                .map(|est| (est.time_s, est.energy_j))
                 .collect()
         })
         .collect();

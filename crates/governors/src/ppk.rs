@@ -8,7 +8,9 @@
 //! throughput phase changes — the failure mode that motivates MPC.
 
 use crate::governor::{Governor, GovernorDecision, KernelContext, OverheadModel};
-use crate::search::{exhaustive_best, hill_climb_stats, EnergyEvaluator, SearchStats};
+use crate::search::{
+    exhaustive_best, hill_climb_with_memo, EnergyEvaluator, EvalMemo, SearchStats,
+};
 use gpm_hw::{ConfigSpace, HwConfig};
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfPredictor};
 use gpm_sim::{KernelCharacteristics, KernelOutcome, SimParams};
@@ -42,6 +44,10 @@ pub struct PpkGovernor<P> {
     total_overhead_s: f64,
     total_evaluations: u64,
     trace: Arc<dyn TraceSink>,
+    /// Hoisted hill-climb memo: one allocation for the governor's
+    /// lifetime instead of one per decision (re-scoped per search, so
+    /// decisions are unaffected).
+    memo: EvalMemo,
 }
 
 impl<P: PowerPerfPredictor> PpkGovernor<P> {
@@ -63,6 +69,7 @@ impl<P: PowerPerfPredictor> PpkGovernor<P> {
             total_overhead_s: 0.0,
             total_evaluations: 0,
             trace: noop_sink(),
+            memo: EvalMemo::new(),
         }
     }
 
@@ -119,9 +126,13 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
                     },
                 )
             }
-            PpkSearch::HillClimb => {
-                hill_climb_stats(&self.evaluator, &last, HwConfig::FAIL_SAFE, cap)
-            }
+            PpkSearch::HillClimb => hill_climb_with_memo(
+                &self.evaluator,
+                &last,
+                HwConfig::FAIL_SAFE,
+                cap,
+                &mut self.memo,
+            ),
         };
         let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
         let overhead_s = self.overhead.cost_s(stats.evaluations);

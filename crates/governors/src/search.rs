@@ -135,6 +135,47 @@ impl<P: PowerPerfPredictor> EnergyEvaluator<P> {
             energy_j: chip_power_w * est.time_s,
         }
     }
+
+    /// Prices a whole candidate sweep in one predictor call, writing the
+    /// estimates into `out` (cleared and refilled, index-aligned with
+    /// `cfgs`).
+    ///
+    /// Each element is bit-identical to
+    /// [`estimate`](EnergyEvaluator::estimate) on the same configuration:
+    /// the batch goes through
+    /// [`PowerPerfPredictor::predict_batch`], whose contract requires
+    /// value-identity with the scalar path.
+    pub fn estimate_batch(
+        &self,
+        snapshot: &KernelSnapshot,
+        cfgs: &[HwConfig],
+        out: &mut Vec<ConfigEstimate>,
+    ) {
+        PREDICT_SCRATCH.with(|scratch| {
+            let raw = &mut *scratch.borrow_mut();
+            self.predictor.predict_batch(snapshot, cfgs, raw);
+            out.clear();
+            out.extend(raw.iter().zip(cfgs).map(|(est, &cfg)| {
+                let cpu_w = gpm_sim::power::cpu_busywait_power(&self.params, cfg.cpu);
+                let chip_power_w = est.gpu_power_w + cpu_w + self.background_w();
+                ConfigEstimate {
+                    config: cfg,
+                    time_s: est.time_s,
+                    chip_power_w,
+                    energy_j: chip_power_w * est.time_s,
+                }
+            }));
+        });
+    }
+}
+
+thread_local! {
+    /// Reused raw-prediction buffer behind [`EnergyEvaluator::estimate_batch`].
+    static PREDICT_SCRATCH: std::cell::RefCell<Vec<gpm_sim::PowerPerfEstimate>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Reused (candidates, estimates) buffers behind [`exhaustive_best`].
+    static EXHAUSTIVE_SCRATCH: std::cell::RefCell<(Vec<HwConfig>, Vec<ConfigEstimate>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Exhaustively searches `space` for the minimum-energy configuration whose
@@ -146,19 +187,26 @@ pub fn exhaustive_best<P: PowerPerfPredictor>(
     space: &ConfigSpace,
     time_cap_s: f64,
 ) -> (Option<ConfigEstimate>, u64) {
-    let mut best: Option<ConfigEstimate> = None;
-    let mut evals = 0u64;
-    for cfg in space {
-        let est = eval.estimate(snapshot, cfg);
-        evals += 1;
-        if est.is_plausible()
-            && est.time_s <= time_cap_s
-            && best.is_none_or(|b| est.energy_j < b.energy_j)
-        {
-            best = Some(est);
+    // The candidate set is fixed up front, so the whole space is priced in
+    // one batched predictor call; the feasibility scan then walks the
+    // estimates in the same order (and with the same comparisons) as the
+    // seed per-candidate loop, so the winner is unchanged.
+    EXHAUSTIVE_SCRATCH.with(|scratch| {
+        let (cfgs, estimates) = &mut *scratch.borrow_mut();
+        cfgs.clear();
+        cfgs.extend(space.iter());
+        eval.estimate_batch(snapshot, cfgs, estimates);
+        let mut best: Option<ConfigEstimate> = None;
+        for est in estimates.iter() {
+            if est.is_plausible()
+                && est.time_s <= time_cap_s
+                && best.is_none_or(|b| est.energy_j < b.energy_j)
+            {
+                best = Some(*est);
+            }
         }
-    }
-    (best, evals)
+        (best, cfgs.len() as u64)
+    })
 }
 
 /// The paper's greedy hill-climbing optimizer (Section IV-A1a).
@@ -183,6 +231,57 @@ pub fn hill_climb<P: PowerPerfPredictor>(
     (best, stats.evaluations)
 }
 
+/// Dense per-candidate memo backing [`hill_climb_with_memo`]: one slot
+/// per point of the full [`HwConfig::DENSE_COUNT`] lattice, stamped with
+/// an epoch so a new search invalidates every entry in O(1) without
+/// releasing the allocation.
+///
+/// Semantically the memo is scoped to **one search invocation** — entries
+/// never survive into the next search (each entry's epoch stamp sees to
+/// that), so reusing one memo across horizon steps or decisions changes
+/// nothing but allocation traffic. The seed implementation allocated a
+/// fresh `HashMap` per invocation; governors now hoist one `EvalMemo` and
+/// hand it to every climb.
+#[derive(Debug, Clone)]
+pub struct EvalMemo {
+    epoch: u32,
+    slots: Vec<(u32, ConfigEstimate)>,
+}
+
+impl EvalMemo {
+    /// A memo with every slot vacant.
+    pub fn new() -> EvalMemo {
+        let placeholder = ConfigEstimate {
+            config: HwConfig::FAIL_SAFE,
+            time_s: 0.0,
+            chip_power_w: 0.0,
+            energy_j: 0.0,
+        };
+        EvalMemo {
+            epoch: 0,
+            slots: vec![(0, placeholder); HwConfig::DENSE_COUNT],
+        }
+    }
+
+    /// Starts a new search scope: every slot becomes vacant, the
+    /// allocation stays.
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.epoch = 0;
+            for slot in &mut self.slots {
+                slot.0 = 0;
+            }
+        }
+        self.epoch += 1;
+    }
+}
+
+impl Default for EvalMemo {
+    fn default() -> EvalMemo {
+        EvalMemo::new()
+    }
+}
+
 /// [`hill_climb`] with full per-knob telemetry: identical search, but also
 /// reports where the candidate budget went ([`SearchStats`]).
 pub fn hill_climb_stats<P: PowerPerfPredictor>(
@@ -191,17 +290,38 @@ pub fn hill_climb_stats<P: PowerPerfPredictor>(
     start: HwConfig,
     time_cap_s: f64,
 ) -> (Option<ConfigEstimate>, SearchStats) {
+    hill_climb_with_memo(eval, snapshot, start, time_cap_s, &mut EvalMemo::new())
+}
+
+/// [`hill_climb_stats`] against a caller-provided [`EvalMemo`], the form
+/// the governors' hot paths use so repeated climbs within and across
+/// decisions reuse one allocation.
+///
+/// The memo is re-scoped on entry, so results and evaluation counts are
+/// identical to [`hill_climb_stats`] regardless of what the memo saw
+/// before — `SearchStats::evaluations` still counts exactly the cache
+/// misses of *this* invocation (the count the overhead model charges).
+pub fn hill_climb_with_memo<P: PowerPerfPredictor>(
+    eval: &EnergyEvaluator<P>,
+    snapshot: &KernelSnapshot,
+    start: HwConfig,
+    time_cap_s: f64,
+    memo: &mut EvalMemo,
+) -> (Option<ConfigEstimate>, SearchStats) {
     let mut evals = 0u64;
     let mut visits = KnobVisits::default();
     let mut pruned = 0u64;
     let mut anomalies = 0u64;
-    let mut cache: std::collections::HashMap<usize, ConfigEstimate> =
-        std::collections::HashMap::new();
+    memo.begin();
+    let epoch = memo.epoch;
+    let slots = &mut memo.slots;
     let mut estimate = |cfg: HwConfig| {
-        *cache.entry(cfg.dense_index()).or_insert_with(|| {
+        let slot = &mut slots[cfg.dense_index()];
+        if slot.0 != epoch {
             evals += 1;
-            eval.estimate(snapshot, cfg)
-        })
+            *slot = (epoch, eval.estimate(snapshot, cfg));
+        }
+        slot.1
     };
 
     let current = estimate(start);
@@ -412,6 +532,57 @@ mod tests {
         assert_eq!(stats.evaluations, 1);
         assert_eq!(stats.visits.total(), 0);
         assert_eq!(stats.pruned, 0);
+    }
+
+    #[test]
+    fn estimate_batch_matches_scalar_estimates() {
+        let (eval, snap) = setup(KernelCharacteristics::memory_bound("mb", 1.0));
+        let cfgs: Vec<HwConfig> = ConfigSpace::paper_campaign().iter().collect();
+        let mut batch = Vec::new();
+        eval.estimate_batch(&snap, &cfgs, &mut batch);
+        assert_eq!(batch.len(), cfgs.len());
+        for (est, &cfg) in batch.iter().zip(&cfgs) {
+            assert_eq!(*est, eval.estimate(&snap, cfg), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn memo_reuse_is_invisible_to_results_and_counts() {
+        // One memo reused across climbs with different snapshots, caps, and
+        // starts must reproduce the fresh-memo results and evaluation
+        // counts exactly — stale entries never leak across searches.
+        let mut memo = EvalMemo::new();
+        for kernel in [
+            KernelCharacteristics::unscalable("us", 0.02),
+            KernelCharacteristics::memory_bound("mb", 1.0),
+            KernelCharacteristics::compute_bound("cb", 20.0),
+        ] {
+            let (eval, snap) = setup(kernel);
+            for cap_scale in [1.1, 1.5, f64::INFINITY] {
+                let cap = eval.estimate(&snap, HwConfig::FAIL_SAFE).time_s * cap_scale;
+                let (fresh_best, fresh_stats) =
+                    hill_climb_stats(&eval, &snap, HwConfig::FAIL_SAFE, cap);
+                let (reused_best, reused_stats) =
+                    hill_climb_with_memo(&eval, &snap, HwConfig::FAIL_SAFE, cap, &mut memo);
+                assert_eq!(fresh_best, reused_best);
+                assert_eq!(fresh_stats, reused_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn memo_epoch_overflow_resets_cleanly() {
+        let (eval, snap) = setup(KernelCharacteristics::unscalable("us", 0.02));
+        let mut memo = EvalMemo::new();
+        memo.epoch = u32::MAX - 1;
+        let cap = f64::INFINITY;
+        let (a, stats_a) = hill_climb_with_memo(&eval, &snap, HwConfig::FAIL_SAFE, cap, &mut memo);
+        let (b, stats_b) = hill_climb_with_memo(&eval, &snap, HwConfig::FAIL_SAFE, cap, &mut memo);
+        let (c, stats_c) = hill_climb_with_memo(&eval, &snap, HwConfig::FAIL_SAFE, cap, &mut memo);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(stats_b, stats_c);
     }
 
     /// Oracle that returns a corrupted estimate at one configuration.

@@ -5,18 +5,24 @@
 //! baseline exactly once per workload per context — even under
 //! concurrent resolution.
 //!
+//! It also pins the batched flat-forest inference engine to the seed's
+//! scalar path: MPC and PPK decisions under `predict_batch` + memoized
+//! search must be byte-identical to nested per-call traversal, clean,
+//! traced, and faulted alike.
+//!
 //! This file is the one sanctioned caller of the deprecated shims.
 #![allow(deprecated)]
 
-use gpm_faults::FaultPlan;
-use gpm_governors::{EqualizerMode, FixedGovernor, OverheadModel, PerfTarget};
+use gpm_faults::{FaultPlan, FaultyPredictor};
+use gpm_governors::{EqualizerMode, FixedGovernor, OverheadModel, PerfTarget, PpkGovernor};
 use gpm_harness::{
     evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced, run_once,
     turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme, SchemeOutcome,
 };
-use gpm_hw::HwConfig;
-use gpm_model::ErrorSpec;
-use gpm_mpc::HorizonMode;
+use gpm_hw::{ConfigSpace, HwConfig};
+use gpm_model::{encode_features, ErrorSpec, RandomForestPredictor};
+use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor};
+use gpm_sim::{KernelSnapshot, PowerPerfEstimate, PowerPerfPredictor};
 use gpm_trace::{AggregateSink, RingSink, TraceSink};
 use gpm_workloads::{suite, workload_by_name};
 use std::sync::{Arc, OnceLock};
@@ -229,6 +235,154 @@ fn concurrent_resolution_simulates_each_baseline_once() {
         "each workload's baseline must be simulated exactly once"
     );
     assert_eq!(stats.hits, (names.len() * 3) as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Golden guarantee for the batched flat-forest inference engine: the
+// allocation-free `predict_batch` path plus the dense search memo must
+// leave every governor decision — and every evaluation count feeding the
+// overhead model — byte-identical to the seed's scalar nested traversal.
+// ---------------------------------------------------------------------------
+
+/// The seed's scalar RF inference path, reconstructed: one freshly
+/// allocated feature vector per call, nested tree traversal, and the
+/// trait's default looped `predict_batch`.
+#[derive(Debug, Clone)]
+struct NestedRfPredictor(RandomForestPredictor);
+
+impl PowerPerfPredictor for NestedRfPredictor {
+    fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> PowerPerfEstimate {
+        let features = encode_features(&snapshot.counters, cfg);
+        PowerPerfEstimate {
+            time_s: self.0.time_forest().predict(&features).exp().max(1e-9),
+            gpu_power_w: self.0.power_forest().predict(&features).max(0.1),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "random-forest"
+    }
+}
+
+fn mpc_cfg() -> MpcConfig {
+    MpcConfig {
+        horizon_mode: HorizonMode::default(),
+        overhead: OverheadModel::default(),
+        store_truth: false,
+        ..MpcConfig::default()
+    }
+}
+
+#[test]
+fn batched_mpc_decisions_are_byte_identical_to_seed_scalar_path() {
+    let env = ExecEnv::new();
+    for name in ["kmeans", "Spmv"] {
+        let w = workload_by_name(name).unwrap();
+        let (_, target) = env.baseline(ctx(), &w);
+        let mut batched = MpcGovernor::new(ctx().rf.clone(), ctx().sim.params().clone(), mpc_cfg());
+        let mut nested = MpcGovernor::new(
+            NestedRfPredictor(ctx().rf.clone()),
+            ctx().sim.params().clone(),
+            mpc_cfg(),
+        );
+        let b = env.run(&ctx().sim, &w, &mut batched, target, 0, false);
+        let n = env.run(&ctx().sim, &w, &mut nested, target, 0, false);
+        assert_eq!(
+            serde_json::to_string(&b).unwrap(),
+            serde_json::to_string(&n).unwrap(),
+            "{name}: MPC trajectory diverged between batched and seed scalar inference"
+        );
+        assert_eq!(
+            serde_json::to_string(batched.stats()).unwrap(),
+            serde_json::to_string(nested.stats()).unwrap(),
+            "{name}: MPC stats (horizons / evaluation counts) diverged"
+        );
+    }
+}
+
+#[test]
+fn batched_ppk_decisions_are_byte_identical_to_seed_scalar_path() {
+    let env = ExecEnv::new();
+    let w = workload_by_name("NBody").unwrap();
+    let (_, target) = env.baseline(ctx(), &w);
+    let mut batched = PpkGovernor::new(
+        ctx().rf.clone(),
+        ctx().sim.params().clone(),
+        ConfigSpace::paper_campaign(),
+        OverheadModel::default(),
+    );
+    let mut nested = PpkGovernor::new(
+        NestedRfPredictor(ctx().rf.clone()),
+        ctx().sim.params().clone(),
+        ConfigSpace::paper_campaign(),
+        OverheadModel::default(),
+    );
+    let b = env.run(&ctx().sim, &w, &mut batched, target, 0, false);
+    let n = env.run(&ctx().sim, &w, &mut nested, target, 0, false);
+    assert_eq!(
+        serde_json::to_string(&b).unwrap(),
+        serde_json::to_string(&n).unwrap(),
+        "PPK trajectory diverged between batched and seed scalar inference"
+    );
+}
+
+#[test]
+fn batched_path_is_decision_identical_traced_and_faulted() {
+    let w = workload_by_name("EigenValue").unwrap();
+    for faulted in [false, true] {
+        // The zero plan is a value-identical passthrough, so the first
+        // iteration exercises the clean traced path through identical code.
+        let plan = if faulted {
+            FaultPlan::uniform(0xFEED_BEEF, 0.15)
+        } else {
+            FaultPlan::zero(1)
+        };
+        let (batched_run, batched_sum, nested_run, nested_sum) = {
+            let run_variant = |nested: bool| {
+                let agg = Arc::new(AggregateSink::new());
+                let env = ExecEnv::new()
+                    .with_trace(agg.clone())
+                    .with_fault_plan(plan.clone());
+                let (_, target) = env.baseline(ctx(), &w);
+                let result = if nested {
+                    let mut gov = MpcGovernor::new(
+                        FaultyPredictor::new(NestedRfPredictor(ctx().rf.clone()), &plan),
+                        ctx().sim.params().clone(),
+                        mpc_cfg(),
+                    );
+                    env.run(&ctx().sim, &w, &mut gov, target, 0, false)
+                } else {
+                    let mut gov = MpcGovernor::new(
+                        FaultyPredictor::new(ctx().rf.clone(), &plan),
+                        ctx().sim.params().clone(),
+                        mpc_cfg(),
+                    );
+                    env.run(&ctx().sim, &w, &mut gov, target, 0, false)
+                };
+                (result, agg.summary())
+            };
+            let (b, bs) = run_variant(false);
+            let (n, ns) = run_variant(true);
+            (b, bs, n, ns)
+        };
+        assert_eq!(
+            serde_json::to_string(&batched_run).unwrap(),
+            serde_json::to_string(&nested_run).unwrap(),
+            "faulted={faulted}: trajectory diverged between batched and seed scalar paths"
+        );
+        assert_eq!(
+            batched_sum.decisions, nested_sum.decisions,
+            "faulted={faulted}: decision counts diverged"
+        );
+        assert_eq!(
+            batched_sum.dispatches, nested_sum.dispatches,
+            "faulted={faulted}: dispatch counts diverged"
+        );
+        assert_eq!(
+            batched_sum.horizon_evaluations, nested_sum.horizon_evaluations,
+            "faulted={faulted}: horizon evaluation counts diverged"
+        );
+    }
 }
 
 #[test]

@@ -203,17 +203,23 @@ impl HwConfig {
         self.gpu.voltage().max(self.nb.rail_request())
     }
 
-    /// Dense index of this configuration in the full 560-point lattice
-    /// (7 CPU × 4 NB × 5 GPU × 4 CU), row-major with CPU outermost.
+    /// Size of the full dense configuration lattice
+    /// (7 CPU × 4 NB × 5 GPU × 4 CU): every [`HwConfig::dense_index`] is
+    /// below this bound, so it sizes dense per-configuration tables.
+    pub const DENSE_COUNT: usize = 7 * 4 * 5 * 4;
+
+    /// Dense index of this configuration in the full
+    /// [`DENSE_COUNT`](HwConfig::DENSE_COUNT)-point lattice, row-major
+    /// with CPU outermost.
     pub fn dense_index(self) -> usize {
         ((self.cpu.index() * 4 + self.nb.index()) * 5 + self.gpu.index()) * 4 + self.cu.index()
     }
 
     /// Inverse of [`HwConfig::dense_index`].
     ///
-    /// Returns `None` when `idx >= 560`.
+    /// Returns `None` when `idx >= DENSE_COUNT`.
     pub fn from_dense_index(idx: usize) -> Option<HwConfig> {
-        if idx >= 7 * 4 * 5 * 4 {
+        if idx >= HwConfig::DENSE_COUNT {
             return None;
         }
         let cu = CuCount::from_index(idx % 4)?;

@@ -52,13 +52,40 @@ pub struct RandomForest {
 
 impl RandomForest {
     /// Fits a forest to `(xs, ys)` with deterministic randomness from
-    /// `seed`.
+    /// `seed`, fitting trees in parallel across all available cores.
+    ///
+    /// Equivalent to [`fit_with_threads`](RandomForest::fit_with_threads)
+    /// with `threads = 0` (auto); the result is bit-identical regardless
+    /// of thread count.
     ///
     /// # Panics
     ///
     /// Panics if `xs` is empty or `ys.len() != xs.len()` (propagated from
     /// tree fitting).
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &ForestParams, seed: u64) -> RandomForest {
+        RandomForest::fit_with_threads(xs, ys, params, seed, 0)
+    }
+
+    /// Fits a forest on an explicit number of worker threads (`0` means
+    /// "one per available core").
+    ///
+    /// Determinism is preserved by construction: every bootstrap bag is
+    /// drawn **sequentially** from the single seeded stream before any
+    /// tree is fitted, and each tree then derives its own split/subsample
+    /// RNG from `seed ^ t·0x9e37` — so the fitted forest is bit-identical
+    /// for every `threads` value (pinned by a unit test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `ys.len() != xs.len()` (propagated from
+    /// tree fitting).
+    pub fn fit_with_threads(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: &ForestParams,
+        seed: u64,
+        threads: usize,
+    ) -> RandomForest {
         assert!(!xs.is_empty(), "cannot fit a forest to zero samples");
         assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
         let num_features = xs[0].len();
@@ -71,9 +98,11 @@ impl RandomForest {
         let mut rng = StdRng::seed_from_u64(seed);
         let sample_n =
             ((xs.len() as f64 * params.bootstrap_fraction).round() as usize).clamp(1, xs.len() * 4);
-        let mut trees = Vec::with_capacity(params.num_trees.max(1));
-        let mut in_bag = Vec::with_capacity(params.num_trees.max(1));
-        for t in 0..params.num_trees.max(1) {
+        let num_trees = params.num_trees.max(1);
+        // Bags come from the shared stream, in tree order, before any
+        // fitting starts — the part that must stay sequential.
+        let mut bags = Vec::with_capacity(num_trees);
+        for _ in 0..num_trees {
             let mut bx = Vec::with_capacity(sample_n);
             let mut by = Vec::with_capacity(sample_n);
             let mut bag = vec![false; xs.len()];
@@ -83,25 +112,77 @@ impl RandomForest {
                 bx.push(xs[i].clone());
                 by.push(ys[i]);
             }
-            trees.push(RegressionTree::fit(
-                &bx,
-                &by,
-                &tree_params,
-                seed ^ (t as u64).wrapping_mul(0x9e37),
-            ));
-            in_bag.push(bag);
+            bags.push((bx, by, bag));
         }
+
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        }
+        .clamp(1, num_trees);
+        let tree_seed = |t: usize| seed ^ (t as u64).wrapping_mul(0x9e37);
+        let mut slots: Vec<Option<RegressionTree>> = vec![None; num_trees];
+        if threads == 1 {
+            for (t, slot) in slots.iter_mut().enumerate() {
+                let (bx, by, _) = &bags[t];
+                *slot = Some(RegressionTree::fit(bx, by, &tree_params, tree_seed(t)));
+            }
+        } else {
+            let chunk = num_trees.div_ceil(threads);
+            let bags_ref = &bags;
+            let tree_params_ref = &tree_params;
+            std::thread::scope(|scope| {
+                for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            let t = w * chunk + off;
+                            let (bx, by, _) = &bags_ref[t];
+                            *slot =
+                                Some(RegressionTree::fit(bx, by, tree_params_ref, tree_seed(t)));
+                        }
+                    });
+                }
+            });
+        }
+        let trees = slots
+            .into_iter()
+            .map(|slot| slot.expect("every tree fitted"))
+            .collect();
+        let in_bag = bags.into_iter().map(|(_, _, bag)| bag).collect();
         RandomForest { trees, in_bag }
     }
 
     /// Mean prediction over all trees.
+    ///
+    /// Dimensionality checking follows [`RegressionTree::predict`]'s
+    /// contract: debug builds assert, release builds rely on callers
+    /// validating the row width at the batch boundary.
     pub fn predict(&self, x: &[f64]) -> f64 {
         self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
     }
 
-    /// Per-tree predictions; exposes ensemble spread for diagnostics.
+    /// Per-tree predictions written into `out` (cleared and refilled, so
+    /// the allocation is reused across calls); exposes ensemble spread for
+    /// diagnostics without a per-call allocation.
+    pub fn predict_all_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.trees.iter().map(|t| t.predict(x)));
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`predict_all_into`](RandomForest::predict_all_into) for one-shot
+    /// diagnostics callers.
     pub fn predict_all(&self, x: &[f64]) -> Vec<f64> {
-        self.trees.iter().map(|t| t.predict(x)).collect()
+        let mut out = Vec::with_capacity(self.trees.len());
+        self.predict_all_into(x, &mut out);
+        out
+    }
+
+    /// The fitted trees, for flattening into a
+    /// [`FlatForest`](crate::FlatForest).
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
     }
 
     /// Number of trees in the ensemble.
@@ -220,6 +301,33 @@ mod tests {
         let all = forest.predict_all(&x);
         let mean = all.iter().sum::<f64>() / all.len() as f64;
         assert!((mean - forest.predict(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let (xs, ys) = noisy_linear(4);
+        let params = ForestParams {
+            num_trees: 10,
+            ..ForestParams::default()
+        };
+        let auto = RandomForest::fit(&xs, &ys, &params, 11);
+        for threads in [1, 2, 3, 8, 64] {
+            let forest = RandomForest::fit_with_threads(&xs, &ys, &params, 11, threads);
+            assert_eq!(forest, auto, "{threads} threads diverged from auto fit");
+        }
+    }
+
+    #[test]
+    fn predict_all_into_reuses_allocation_and_matches_wrapper() {
+        let (xs, ys) = noisy_linear(1);
+        let forest = RandomForest::fit(&xs, &ys, &ForestParams::default(), 3);
+        let mut out = Vec::new();
+        forest.predict_all_into(&[55.0, 2.0], &mut out);
+        assert_eq!(out, forest.predict_all(&[55.0, 2.0]));
+        let cap = out.capacity();
+        forest.predict_all_into(&[10.0, 1.0], &mut out);
+        assert_eq!(out.capacity(), cap, "refill must not reallocate");
+        assert_eq!(out.len(), forest.num_trees());
     }
 
     #[test]

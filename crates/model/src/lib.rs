@@ -8,7 +8,12 @@
 //! * [`tree`] — CART regression trees with variance-reduction splitting;
 //! * [`forest`] — bagged ensembles with per-split feature subsampling;
 //! * [`features`] — the 14-dimensional feature encoding (8 log-scaled
-//!   Table III counters + 6 configuration features);
+//!   Table III counters + 6 configuration features), split into a
+//!   per-snapshot prefix and per-candidate suffix with a reusable
+//!   [`FeatureBuffer`] for allocation-free candidate sweeps;
+//! * [`flat`] — the batched structure-of-arrays inference engine
+//!   ([`FlatForest`]), bit-identical to the nested traversal but walked
+//!   tree-major over whole candidate batches;
 //! * [`dataset`] — building training data from a simulated measurement
 //!   campaign over the paper's 336-configuration space;
 //! * [`importance`] — permutation feature importance, a check that the
@@ -37,6 +42,7 @@
 pub mod dataset;
 pub mod error_model;
 pub mod features;
+pub mod flat;
 pub mod forest;
 pub mod importance;
 pub mod metrics;
@@ -45,7 +51,11 @@ pub mod tree;
 
 pub use dataset::{Dataset, Sample};
 pub use error_model::{ErrorInjectedPredictor, ErrorSpec};
-pub use features::{encode_features, FEATURE_NAMES, NUM_FEATURES};
+pub use features::{
+    encode_config_features, encode_counter_features, encode_features, FeatureBuffer, FeatureMatrix,
+    FEATURE_NAMES, NUM_CONFIG_FEATURES, NUM_FEATURES,
+};
+pub use flat::{FlatForest, FlatTree, PrunedForest};
 pub use forest::{ForestParams, RandomForest};
 pub use importance::{permutation_importance, FeatureImportance};
 pub use metrics::{mape, r2, rmse};

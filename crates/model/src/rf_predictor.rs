@@ -2,12 +2,17 @@
 //! [`PowerPerfPredictor`] interface.
 
 use crate::dataset::Dataset;
-use crate::features::encode_features;
+use crate::features::{
+    encode_config_features, encode_counter_features, FeatureBuffer, NUM_CONFIG_FEATURES,
+};
+use crate::flat::{FlatForest, PrunedForest};
 use crate::forest::{ForestParams, RandomForest};
 use crate::metrics;
 use gpm_hw::HwConfig;
 use gpm_sim::predictor::{KernelSnapshot, PowerPerfEstimate, PowerPerfPredictor};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Held-out accuracy of a trained predictor, in the units the paper
 /// reports (MAPE fractions; Section VI-D quotes 25% performance and 12%
@@ -46,10 +51,108 @@ pub struct TrainReport {
 /// let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 1);
 /// # let _ = rf;
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Inference happens on flattened [`FlatForest`] copies of the fitted
+/// forests (bit-identical to the nested traversal; see the [`crate::flat`]
+/// module). The serialized format carries only the two nested forests —
+/// the flat engines are deterministic re-encodings rebuilt on
+/// deserialization, so saved contexts stay compatible.
+#[derive(Debug, Clone)]
 pub struct RandomForestPredictor {
     time_forest: RandomForest,
     power_forest: RandomForest,
+    time_flat: FlatForest,
+    power_flat: FlatForest,
+    /// Process-unique tag for the thread-local specialization cache; never
+    /// reused across predictor constructions, so a stale cache entry can
+    /// only ever match the forests it was built from. Clones share the tag
+    /// — their forests are identical, so cache hits stay correct.
+    generation: u64,
+}
+
+/// Source of [`RandomForestPredictor::generation`] tags; starts at 1 so 0
+/// can mean "nothing cached".
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+impl PartialEq for RandomForestPredictor {
+    fn eq(&self, other: &Self) -> bool {
+        // The flat engines are deterministic re-encodings and the
+        // generation is cache identity, not model state: the fitted
+        // forests are the whole comparison.
+        self.time_forest == other.time_forest && self.power_forest == other.power_forest
+    }
+}
+
+/// Serialized form of [`RandomForestPredictor`]: the fitted forests only,
+/// field-compatible with predictors saved before the flat engine existed.
+#[derive(Serialize, Deserialize)]
+struct SavedForests {
+    time_forest: RandomForest,
+    power_forest: RandomForest,
+}
+
+// Hand-written so the wire format stays exactly `SavedForests` while the
+// in-memory type also carries the derived flat engines.
+impl Serialize for RandomForestPredictor {
+    fn serialize_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (
+                serde::Content::Str("time_forest".to_owned()),
+                self.time_forest.serialize_content(),
+            ),
+            (
+                serde::Content::Str("power_forest".to_owned()),
+                self.power_forest.serialize_content(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RandomForestPredictor {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let saved = SavedForests::deserialize_content(content)?;
+        Ok(RandomForestPredictor::from_forests(
+            saved.time_forest,
+            saved.power_forest,
+        ))
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch for the hot path: feature rows and per-forest
+    /// outputs live here so `predict`/`predict_batch` allocate nothing in
+    /// steady state while staying `&self`.
+    static SCRATCH: RefCell<PredictScratch> = RefCell::new(PredictScratch::default());
+}
+
+#[derive(Default)]
+struct PredictScratch {
+    buf: FeatureBuffer,
+    time_pruned: PrunedForest,
+    power_pruned: PrunedForest,
+    /// Compact row-major config suffixes (6 values per candidate) — the
+    /// only per-row data the pruned walks read.
+    suffix: Vec<f64>,
+    time_out: Vec<f64>,
+    power_out: Vec<f64>,
+    /// Generation of the predictor the pruned forests were specialized
+    /// for (0 = nothing cached), plus the exact bit pattern of the
+    /// counter prefix they were specialized against. Governor searches
+    /// sweep candidates for one snapshot over several `predict_batch`
+    /// calls, so the specialization is re-derived only when the snapshot
+    /// (or the predictor) actually changes.
+    cached_generation: u64,
+    cached_prefix: Vec<u64>,
+    /// Per-snapshot value memo: for a fixed (predictor, snapshot) pair
+    /// the estimate for a config is a pure function of the config, so
+    /// each of the [`HwConfig::DENSE_COUNT`] lattice points is walked at
+    /// most once per snapshot. `memo_epoch[dense_index] == epoch` marks a
+    /// live entry; bumping `epoch` on re-specialization invalidates the
+    /// whole table in O(1).
+    memo: Vec<PowerPerfEstimate>,
+    memo_epoch: Vec<u64>,
+    epoch: u64,
+    /// Dense indices of batch rows missing from the memo, in walk order.
+    pending: Vec<u32>,
 }
 
 impl RandomForestPredictor {
@@ -64,9 +167,23 @@ impl RandomForestPredictor {
         let time_forest = RandomForest::fit(&xs, &dataset.ys_log_time(), params, seed);
         let power_forest =
             RandomForest::fit(&xs, &dataset.ys_power(), params, seed.wrapping_add(1));
+        RandomForestPredictor::from_forests(time_forest, power_forest)
+    }
+
+    /// Assembles a predictor from fitted forests, building the flat
+    /// inference engines.
+    fn from_forests(
+        time_forest: RandomForest,
+        power_forest: RandomForest,
+    ) -> RandomForestPredictor {
+        let time_flat = FlatForest::from_forest(&time_forest);
+        let power_flat = FlatForest::from_forest(&power_forest);
         RandomForestPredictor {
             time_forest,
             power_forest,
+            time_flat,
+            power_flat,
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -124,13 +241,106 @@ impl RandomForestPredictor {
 
 impl PowerPerfPredictor for RandomForestPredictor {
     fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> PowerPerfEstimate {
-        let features = encode_features(&snapshot.counters, cfg);
-        let time_s = self.time_forest.predict(&features).exp().max(1e-9);
-        let gpu_power_w = self.power_forest.predict(&features).max(0.1);
-        PowerPerfEstimate {
-            time_s,
-            gpu_power_w,
-        }
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.buf.begin_snapshot(&snapshot.counters);
+            scratch.buf.push_config(cfg);
+            let row = scratch.buf.matrix().row(0);
+            PowerPerfEstimate {
+                time_s: self.time_flat.predict(row).exp().max(1e-9),
+                gpu_power_w: self.power_flat.predict(row).max(0.1),
+            }
+        })
+    }
+
+    fn predict_batch(
+        &self,
+        snapshot: &KernelSnapshot,
+        cfgs: &[HwConfig],
+        out: &mut Vec<PowerPerfEstimate>,
+    ) {
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            if cfgs.is_empty() {
+                out.clear();
+                return;
+            }
+            // Every row of the batch shares the snapshot's counter
+            // prefix, so prefix splits resolve once per batch and the
+            // per-row walk only compares config features — the batch
+            // never materializes full feature rows at all, just the
+            // compact config suffixes. The specialized forests are cached
+            // against the exact prefix bits: repeated sweeps over the
+            // same snapshot (hill-climb rounds, MPC horizon steps) skip
+            // re-specialization entirely.
+            let prefix = encode_counter_features(&snapshot.counters);
+            const PREFIX_LEN: usize = crate::features::NUM_FEATURES - NUM_CONFIG_FEATURES;
+            let hit = scratch.cached_generation == self.generation
+                && scratch.cached_prefix.len() == PREFIX_LEN
+                && scratch
+                    .cached_prefix
+                    .iter()
+                    .zip(&prefix)
+                    .all(|(&bits, v)| bits == v.to_bits());
+            if !hit {
+                self.time_flat
+                    .specialize_into(&prefix, PREFIX_LEN, &mut scratch.time_pruned);
+                self.power_flat
+                    .specialize_into(&prefix, PREFIX_LEN, &mut scratch.power_pruned);
+                scratch.cached_generation = self.generation;
+                scratch.cached_prefix.clear();
+                scratch
+                    .cached_prefix
+                    .extend(prefix.iter().map(|v| v.to_bits()));
+                scratch.epoch += 1;
+            }
+            if scratch.memo.len() != HwConfig::DENSE_COUNT {
+                scratch.memo.resize(
+                    HwConfig::DENSE_COUNT,
+                    PowerPerfEstimate {
+                        time_s: 0.0,
+                        gpu_power_w: 0.0,
+                    },
+                );
+                scratch.memo_epoch.resize(HwConfig::DENSE_COUNT, 0);
+            }
+            // Walk only the configs this snapshot hasn't priced yet;
+            // everything else is a memo copy. Duplicate candidates in one
+            // batch are walked per occurrence and scatter the same value.
+            scratch.suffix.clear();
+            scratch.pending.clear();
+            for &cfg in cfgs {
+                let dense = cfg.dense_index();
+                if scratch.memo_epoch[dense] != scratch.epoch {
+                    scratch.pending.push(dense as u32);
+                    scratch
+                        .suffix
+                        .extend_from_slice(&encode_config_features(cfg));
+                }
+            }
+            if !scratch.pending.is_empty() {
+                scratch
+                    .time_pruned
+                    .predict_suffix_batch_into(&scratch.suffix, &mut scratch.time_out);
+                scratch
+                    .power_pruned
+                    .predict_suffix_batch_into(&scratch.suffix, &mut scratch.power_out);
+                for ((&dense, &log_time), &power) in scratch
+                    .pending
+                    .iter()
+                    .zip(&scratch.time_out)
+                    .zip(&scratch.power_out)
+                {
+                    scratch.memo[dense as usize] = PowerPerfEstimate {
+                        time_s: log_time.exp().max(1e-9),
+                        gpu_power_w: power.max(0.1),
+                    };
+                    scratch.memo_epoch[dense as usize] = scratch.epoch;
+                }
+            }
+            out.clear();
+            out.extend(cfgs.iter().map(|cfg| scratch.memo[cfg.dense_index()]));
+        });
     }
 
     fn name(&self) -> &str {
@@ -212,6 +422,113 @@ mod tests {
         let a = rf.predict(&snap, HwConfig::MAX_PERF);
         let b = rf.predict(&snap, HwConfig::MAX_PERF);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_matches_nested_reference_path() {
+        // The flat hot path must reproduce the seed formula bit-for-bit:
+        // one-shot encoding + nested forest traversal + exp/clamp.
+        let (_, _, ds) = campaign();
+        let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 11);
+        let snap = gpm_sim::predictor::KernelSnapshot::counters_only(
+            gpm_sim::CounterSet::from_values([1e8, 40.0, 60.0, 1e5, 6.0, 3.0, 1e6, 1e6]),
+            HwConfig::FAIL_SAFE,
+            1.0,
+        );
+        for cfg in &ConfigSpace::paper_campaign() {
+            let features = crate::features::encode_features(&snap.counters, cfg);
+            let reference = PowerPerfEstimate {
+                time_s: rf.time_forest().predict(&features).exp().max(1e-9),
+                gpu_power_w: rf.power_forest().predict(&features).max(0.1),
+            };
+            let est = rf.predict(&snap, cfg);
+            assert_eq!(est.time_s.to_bits(), reference.time_s.to_bits(), "{cfg}");
+            assert_eq!(
+                est.gpu_power_w.to_bits(),
+                reference.gpu_power_w.to_bits(),
+                "{cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_batch_bit_identical_to_scalar_loop() {
+        let (_, _, ds) = campaign();
+        let rf = RandomForestPredictor::train(&ds, &ForestParams::default(), 11);
+        let snap = gpm_sim::predictor::KernelSnapshot::counters_only(
+            gpm_sim::CounterSet::from_values([1e7, 30.0, 55.0, 1e4, 2.0, 1.0, 1e5, 1e5]),
+            HwConfig::FAIL_SAFE,
+            1.0,
+        );
+        let cfgs: Vec<HwConfig> = ConfigSpace::paper_campaign().iter().collect();
+        let mut batch = Vec::new();
+        rf.predict_batch(&snap, &cfgs, &mut batch);
+        assert_eq!(batch.len(), cfgs.len());
+        for (est, &cfg) in batch.iter().zip(&cfgs) {
+            let scalar = rf.predict(&snap, cfg);
+            assert_eq!(est.time_s.to_bits(), scalar.time_s.to_bits(), "{cfg}");
+            assert_eq!(
+                est.gpu_power_w.to_bits(),
+                scalar.gpu_power_w.to_bits(),
+                "{cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn specialization_cache_invalidates_on_snapshot_and_predictor_change() {
+        // Alternates two snapshots and two predictors on one thread; the
+        // thread-local specialization cache must miss on every switch and
+        // stay bit-identical to the scalar path throughout.
+        let (_, _, ds) = campaign();
+        let rf_a = RandomForestPredictor::train(&ds, &ForestParams::default(), 11);
+        let rf_b = RandomForestPredictor::train(&ds, &ForestParams::default(), 23);
+        let snap_a = gpm_sim::predictor::KernelSnapshot::counters_only(
+            gpm_sim::CounterSet::from_values([1e7, 30.0, 55.0, 1e4, 2.0, 1.0, 1e5, 1e5]),
+            HwConfig::FAIL_SAFE,
+            1.0,
+        );
+        let snap_b = gpm_sim::predictor::KernelSnapshot::counters_only(
+            gpm_sim::CounterSet::from_values([9e8, 80.0, 20.0, 9e5, 15.0, 1.0, 9e6, 1e5]),
+            HwConfig::FAIL_SAFE,
+            1.0,
+        );
+        let cfgs: Vec<HwConfig> = ConfigSpace::paper_campaign().iter().collect();
+        let mut batch = Vec::new();
+        for _ in 0..2 {
+            for rf in [&rf_a, &rf_b] {
+                for snap in [&snap_a, &snap_b] {
+                    rf.predict_batch(snap, &cfgs, &mut batch);
+                    for (est, &cfg) in batch.iter().zip(&cfgs) {
+                        let scalar = rf.predict(snap, cfg);
+                        assert_eq!(est.time_s.to_bits(), scalar.time_s.to_bits(), "{cfg}");
+                        assert_eq!(est.gpu_power_w.to_bits(), scalar.gpu_power_w.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_flat_engines() {
+        let (_, _, ds) = campaign();
+        let params = ForestParams {
+            num_trees: 6,
+            ..ForestParams::default()
+        };
+        let rf = RandomForestPredictor::train(&ds, &params, 11);
+        let json = serde_json::to_string(&rf).unwrap();
+        let back: RandomForestPredictor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rf, "flat engines must rebuild identically on load");
+        // The wire format carries only the nested forests.
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let keys: Vec<&str> = value
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str().unwrap())
+            .collect();
+        assert_eq!(keys, ["time_forest", "power_forest"]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -100,9 +100,16 @@ impl RegressionTree {
     ///
     /// # Panics
     ///
-    /// Panics if `x` has a different dimensionality than the training data.
+    /// The dimensionality check is a `debug_assert!`: callers must pass a
+    /// vector of exactly the training dimensionality
+    /// ([`num_features`](RegressionTree::num_features)). Debug builds panic
+    /// on a mismatch; release builds skip the per-call check (this sits on
+    /// the optimizer's innermost loop) and a *shorter* vector then panics
+    /// on the out-of-bounds feature access, while a longer one silently
+    /// ignores the extra entries. Batch callers should validate once at
+    /// the batch boundary instead.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(
+        debug_assert_eq!(
             x.len(),
             self.num_features,
             "feature dimensionality mismatch"
@@ -126,6 +133,17 @@ impl RegressionTree {
     /// Number of nodes in the fitted tree.
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Dimensionality of the feature vectors the tree was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The fitted node array (crate-internal; consumed by the flat
+    /// inference engine).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Whether the tree is a single leaf.
@@ -366,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "dimensionality mismatch")]
     fn predict_wrong_arity_panics() {
         let tree = RegressionTree::fit(

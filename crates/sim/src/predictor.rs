@@ -104,6 +104,24 @@ pub trait PowerPerfPredictor {
     /// Predicts behaviour of the kernel described by `snapshot` at `cfg`.
     fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> PowerPerfEstimate;
 
+    /// Predicts one snapshot at every candidate in `cfgs`, writing the
+    /// estimates into `out` (cleared and refilled, index-aligned with
+    /// `cfgs`; the allocation is reused across calls).
+    ///
+    /// The default implementation loops [`predict`](Self::predict);
+    /// batched implementations (the Random-Forest engine) override it but
+    /// **must** return values bit-identical to the loop — optimizers treat
+    /// the two paths as interchangeable.
+    fn predict_batch(
+        &self,
+        snapshot: &KernelSnapshot,
+        cfgs: &[HwConfig],
+        out: &mut Vec<PowerPerfEstimate>,
+    ) {
+        out.clear();
+        out.extend(cfgs.iter().map(|&cfg| self.predict(snapshot, cfg)));
+    }
+
     /// Human-readable predictor name for reports.
     fn name(&self) -> &str {
         "predictor"
@@ -115,6 +133,15 @@ impl<P: PowerPerfPredictor + ?Sized> PowerPerfPredictor for &P {
         (**self).predict(snapshot, cfg)
     }
 
+    fn predict_batch(
+        &self,
+        snapshot: &KernelSnapshot,
+        cfgs: &[HwConfig],
+        out: &mut Vec<PowerPerfEstimate>,
+    ) {
+        (**self).predict_batch(snapshot, cfgs, out);
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -123,6 +150,15 @@ impl<P: PowerPerfPredictor + ?Sized> PowerPerfPredictor for &P {
 impl<P: PowerPerfPredictor + ?Sized> PowerPerfPredictor for Box<P> {
     fn predict(&self, snapshot: &KernelSnapshot, cfg: HwConfig) -> PowerPerfEstimate {
         (**self).predict(snapshot, cfg)
+    }
+
+    fn predict_batch(
+        &self,
+        snapshot: &KernelSnapshot,
+        cfgs: &[HwConfig],
+        out: &mut Vec<PowerPerfEstimate>,
+    ) {
+        (**self).predict_batch(snapshot, cfgs, out);
     }
 
     fn name(&self) -> &str {
@@ -226,6 +262,25 @@ mod tests {
             gpu_power_w: 30.0,
         };
         assert_eq!(est.gpu_energy_j(), 60.0);
+    }
+
+    #[test]
+    fn default_batch_matches_looped_predict() {
+        let sim = ApuSimulator::default();
+        let oracle = OraclePredictor::new(&sim);
+        let snap = snapshot();
+        let cfgs = [HwConfig::FAIL_SAFE, HwConfig::MAX_PERF];
+        let mut out = Vec::new();
+        oracle.predict_batch(&snap, &cfgs, &mut out);
+        assert_eq!(out.len(), cfgs.len());
+        for (est, &cfg) in out.iter().zip(&cfgs) {
+            assert_eq!(*est, oracle.predict(&snap, cfg));
+        }
+        // Forwarding impls route through the same batch entry point.
+        let boxed: Box<dyn PowerPerfPredictor> = Box::new(oracle);
+        let mut via_box = Vec::new();
+        boxed.predict_batch(&snap, &cfgs, &mut via_box);
+        assert_eq!(via_box, out);
     }
 
     #[test]

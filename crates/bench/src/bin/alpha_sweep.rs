@@ -1,60 +1,12 @@
-//! Extension: sweeping the adaptive horizon's overhead budget α.
+//! Thin wrapper: runs the registered `alpha_sweep` experiment
+//! (the adaptive-horizon budget sweep extension) through the experiment registry.
 //!
-//! The paper fixes α = 0.05 ("the horizon length generator attempts to
-//! limit the maximum performance loss to an α of 0.05") without a
-//! sensitivity study. This sweep characterizes the trade-off: small α
-//! strangles the horizon (MPC degenerates toward PPK/fail-safe), large α
-//! admits more optimizer time than it can repay on short-kernel apps.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::figure_context;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::{summarize, Comparison};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let env = ExecEnv::new();
-    let alphas = [0.01, 0.02, 0.05, 0.10, 0.25];
-
-    let mut table = Table::new(vec![
-        "alpha",
-        "avg energy savings (%)",
-        "avg speedup",
-        "avg horizon (% of N)",
-        "avg perf overhead (%)",
-    ]);
-    for &alpha in &alphas {
-        eprintln!("  alpha = {alpha} ...");
-        let mut cs = Vec::new();
-        let mut horizon_frac_sum = 0.0;
-        let mut overhead_sum = 0.0;
-        let workloads = suite();
-        for w in &workloads {
-            let out = env.evaluate(
-                &ctx,
-                w,
-                Scheme::MpcRf {
-                    horizon: HorizonMode::Adaptive { alpha },
-                },
-            );
-            cs.push(Comparison::between(&out.baseline, &out.measured));
-            let stats = out.mpc_stats.expect("MPC stats");
-            horizon_frac_sum += stats.average_horizon_fraction(w.len());
-            overhead_sum += out.measured.overhead_time_s / out.baseline.wall_time_s();
-        }
-        let a = summarize(&cs);
-        let n = workloads.len() as f64;
-        table.row(vec![
-            fmt(alpha, 2),
-            fmt(a.energy_savings_pct, 1),
-            fmt(a.speedup, 3),
-            fmt(horizon_frac_sum / n * 100.0, 1),
-            fmt(overhead_sum / n * 100.0, 3),
-        ]);
-    }
-    println!("Adaptive-horizon budget sweep (the paper fixes alpha = 0.05)");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("alpha_sweep")
 }

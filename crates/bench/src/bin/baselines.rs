@@ -1,72 +1,12 @@
-//! Extended baseline comparison: every implemented policy on the full
-//! suite — Turbo Core, Equalizer (both modes), PPK, MPC, and the
-//! Theoretically Optimal limit.
+//! Thin wrapper: runs the registered `baselines` experiment
+//! (the extended baseline comparison) through the experiment registry.
 //!
-//! This exhibit goes beyond the paper's figures: it places the paper's
-//! schemes next to a reactive counter-driven tuner (Equalizer, which the
-//! related-work section contrasts with) under identical conditions.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context, suite_average};
-use gpm_governors::EqualizerMode;
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let schemes: Vec<(&str, Scheme)> = vec![
-        (
-            "Equalizer(perf)",
-            Scheme::Equalizer {
-                mode: EqualizerMode::Performance,
-            },
-        ),
-        (
-            "Equalizer(eff)",
-            Scheme::Equalizer {
-                mode: EqualizerMode::Efficiency,
-            },
-        ),
-        ("PPK(RF)", Scheme::PpkRf),
-        (
-            "MPC(RF)",
-            Scheme::MpcRf {
-                horizon: HorizonMode::default(),
-            },
-        ),
-        ("TO", Scheme::TheoreticallyOptimal),
-    ];
-
-    let mut headers = vec!["benchmark".to_string()];
-    for (name, _) in &schemes {
-        headers.push(format!("{name} sav%"));
-        headers.push(format!("{name} spd"));
-    }
-    let mut table = Table::new(headers);
-
-    let results: Vec<_> = schemes
-        .iter()
-        .map(|(n, s)| (*n, evaluate_suite(&ctx, *s)))
-        .collect();
-    let n = results[0].1.len();
-    for i in 0..n {
-        let mut row = vec![results[0].1[i].workload.name().to_string()];
-        for (_, rows) in &results {
-            row.push(fmt(rows[i].vs_baseline.energy_savings_pct, 1));
-            row.push(fmt(rows[i].vs_baseline.speedup, 3));
-        }
-        table.row(row);
-    }
-    let mut avg = vec!["AVERAGE".to_string()];
-    for (_, rows) in &results {
-        let a = suite_average(rows);
-        avg.push(fmt(a.energy_savings_pct, 1));
-        avg.push(fmt(a.speedup, 3));
-    }
-    table.row(avg);
-
-    println!("Extended baselines vs AMD Turbo Core (energy savings %, speedup)");
-    println!("{}", table.render());
-    println!("note: Equalizer reacts without a performance target, so it trades");
-    println!("performance freely; PPK/MPC are constrained to Turbo Core throughput.");
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("baselines")
 }

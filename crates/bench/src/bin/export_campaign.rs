@@ -1,62 +1,12 @@
-//! Exports the full measurement campaign — the dataset behind every
-//! experiment — as a replayable JSON table and a flat CSV.
+//! Thin wrapper: runs the registered `export_campaign` experiment
+//! (the Section V campaign export) through the experiment registry.
 //!
-//! This is the artifact the paper's authors captured from hardware
-//! ("performance and power data ... for 336 APU hardware configurations",
-//! Section V). Third parties can load the JSON with
-//! `ReplayPlatform::from_json` and re-run any governor against it without
-//! the analytical model, or analyze the CSV directly.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::context::training_kernels;
-use gpm_hw::ConfigSpace;
-use gpm_sim::{ApuSimulator, ReplayPlatform};
+use std::process::ExitCode;
 
-fn main() {
-    let sim = ApuSimulator::default();
-    let kernels = training_kernels();
-    let space = ConfigSpace::paper_campaign();
-    eprintln!(
-        "recording campaign: {} kernels x {} configurations ...",
-        kernels.len(),
-        space.len()
-    );
-    let replay = ReplayPlatform::record(&sim, &kernels, &space);
-
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/campaign.json", replay.to_json()).expect("write campaign.json");
-
-    // Flat CSV: one row per (kernel, configuration) measurement.
-    let mut csv = String::from(
-        "kernel,cpu,nb,gpu,cu,time_s,gpu_power_w,chip_power_w,energy_j,ginstructions\n",
-    );
-    for kernel in &kernels {
-        for cfg in &space {
-            let out = sim.evaluate(kernel, cfg);
-            csv.push_str(&format!(
-                "{},{},{},{},{},{:.9},{:.4},{:.4},{:.6},{:.6}\n",
-                kernel.name(),
-                cfg.cpu,
-                cfg.nb,
-                cfg.gpu,
-                cfg.cu.get(),
-                out.time_s,
-                out.power.gpu_domain_w(),
-                out.power.total_w(),
-                out.energy.total_j(),
-                out.ginstructions
-            ));
-        }
-    }
-    std::fs::write("results/campaign.csv", &csv).expect("write campaign.csv");
-
-    println!(
-        "exported {} measurements: results/campaign.json ({} KiB), results/campaign.csv ({} KiB)",
-        replay.len(),
-        std::fs::metadata("results/campaign.json")
-            .map(|m| m.len() / 1024)
-            .unwrap_or(0),
-        std::fs::metadata("results/campaign.csv")
-            .map(|m| m.len() / 1024)
-            .unwrap_or(0),
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("export_campaign")
 }

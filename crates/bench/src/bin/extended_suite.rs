@@ -1,63 +1,12 @@
-//! The extended tier: the paper's schemes evaluated on ten additional
-//! modelled benchmarks from the studied suites (the paper examined 73 and
-//! sampled 15 for its figures). The Random Forest still trains only on
-//! the figure suite, so these applications mix seen kernel *classes* with
-//! unseen kernel *instances*.
+//! Thin wrapper: runs the registered `extended_suite` experiment
+//! (the extended benchmark tier) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::figure_context;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::{summarize, Comparison};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
-use gpm_workloads::extended_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let env = ExecEnv::new();
-    let mut table = Table::new(vec![
-        "benchmark",
-        "category",
-        "PPK savings (%)",
-        "MPC savings (%)",
-        "PPK speedup",
-        "MPC speedup",
-    ]);
-    let mut ppk_cs = Vec::new();
-    let mut mpc_cs = Vec::new();
-    for w in extended_suite() {
-        eprintln!("  extended suite: {} ...", w.name());
-        let ppk = env.evaluate(&ctx, &w, Scheme::PpkRf);
-        let mpc = env.evaluate(
-            &ctx,
-            &w,
-            Scheme::MpcRf {
-                horizon: HorizonMode::default(),
-            },
-        );
-        let pc = Comparison::between(&ppk.baseline, &ppk.measured);
-        let mc = Comparison::between(&mpc.baseline, &mpc.measured);
-        table.row(vec![
-            w.name().to_string(),
-            w.category().to_string(),
-            fmt(pc.energy_savings_pct, 1),
-            fmt(mc.energy_savings_pct, 1),
-            fmt(pc.speedup, 3),
-            fmt(mc.speedup, 3),
-        ]);
-        ppk_cs.push(pc);
-        mpc_cs.push(mc);
-    }
-    let pa = summarize(&ppk_cs);
-    let ma = summarize(&mpc_cs);
-    table.row(vec![
-        "AVERAGE".into(),
-        String::new(),
-        fmt(pa.energy_savings_pct, 1),
-        fmt(ma.energy_savings_pct, 1),
-        fmt(pa.speedup, 3),
-        fmt(ma.speedup, 3),
-    ]);
-    println!("Extended tier: 10 additional benchmarks (model trained on the figure suite only)");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("extended_suite")
 }

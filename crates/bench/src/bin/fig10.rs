@@ -1,56 +1,12 @@
-//! Figure 10: GPU-domain energy savings over AMD Turbo Core (the GPU rail
-//! including the NB, plus GPU static energy burned during optimization).
+//! Thin wrapper: runs the registered `fig10` experiment
+//! (Figure 10) through the experiment registry.
 //!
-//! Paper shape: lbm peaks at ~51% (its kernels exhibit peak behaviour);
-//! the rest land in the 3–20% band; PPK can exceed its chip-wide savings
-//! on benchmarks where it stretches execution time.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-    let mpc = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "PPK GPU energy savings (%)",
-        "MPC GPU energy savings (%)",
-        "MPC chip-wide savings (%)",
-    ]);
-    let mut gpu_sum = 0.0;
-    for (p, m) in ppk.iter().zip(mpc.iter()) {
-        gpu_sum += m.vs_baseline.gpu_energy_savings_pct;
-        table.row(vec![
-            p.workload.name().to_string(),
-            fmt(p.vs_baseline.gpu_energy_savings_pct, 1),
-            fmt(m.vs_baseline.gpu_energy_savings_pct, 1),
-            fmt(m.vs_baseline.energy_savings_pct, 1),
-        ]);
-    }
-    println!("Figure 10: GPU energy savings over AMD Turbo Core");
-    println!("{}", table.render());
-
-    // Section VI-A's attribution: how much of MPC's chip-wide savings come
-    // from the CPU vs the GPU (paper: 75% / 25%).
-    let (mut cpu_saved, mut gpu_saved) = (0.0, 0.0);
-    for m in &mpc {
-        cpu_saved += m.outcome.baseline.cpu_energy_j() - m.outcome.measured.cpu_energy_j();
-        gpu_saved += m.outcome.baseline.gpu_energy_j() - m.outcome.measured.gpu_energy_j();
-    }
-    let total = cpu_saved + gpu_saved;
-    println!(
-        "average MPC GPU savings: {:.1}% | savings attribution: CPU {:.0}%, GPU {:.0}% (paper: 75%/25%)",
-        gpu_sum / mpc.len() as f64,
-        cpu_saved / total * 100.0,
-        gpu_saved / total * 100.0
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig10")
 }

@@ -1,71 +1,12 @@
-//! Figure 11: amortization of the initial profiling run — MPC vs PPK when
-//! benchmarks are re-executed 1, 10, and 100 times after the initial
-//! execution, plus the steady-state limit.
+//! Thin wrapper: runs the registered `fig11` experiment
+//! (Figure 11) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::figure_context;
-use gpm_harness::amortize::amortization;
-use gpm_harness::report::{fmt, Table};
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let repeats = [1usize, 10, 100];
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "savings @1 (%)",
-        "savings @10 (%)",
-        "savings @100 (%)",
-        "savings steady (%)",
-        "speedup @1",
-        "speedup @10",
-        "speedup @100",
-        "speedup steady",
-    ]);
-
-    let mut sums = [0.0f64; 8];
-    let workloads = suite();
-    for w in &workloads {
-        eprintln!("  amortization on {} ...", w.name());
-        let pts = amortization(&ctx, w, &repeats);
-        let vals = [
-            pts[0].energy_savings_pct,
-            pts[1].energy_savings_pct,
-            pts[2].energy_savings_pct,
-            pts[3].energy_savings_pct,
-            pts[0].speedup,
-            pts[1].speedup,
-            pts[2].speedup,
-            pts[3].speedup,
-        ];
-        for (s, v) in sums.iter_mut().zip(vals.iter()) {
-            *s += v;
-        }
-        table.row(vec![
-            w.name().to_string(),
-            fmt(vals[0], 1),
-            fmt(vals[1], 1),
-            fmt(vals[2], 1),
-            fmt(vals[3], 1),
-            fmt(vals[4], 3),
-            fmt(vals[5], 3),
-            fmt(vals[6], 3),
-            fmt(vals[7], 3),
-        ]);
-    }
-    let n = workloads.len() as f64;
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(sums[0] / n, 1),
-        fmt(sums[1] / n, 1),
-        fmt(sums[2] / n, 1),
-        fmt(sums[3] / n, 1),
-        fmt(sums[4] / n, 3),
-        fmt(sums[5] / n, 3),
-        fmt(sums[6] / n, 3),
-        fmt(sums[7] / n, 3),
-    ]);
-
-    println!("Figure 11: MPC vs PPK with re-execution (cumulative, incl. initial run)");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig11")
 }

@@ -1,50 +1,12 @@
-//! Figure 12: comparison with the theoretical limit — MPC with perfect
-//! prediction, full horizon, and no overhead vs the Theoretically Optimal
-//! exhaustive solution, both relative to Turbo Core.
+//! Thin wrapper: runs the registered `fig12` experiment
+//! (Figure 12) through the experiment registry.
 //!
-//! Paper headline: MPC achieves 92% of the maximum theoretical energy
-//! savings and 93% of the potential performance gain.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context, suite_average};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let mpc = evaluate_suite(&ctx, Scheme::MpcOracle);
-    let to = evaluate_suite(&ctx, Scheme::TheoreticallyOptimal);
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "MPC energy savings (%)",
-        "TO energy savings (%)",
-        "MPC speedup",
-        "TO speedup",
-    ]);
-    for (m, t) in mpc.iter().zip(to.iter()) {
-        table.row(vec![
-            m.workload.name().to_string(),
-            fmt(m.vs_baseline.energy_savings_pct, 1),
-            fmt(t.vs_baseline.energy_savings_pct, 1),
-            fmt(m.vs_baseline.speedup, 3),
-            fmt(t.vs_baseline.speedup, 3),
-        ]);
-    }
-    let ma = suite_average(&mpc);
-    let ta = suite_average(&to);
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(ma.energy_savings_pct, 1),
-        fmt(ta.energy_savings_pct, 1),
-        fmt(ma.speedup, 3),
-        fmt(ta.speedup, 3),
-    ]);
-
-    println!("Figure 12: MPC (perfect prediction, full horizon, no overhead) vs TO");
-    println!("{}", table.render());
-    println!(
-        "MPC captures {:.0}% of TO's energy savings (paper: 92%) and {:.0}% of its speedup-vs-baseline (paper: 93%)",
-        ma.energy_savings_pct / ta.energy_savings_pct * 100.0,
-        (ma.speedup - 0.0) / ta.speedup * 100.0
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig12")
 }

@@ -1,68 +1,12 @@
-//! Figure 13: ramification of prediction inaccuracy — MPC driven by the
-//! Random Forest vs hypothetical predictors with half-normal error
-//! (Err_15%_10%, Err_5%, Err_0%), all at full horizon with no overhead.
+//! Thin wrapper: runs the registered `fig13` experiment
+//! (Figure 13) through the experiment registry.
 //!
-//! Paper shape: the alternatives differ only mildly (27–28% savings vs
-//! RF's 25%), because MPC leans on prediction far less than exhaustive
-//! search and corrects through runtime feedback.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context, suite_average, BenchRow};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_model::ErrorSpec;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let schemes: Vec<(&str, Scheme)> = vec![
-        ("RF", Scheme::MpcRfIdealized),
-        (
-            "Err_15%_10%",
-            Scheme::MpcError {
-                spec: ErrorSpec::ERR_15_10,
-            },
-        ),
-        (
-            "Err_5%",
-            Scheme::MpcError {
-                spec: ErrorSpec::ERR_5,
-            },
-        ),
-        (
-            "Err_0%",
-            Scheme::MpcError {
-                spec: ErrorSpec::ERR_0,
-            },
-        ),
-    ];
-
-    let results: Vec<(&str, Vec<BenchRow>)> = schemes
-        .iter()
-        .map(|(name, s)| (*name, evaluate_suite(&ctx, *s)))
-        .collect();
-
-    let mut headers = vec!["benchmark".to_string()];
-    for (name, _) in &results {
-        headers.push(format!("{name} savings (%)"));
-        headers.push(format!("{name} speedup"));
-    }
-    let mut table = Table::new(headers);
-    let n = results[0].1.len();
-    for i in 0..n {
-        let mut row = vec![results[0].1[i].workload.name().to_string()];
-        for (_, rows) in &results {
-            row.push(fmt(rows[i].vs_baseline.energy_savings_pct, 1));
-            row.push(fmt(rows[i].vs_baseline.speedup, 3));
-        }
-        table.row(row);
-    }
-    let mut avg_row = vec!["AVERAGE".to_string()];
-    for (_, rows) in &results {
-        let a = suite_average(rows);
-        avg_row.push(fmt(a.energy_savings_pct, 1));
-        avg_row.push(fmt(a.speedup, 3));
-    }
-    table.row(avg_row);
-
-    println!("Figure 13: MPC sensitivity to prediction accuracy (full horizon, no overhead)");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig13")
 }

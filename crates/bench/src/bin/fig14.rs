@@ -1,58 +1,12 @@
-//! Figure 14: MPC's own energy and performance overheads relative to
-//! Turbo Core, with the adaptive horizon at α = 5% and the worst-case
-//! back-to-back kernel assumption.
+//! Thin wrapper: runs the registered `fig14` experiment
+//! (Figure 14) through the experiment registry.
 //!
-//! Paper headline: average energy overhead 0.15% (max 0.53%, Spmv) and
-//! performance overhead 0.3% (max 1.2%, Spmv).
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let mpc = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "MPC energy overhead (%)",
-        "MPC performance overhead (%)",
-        "optimizer time (ms)",
-        "evaluations",
-    ]);
-    let (mut e_sum, mut p_sum) = (0.0, 0.0);
-    for row in &mpc {
-        let m = &row.outcome.measured;
-        let b = &row.outcome.baseline;
-        let e_overhead = m.overhead_energy.total_j() / b.total_energy_j() * 100.0;
-        let p_overhead = m.overhead_time_s / b.wall_time_s() * 100.0;
-        e_sum += e_overhead;
-        p_sum += p_overhead;
-        let evals = row
-            .outcome
-            .mpc_stats
-            .as_ref()
-            .map(|s| s.total_evaluations())
-            .unwrap_or(0);
-        table.row(vec![
-            row.workload.name().to_string(),
-            fmt(e_overhead, 3),
-            fmt(p_overhead, 3),
-            fmt(m.overhead_time_s * 1e3, 3),
-            evals.to_string(),
-        ]);
-    }
-    println!("Figure 14: MPC energy and performance overheads vs Turbo Core (α = 5%)");
-    println!("{}", table.render());
-    println!(
-        "averages: energy overhead {:.3}% (paper 0.15%), performance overhead {:.3}% (paper 0.3%)",
-        e_sum / mpc.len() as f64,
-        p_sum / mpc.len() as f64
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig14")
 }

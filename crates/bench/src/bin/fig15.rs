@@ -1,44 +1,12 @@
-//! Figure 15: average MPC horizon length as a percentage of each
-//! application's kernel count N, under the adaptive generator (α = 5%).
+//! Thin wrapper: runs the registered `fig15` experiment
+//! (Figure 15) through the experiment registry.
 //!
-//! Paper shape: benchmarks with long kernels (NBody, lbm, EigenValue,
-//! XSBench) afford the full horizon; short-kernel benchmarks shrink it.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let mpc = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "N kernels",
-        "avg horizon",
-        "avg horizon (% of N)",
-        "zero-horizon decisions",
-        "pattern mispredict (%)",
-    ]);
-    for row in &mpc {
-        let n = row.workload.len();
-        let stats = row.outcome.mpc_stats.as_ref().expect("MPC stats");
-        let zero = stats.horizons.iter().filter(|&&h| h == 0).count();
-        table.row(vec![
-            row.workload.name().to_string(),
-            n.to_string(),
-            fmt(stats.average_horizon(), 2),
-            fmt(stats.average_horizon_fraction(n) * 100.0, 1),
-            zero.to_string(),
-            fmt(stats.misprediction_rate() * 100.0, 1),
-        ]);
-    }
-    println!("Figure 15: average MPC horizon as a percentage of kernel count");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig15")
 }

@@ -1,43 +1,12 @@
-//! Figure 2: performance trends and energy-optimal points of the four
-//! kernel classes across NB states × CU counts.
+//! Thin wrapper: runs the registered `fig2` experiment
+//! (Figure 2) through the experiment registry.
 //!
-//! Each panel prints speedup (relative to the NB3 / 2-CU corner) for every
-//! NB state and CU count, marking the energy-optimal point with `*`.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::traces::fig2_sweep;
-use gpm_hw::NbState;
-use gpm_sim::{ApuSimulator, KernelCharacteristics};
-use gpm_workloads::{astar, max_flops, read_global_memory_coalesced, write_candidates};
+use std::process::ExitCode;
 
-fn panel(sim: &ApuSimulator, title: &str, kernel: &KernelCharacteristics) {
-    let points = fig2_sweep(sim, kernel);
-    println!("({title}) — speedup vs [NB3, 2 CUs]; '*' marks the energy-optimal point");
-    print!("{:>6}", "CUs");
-    for cu in [2u32, 4, 6, 8] {
-        print!("{cu:>10}");
-    }
-    println!();
-    for nb in NbState::ALL {
-        print!("{:>6}", nb.to_string());
-        for cu in [2u32, 4, 6, 8] {
-            let p = points.iter().find(|p| p.nb == nb && p.cu == cu).unwrap();
-            let mark = if p.energy_optimal { "*" } else { " " };
-            print!("{:>9.2}{mark}", p.speedup);
-        }
-        println!();
-    }
-    println!();
-}
-
-fn main() {
-    let sim = ApuSimulator::default();
-    println!("Figure 2: GPGPU kernel scaling classes\n");
-    panel(&sim, "a: compute-bound — MaxFlops", &max_flops());
-    panel(
-        &sim,
-        "b: memory-bound — readGlobalMemoryCoalesced",
-        &read_global_memory_coalesced(),
-    );
-    panel(&sim, "c: peak — writeCandidates", &write_candidates());
-    panel(&sim, "d: unscalable — astar", &astar());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig2")
 }

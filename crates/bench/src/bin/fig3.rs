@@ -1,34 +1,12 @@
-//! Figure 3: per-invocation kernel throughput (normalized to the overall
-//! application throughput) for Spmv, kmeans, and hybridsort.
+//! Thin wrapper: runs the registered `fig3` experiment
+//! (Figure 3) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::emit_svg;
-use gpm_harness::svg::{line_chart, BarSeries};
-use gpm_harness::traces::fig3_trace;
-use gpm_sim::ApuSimulator;
-use gpm_workloads::workload_by_name;
+use std::process::ExitCode;
 
-fn main() {
-    let sim = ApuSimulator::default();
-    println!("Figure 3: normalized kernel throughput by execution order\n");
-    let mut svg_series = Vec::new();
-    for name in ["Spmv", "kmeans", "hybridsort"] {
-        let w = workload_by_name(name).unwrap();
-        let trace = fig3_trace(&sim, &w);
-        println!("{name} ({} invocations):", trace.len());
-        for (i, v) in trace.iter().enumerate() {
-            let bar = "#".repeat((v * 12.0).round().clamp(0.0, 60.0) as usize);
-            println!("  {:>3}  {:>6.2}  {}", i + 1, v, bar);
-        }
-        println!();
-        svg_series.push(BarSeries {
-            name: name.to_string(),
-            values: trace,
-        });
-    }
-    let svg = line_chart(
-        "Figure 3: kernel throughput (normalized to overall)",
-        &svg_series,
-        "normalized throughput",
-    );
-    emit_svg("results/fig3.svg", &svg);
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig3")
 }

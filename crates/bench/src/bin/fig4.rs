@@ -1,46 +1,12 @@
-//! Figure 4: the limit study — Predict Previous Kernel vs Theoretically
-//! Optimal, both with perfect knowledge and zero overheads, relative to
-//! AMD Turbo Core.
+//! Thin wrapper: runs the registered `fig4` experiment
+//! (Figure 4) through the experiment registry.
 //!
-//! Paper shape: PPK matches TO on the regular benchmarks (single iterating
-//! kernel); on irregular benchmarks PPK consumes up to 48% more energy and
-//! loses up to 46% performance relative to TO.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context, suite_average};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let ppk = evaluate_suite(&ctx, Scheme::PpkOracle);
-    let to = evaluate_suite(&ctx, Scheme::TheoreticallyOptimal);
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "PPK energy savings (%)",
-        "TO energy savings (%)",
-        "PPK speedup",
-        "TO speedup",
-    ]);
-    for (p, t) in ppk.iter().zip(to.iter()) {
-        table.row(vec![
-            p.workload.name().to_string(),
-            fmt(p.vs_baseline.energy_savings_pct, 1),
-            fmt(t.vs_baseline.energy_savings_pct, 1),
-            fmt(p.vs_baseline.speedup, 3),
-            fmt(t.vs_baseline.speedup, 3),
-        ]);
-    }
-    let pa = suite_average(&ppk);
-    let ta = suite_average(&to);
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(pa.energy_savings_pct, 1),
-        fmt(ta.energy_savings_pct, 1),
-        fmt(pa.speedup, 3),
-        fmt(ta.speedup, 3),
-    ]);
-
-    println!("Figure 4: Predict Previous Kernel vs Theoretically Optimal (perfect knowledge)");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig4")
 }

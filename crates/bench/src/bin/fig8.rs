@@ -1,99 +1,12 @@
-//! Figure 8: PPK and MPC energy savings (a) and speedup (b) over AMD
-//! Turbo Core, per benchmark, with Random-Forest prediction, adaptive
-//! horizon (α = 5%), and all optimizer overheads charged.
+//! Thin wrapper: runs the registered `fig8` experiment
+//! (Figure 8) through the experiment registry.
 //!
-//! Paper headline: MPC saves 24.8% energy with a 1.8% performance loss.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{emit_svg, evaluate_suite, figure_context, suite_average};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::svg::{bar_chart, BarSeries};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-    let mpc = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "PPK energy savings (%)",
-        "MPC energy savings (%)",
-        "PPK speedup",
-        "MPC speedup",
-    ]);
-    for (p, m) in ppk.iter().zip(mpc.iter()) {
-        table.row(vec![
-            p.workload.name().to_string(),
-            fmt(p.vs_baseline.energy_savings_pct, 1),
-            fmt(m.vs_baseline.energy_savings_pct, 1),
-            fmt(p.vs_baseline.speedup, 3),
-            fmt(m.vs_baseline.speedup, 3),
-        ]);
-    }
-    let pa = suite_average(&ppk);
-    let ma = suite_average(&mpc);
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(pa.energy_savings_pct, 1),
-        fmt(ma.energy_savings_pct, 1),
-        fmt(pa.speedup, 3),
-        fmt(ma.speedup, 3),
-    ]);
-
-    println!("Figure 8: PPK and MPC vs AMD Turbo Core (RF prediction, overheads included)");
-    println!("{}", table.render());
-    println!(
-        "MPC headline: {:.1}% energy savings, {:.1}% performance loss (paper: 24.8% / 1.8%)",
-        ma.energy_savings_pct,
-        (1.0 - ma.speedup) * 100.0
-    );
-
-    // SVG renditions of both panels, written next to the text output.
-    let cats: Vec<String> = ppk.iter().map(|r| r.workload.name().to_string()).collect();
-    let savings = bar_chart(
-        "Figure 8(a): energy savings over AMD Turbo Core",
-        &cats,
-        &[
-            BarSeries {
-                name: "PPK".into(),
-                values: ppk
-                    .iter()
-                    .map(|r| r.vs_baseline.energy_savings_pct)
-                    .collect(),
-            },
-            BarSeries {
-                name: "MPC".into(),
-                values: mpc
-                    .iter()
-                    .map(|r| r.vs_baseline.energy_savings_pct)
-                    .collect(),
-            },
-        ],
-        "energy savings (%)",
-        Some(0.0),
-    );
-    let speedup = bar_chart(
-        "Figure 8(b): speedup over AMD Turbo Core",
-        &cats,
-        &[
-            BarSeries {
-                name: "PPK".into(),
-                values: ppk.iter().map(|r| r.vs_baseline.speedup).collect(),
-            },
-            BarSeries {
-                name: "MPC".into(),
-                values: mpc.iter().map(|r| r.vs_baseline.speedup).collect(),
-            },
-        ],
-        "speedup",
-        Some(1.0),
-    );
-    emit_svg("results/fig8a.svg", &savings);
-    emit_svg("results/fig8b.svg", &speedup);
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig8")
 }

@@ -1,51 +1,12 @@
-//! Figure 9: MPC energy savings and speedup relative to PPK (both with
-//! Random-Forest prediction and overheads charged).
+//! Thin wrapper: runs the registered `fig9` experiment
+//! (Figure 9) through the experiment registry.
 //!
-//! Paper headline: MPC outperforms PPK by 9.6% while reducing energy by
-//! 6.6%.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context, relative_rows};
-use gpm_harness::metrics::{geo_mean, summarize};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-    let mpc = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-    let rel = relative_rows(&mpc, &ppk);
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "MPC energy savings over PPK (%)",
-        "MPC speedup over PPK",
-    ]);
-    for (name, c) in &rel {
-        table.row(vec![
-            name.clone(),
-            fmt(c.energy_savings_pct, 1),
-            fmt(c.speedup, 3),
-        ]);
-    }
-    let avg = summarize(&rel.iter().map(|(_, c)| *c).collect::<Vec<_>>());
-    let speedups: Vec<f64> = rel.iter().map(|(_, c)| c.speedup).collect();
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(avg.energy_savings_pct, 1),
-        fmt(geo_mean(&speedups), 3),
-    ]);
-
-    println!("Figure 9: MPC vs PPK (RF prediction, overheads included)");
-    println!("{}", table.render());
-    println!(
-        "headline: {:.1}% energy savings, {:+.1}% performance (paper: 6.6% / +9.6%)",
-        avg.energy_savings_pct,
-        (geo_mean(&speedups) - 1.0) * 100.0
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("fig9")
 }

@@ -1,74 +1,12 @@
-//! Generalization study: the paper trains its predictor on benchmark
-//! suites and deploys it on applications at large. Here the Random Forest
-//! trains **only on the fixed 15-benchmark suite** and MPC then governs a
-//! population of *generated* applications whose kernels the model never
-//! saw — the honest out-of-distribution test of the whole pipeline.
+//! Thin wrapper: runs the registered `generalization` experiment
+//! (the generalization study) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::figure_context;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::{summarize, Comparison};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
-use gpm_workloads::{generate_population, GeneratorParams};
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context(); // trained on the 15-benchmark suite only
-    let env = ExecEnv::new();
-    let population = generate_population(&GeneratorParams::default(), 0xBEEF, 25);
-
-    let mut table = Table::new(vec![
-        "generated app",
-        "category",
-        "N",
-        "MPC energy savings (%)",
-        "MPC speedup",
-        "PPK speedup",
-    ]);
-    let mut mpc_cs: Vec<Comparison> = Vec::new();
-    let mut ppk_cs: Vec<Comparison> = Vec::new();
-    for w in &population {
-        eprintln!("  generalization on {} ...", w.name());
-        let mpc = env.evaluate(
-            &ctx,
-            w,
-            Scheme::MpcRf {
-                horizon: HorizonMode::default(),
-            },
-        );
-        let ppk = env.evaluate(&ctx, w, Scheme::PpkRf);
-        let mc = Comparison::between(&mpc.baseline, &mpc.measured);
-        let pc = Comparison::between(&ppk.baseline, &ppk.measured);
-        table.row(vec![
-            w.name().to_string(),
-            w.category().to_string(),
-            w.len().to_string(),
-            fmt(mc.energy_savings_pct, 1),
-            fmt(mc.speedup, 3),
-            fmt(pc.speedup, 3),
-        ]);
-        mpc_cs.push(mc);
-        ppk_cs.push(pc);
-    }
-    let ma = summarize(&mpc_cs);
-    let pa = summarize(&ppk_cs);
-    table.row(vec![
-        "AVERAGE".into(),
-        String::new(),
-        String::new(),
-        fmt(ma.energy_savings_pct, 1),
-        fmt(ma.speedup, 3),
-        fmt(pa.speedup, 3),
-    ]);
-
-    println!("Generalization: MPC on 25 generated applications with unseen kernels");
-    println!("{}", table.render());
-    println!(
-        "out-of-distribution MPC: {:.1}% savings, speedup {:.3} (suite numbers: ~29% / ~1.0);",
-        ma.energy_savings_pct, ma.speedup
-    );
-    println!(
-        "PPK speedup {:.3} — the future-aware gap persists on unseen applications.",
-        pa.speedup
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("generalization")
 }

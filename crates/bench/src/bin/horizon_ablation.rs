@@ -1,106 +1,12 @@
-//! Section VI-E ablation: adaptive horizon vs full horizon.
+//! Thin wrapper: runs the registered `horizon_ablation` experiment
+//! (the Section VI-E horizon ablation) through the experiment registry.
 //!
-//! Paper: ignoring overheads, full-horizon MPC saves only 2.6% more energy
-//! than the adaptive scheme; *with* overheads the full-horizon scheme
-//! collapses to 15.4% savings with a 12.8% performance loss, against the
-//! adaptive scheme's 24.8% / 1.8%.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, figure_context, suite_average};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = figure_context();
-    let adaptive = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-    let full = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::Full,
-        },
-    );
-    let ideal = evaluate_suite(&ctx, Scheme::MpcRfIdealized); // full horizon, no overhead
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "adaptive savings (%)",
-        "full-horizon savings (%)",
-        "no-overhead savings (%)",
-        "adaptive speedup",
-        "full-horizon speedup",
-    ]);
-    for ((a, f), i) in adaptive.iter().zip(full.iter()).zip(ideal.iter()) {
-        table.row(vec![
-            a.workload.name().to_string(),
-            fmt(a.vs_baseline.energy_savings_pct, 1),
-            fmt(f.vs_baseline.energy_savings_pct, 1),
-            fmt(i.vs_baseline.energy_savings_pct, 1),
-            fmt(a.vs_baseline.speedup, 3),
-            fmt(f.vs_baseline.speedup, 3),
-        ]);
-    }
-    let aa = suite_average(&adaptive);
-    let fa = suite_average(&full);
-    let ia = suite_average(&ideal);
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(aa.energy_savings_pct, 1),
-        fmt(fa.energy_savings_pct, 1),
-        fmt(ia.energy_savings_pct, 1),
-        fmt(aa.speedup, 3),
-        fmt(fa.speedup, 3),
-    ]);
-
-    println!("Section VI-E ablation: adaptive vs full horizon");
-    println!("{}", table.render());
-    println!(
-        "adaptive: {:.1}% savings / {:.1}% perf loss; full horizon w/ overheads: {:.1}% / {:.1}% (paper: 24.8/1.8 vs 15.4/12.8)",
-        aa.energy_savings_pct,
-        (1.0 - aa.speedup) * 100.0,
-        fa.energy_savings_pct,
-        (1.0 - fa.speedup) * 100.0
-    );
-    println!(
-        "no-overhead full horizon saves {:.1}% more energy than adaptive (paper: 2.6%)",
-        ia.energy_savings_pct - aa.energy_savings_pct
-    );
-
-    // Short-kernel regime: the paper's benchmarks have millisecond-scale
-    // kernels, so optimizer time is ~10× larger *relative to kernel time*
-    // than in our simulator. Scale the overhead model up accordingly to
-    // reproduce the full-horizon collapse of Section VI-E.
-    let short = gpm_governors::OverheadModel {
-        per_eval_s: 200e-6,
-        base_s: 300e-6,
-    };
-    let adaptive_short = evaluate_suite(
-        &ctx,
-        Scheme::MpcRfOverhead {
-            horizon: HorizonMode::default(),
-            overhead: short,
-        },
-    );
-    let full_short = evaluate_suite(
-        &ctx,
-        Scheme::MpcRfOverhead {
-            horizon: HorizonMode::Full,
-            overhead: short,
-        },
-    );
-    let asr = suite_average(&adaptive_short);
-    let fsr = suite_average(&full_short);
-    println!("\nshort-kernel regime (optimizer cost x10 relative to kernels):");
-    println!(
-        "  adaptive: {:.1}% savings / {:.1}% perf loss; full horizon: {:.1}% / {:.1}%",
-        asr.energy_savings_pct,
-        (1.0 - asr.speedup) * 100.0,
-        fsr.energy_savings_pct,
-        (1.0 - fsr.speedup) * 100.0
-    );
-    println!("  (paper: adaptive 24.8%/1.8% vs full-horizon 15.4%/12.8%)");
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("horizon_ablation")
 }

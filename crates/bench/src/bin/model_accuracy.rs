@@ -1,87 +1,12 @@
-//! Section VI-D: Random-Forest prediction accuracy.
+//! Thin wrapper: runs the registered `model_accuracy` experiment
+//! (the Section VI-D model accuracy study) through the experiment registry.
 //!
-//! Reports held-out MAPE/R² for the trained model (paper: 25% performance,
-//! 12% power over the 15 benchmarks) plus a leave-one-kernel-out study,
-//! the honest setting for kernels the model never saw.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::{context, EvalOptions};
-use gpm_hw::HwConfig;
-use gpm_model::{permutation_importance, Dataset, RandomForestPredictor, FEATURE_NAMES};
+use std::process::ExitCode;
 
-fn main() {
-    let options = EvalOptions::default();
-    let sim = gpm_sim::ApuSimulator::new(options.sim_params.clone());
-    let kernels = context::training_kernels();
-    let space = context::training_space(options.train_config_stride);
-    eprintln!(
-        "campaign: {} kernels x {} configurations = {} samples",
-        kernels.len(),
-        space.len(),
-        kernels.len() * space.len()
-    );
-    let dataset = Dataset::from_campaign(&sim, &kernels, &space, HwConfig::FAIL_SAFE);
-
-    // Random-split evaluation (the in-distribution number).
-    let (_, report) = RandomForestPredictor::train_and_evaluate(
-        &dataset,
-        &options.forest,
-        options.test_fraction,
-        options.seed,
-    );
-    println!(
-        "Random split: time MAPE {:.1}%  power MAPE {:.1}%  time R2 {:.3}  power R2 {:.3}",
-        report.time_mape * 100.0,
-        report.power_mape * 100.0,
-        report.time_r2,
-        report.power_r2
-    );
-    println!("(paper reports 25% performance MAPE and 12% power MAPE)\n");
-
-    // Leave-one-kernel-out over a representative subset.
-    let mut table = Table::new(vec!["held-out kernel", "time MAPE (%)", "power MAPE (%)"]);
-    let probes = [
-        "mandelbulb",
-        "lbm_collide_stream",
-        "spmv_ellpackr",
-        "kmeans_swap",
-        "mergeSortPass_F5",
-    ];
-    let mut sums = (0.0, 0.0);
-    for probe in probes {
-        let (train, test) = dataset.split_leave_kernel_out(probe);
-        let rf = RandomForestPredictor::train(&train, &options.forest, options.seed);
-        let r = rf.evaluate(&test, train.len());
-        sums.0 += r.time_mape;
-        sums.1 += r.power_mape;
-        table.row(vec![
-            probe.to_string(),
-            fmt(r.time_mape * 100.0, 1),
-            fmt(r.power_mape * 100.0, 1),
-        ]);
-    }
-    table.row(vec![
-        "AVERAGE".to_string(),
-        fmt(sums.0 / probes.len() as f64 * 100.0, 1),
-        fmt(sums.1 / probes.len() as f64 * 100.0, 1),
-    ]);
-    println!("Leave-one-kernel-out accuracy:");
-    println!("{}", table.render());
-
-    // Permutation feature importance: does the forest lean on the
-    // physically meaningful features?
-    let (train, test) = dataset.split(0.2, options.seed);
-    let rf = RandomForestPredictor::train(&train, &options.forest, options.seed);
-    let time_imp = permutation_importance(rf.time_forest(), &test, |s| s.time_s.max(1e-12).ln(), 7);
-    let power_imp = permutation_importance(rf.power_forest(), &test, |s| s.gpu_power_w, 7);
-    let mut imp_table = Table::new(vec!["feature", "time importance", "power importance"]);
-    for (i, name) in FEATURE_NAMES.iter().enumerate() {
-        imp_table.row(vec![
-            name.to_string(),
-            fmt(time_imp[i].score(), 3),
-            fmt(power_imp[i].score(), 3),
-        ]);
-    }
-    println!("Permutation feature importance (relative RMSE increase):");
-    println!("{}", imp_table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("model_accuracy")
 }

@@ -1,70 +1,12 @@
-//! Section VI-E extension: hiding MPC overheads inside host CPU phases.
+//! Thin wrapper: runs the registered `overhead_hiding` experiment
+//! (the overhead-hiding extension) through the experiment registry.
 //!
-//! The paper's Figure 14 assumes the worst case — kernels launched
-//! back-to-back with no CPU available between them. "In practice, GPGPU
-//! application kernels may be separated by CPU phases with an available
-//! CPU, which can hide the MPC overheads." This experiment re-runs the
-//! adaptive-horizon MPC with modelled CPU phases equal to 10% of each
-//! kernel's baseline time and reports how much of the overhead disappears.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::bench_context;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_mpc::HorizonMode;
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    let ctx = bench_context(false);
-    let env = ExecEnv::new();
-    let scheme = Scheme::MpcRf {
-        horizon: HorizonMode::default(),
-    };
-
-    let mut table = Table::new(vec![
-        "benchmark",
-        "worst-case overhead (ms)",
-        "with CPU phases (ms)",
-        "hidden (%)",
-    ]);
-    let (mut worst_sum, mut hidden_sum) = (0.0f64, 0.0f64);
-    for w in suite() {
-        eprintln!("  {} ...", w.name());
-        // Worst case: back-to-back kernels.
-        let worst = env.evaluate(&ctx, &w, scheme);
-
-        // CPU phases of 10% of each kernel's baseline time.
-        let phases: Vec<f64> = worst
-            .baseline
-            .per_kernel
-            .iter()
-            .map(|k| k.time_s * 0.10)
-            .collect();
-        let with_phases_workload = w.clone().with_cpu_phases(phases);
-        let hidden = env.evaluate(&ctx, &with_phases_workload, scheme);
-
-        let w_ms = worst.measured.overhead_time_s * 1e3;
-        let h_ms = hidden.measured.overhead_time_s * 1e3;
-        worst_sum += w_ms;
-        hidden_sum += h_ms;
-        let pct = if w_ms > 0.0 {
-            (1.0 - h_ms / w_ms) * 100.0
-        } else {
-            0.0
-        };
-        table.row(vec![
-            w.name().to_string(),
-            fmt(w_ms, 3),
-            fmt(h_ms, 3),
-            fmt(pct, 1),
-        ]);
-    }
-    println!("Overhead hiding in CPU phases (phases = 10% of baseline kernel time)");
-    println!("{}", table.render());
-    println!(
-        "suite total: {:.2} ms worst-case -> {:.2} ms with phases ({:.0}% hidden)",
-        worst_sum,
-        hidden_sum,
-        (1.0 - hidden_sum / worst_sum.max(1e-12)) * 100.0
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("overhead_hiding")
 }

@@ -1,0 +1,17 @@
+//! One command for the whole paper reproduction: runs every registered
+//! experiment work-stealing-parallel over a shared evaluation context,
+//! writes one schema-versioned JSON artifact per experiment plus an
+//! aggregate report, and exits nonzero when any metric leaves its
+//! tolerance band.
+//!
+//! ```text
+//! reproduce [--fast | --full] [--filter SUBSTR]... [--jobs N]
+//!           [--resume] [--out DIR] [--aggregate PATH]
+//!           [--list] [--emit-golden PATH]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gpm_xp::cli::reproduce_main()
+}

@@ -1,7 +1,8 @@
-//! Robustness sweep: degrades the full MPC scheme under increasing
-//! deterministic fault intensity and records the degradation curve
-//! (energy savings, speedup, throughput violation, fault/recovery
-//! counts per fault rate).
+//! Robustness sweep CLI: degrades the full MPC scheme under increasing
+//! deterministic fault intensity and records the degradation curve.
+//! The sweep itself is shared with the registry's `robustness`
+//! experiment ([`gpm_xp::experiments::robustness`]); this binary adds
+//! the CI-facing knobs.
 //!
 //! Usage:
 //!
@@ -24,51 +25,13 @@
 //! artifact upload.
 
 use gpm_bench::{bench_context, emit_artifact, fast_from_env};
-use gpm_faults::FaultPlan;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::Comparison;
 use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
-use gpm_trace::{AggregateSink, TraceSink};
 use gpm_workloads::workload_by_name;
-use serde::Serialize;
+use gpm_xp::experiments::robustness::{
+    degradation_curve, degradation_gate_failures, render_curve, RobustnessReport,
+};
 use std::process::ExitCode;
-use std::sync::Arc;
-
-/// One point of the degradation curve.
-#[derive(Debug, Serialize)]
-struct DegradationPoint {
-    /// Per-channel fault rate swept at this point.
-    rate: f64,
-    /// Energy savings vs the clean Turbo Core baseline, percent.
-    energy_savings_pct: f64,
-    /// Baseline wall time over degraded wall time (< 1 = slowdown).
-    speedup: f64,
-    /// Throughput-constraint violation, percent of baseline wall time
-    /// (0 when the degraded run is at least as fast as the baseline).
-    violation_pct: f64,
-    /// Faults that fired across both scheme invocations.
-    fault_injections: u64,
-    /// Detected-and-recovered events (sanitization, retries, discards).
-    recoveries: u64,
-    /// Fail-safe decisions taken by the governor.
-    fail_safe_events: u64,
-    /// Turbo Core baselines simulated while sweeping this point.
-    baseline_simulations: u64,
-    /// Baseline resolutions served from the shared cache at this point.
-    baseline_cache_hits: u64,
-}
-
-#[derive(Debug, Serialize)]
-struct RobustnessReport {
-    workload: String,
-    scheme: String,
-    seed: u64,
-    max_slowdown: f64,
-    baseline_simulations: u64,
-    baseline_cache_hits: u64,
-    curve: Vec<DegradationPoint>,
-}
 
 struct Args {
     workload: String,
@@ -131,56 +94,9 @@ fn main() -> ExitCode {
         horizon: HorizonMode::default(),
     };
 
-    let mut curve = Vec::with_capacity(args.rates.len());
-    let mut ok = true;
-    println!("Robustness sweep: MPC(RF) on {}", workload.name());
-    println!(
-        "{:>6}  {:>9}  {:>7}  {:>9}  {:>7}  {:>9}",
-        "rate", "savings%", "speedup", "violat.%", "faults", "recovered"
-    );
-    for &rate in &args.rates {
-        let plan = FaultPlan::uniform(args.seed, rate);
-        let agg = Arc::new(AggregateSink::new());
-        let sink: Arc<dyn TraceSink> = agg.clone();
-        let env = ExecEnv::new().with_trace(sink).with_fault_plan(plan);
-        let out = env.evaluate(&ctx, &workload, scheme);
-        let summary = agg.summary();
-        let c = Comparison::between(&out.baseline, &out.measured);
-        let violation_pct = (1.0 / c.speedup - 1.0).max(0.0) * 100.0;
-        println!(
-            "{rate:>6.3}  {:>9.2}  {:>7.3}  {violation_pct:>9.2}  {:>7}  {:>9}",
-            c.energy_savings_pct, c.speedup, summary.fault_injections, summary.recoveries
-        );
-
-        // The graceful-degradation gate.
-        if !c.speedup.is_finite() || !c.energy_savings_pct.is_finite() || c.speedup <= 0.0 {
-            eprintln!("GATE: non-finite accounting at rate {rate}");
-            ok = false;
-        }
-        if rate <= 0.10 && 1.0 / c.speedup > args.max_slowdown {
-            eprintln!(
-                "GATE: slowdown {:.3} exceeds {} at rate {rate}",
-                1.0 / c.speedup,
-                args.max_slowdown
-            );
-            ok = false;
-        }
-        if rate > 0.0 && summary.fault_injections == 0 {
-            eprintln!("GATE: no faults fired at rate {rate}");
-            ok = false;
-        }
-        curve.push(DegradationPoint {
-            rate,
-            energy_savings_pct: c.energy_savings_pct,
-            speedup: c.speedup,
-            violation_pct,
-            fault_injections: summary.fault_injections,
-            recoveries: summary.recoveries,
-            fail_safe_events: summary.fail_safe_events,
-            baseline_simulations: summary.baseline_simulations,
-            baseline_cache_hits: summary.baseline_cache_hits,
-        });
-    }
+    let curve = degradation_curve(&ctx, &workload, scheme, args.seed, &args.rates);
+    print!("{}", render_curve(workload.name(), &curve));
+    let mut failures = degradation_gate_failures(&curve, args.max_slowdown);
 
     // The whole sweep shares one context, so the baseline must have been
     // simulated exactly once, with every later rate a cache hit.
@@ -190,13 +106,12 @@ fn main() -> ExitCode {
         cache.computed, cache.hits
     );
     if cache.computed != 1 || cache.hits != args.rates.len() as u64 - 1 {
-        eprintln!(
-            "GATE: baseline cache expected 1 compute / {} hits, got {} / {}",
+        failures.push(format!(
+            "baseline cache expected 1 compute / {} hits, got {} / {}",
             args.rates.len() - 1,
             cache.computed,
             cache.hits
-        );
-        ok = false;
+        ));
     }
 
     if let Some(path) = &args.json {
@@ -212,10 +127,13 @@ fn main() -> ExitCode {
         emit_artifact(path, &report);
     }
 
-    if ok {
+    if failures.is_empty() {
         eprintln!("robustness gate passed");
         ExitCode::SUCCESS
     } else {
+        for f in &failures {
+            eprintln!("GATE: {f}");
+        }
         ExitCode::FAILURE
     }
 }

@@ -1,105 +1,12 @@
-//! Section IV-A1a ablation: search cost of the greedy hill climb vs
-//! exhaustive per-kernel search, and of heuristic MPC vs an exhaustive
-//! backtracking MPC.
+//! Thin wrapper: runs the registered `search_cost` experiment
+//! (the Section IV-A1a search-cost ablation) through the experiment registry.
 //!
-//! Paper claims: hill climbing cuts per-kernel evaluations by ~19×
-//! (336 → |cpu|+|nb|+|gpu|+|cu|), and the combination of greedy search
-//! with the search-order heuristic cuts total search cost ~65× relative
-//! to exhaustive backtracking MPC.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{bench_context, evaluate_suite, fast_from_env};
-use gpm_governors::search::{exhaustive_best, hill_climb, EnergyEvaluator};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::Scheme;
-use gpm_hw::{ConfigSpace, HwConfig};
-use gpm_mpc::HorizonMode;
-use gpm_sim::predictor::KernelSnapshot;
-use gpm_sim::{ApuSimulator, OraclePredictor, SimParams};
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    // Per-kernel: hill climb vs exhaustive evaluations.
-    let sim = ApuSimulator::noiseless();
-    let eval = EnergyEvaluator::new(OraclePredictor::new(&sim), SimParams::noiseless());
-    let space = ConfigSpace::paper_campaign();
-
-    let mut table = Table::new(vec![
-        "kernel",
-        "exhaustive evals",
-        "hill-climb evals",
-        "reduction",
-        "energy gap (%)",
-    ]);
-    let mut kernels = Vec::new();
-    for w in suite() {
-        if let Some(k) = w.kernels().first() {
-            kernels.push(k.clone());
-        }
-    }
-    let (mut red_sum, mut n) = (0.0, 0);
-    for k in &kernels {
-        let out = sim.evaluate_exact(k, HwConfig::FAIL_SAFE);
-        let snap = KernelSnapshot::with_truth(out.counters, HwConfig::FAIL_SAFE, k.clone());
-        let cap = out.time_s * 1.1;
-        let (ex, ex_evals) = exhaustive_best(&eval, &snap, &space, cap);
-        let (hc, hc_evals) = hill_climb(&eval, &snap, HwConfig::FAIL_SAFE, cap);
-        let (Some(ex), Some(hc)) = (ex, hc) else {
-            continue;
-        };
-        let reduction = ex_evals as f64 / hc_evals as f64;
-        red_sum += reduction;
-        n += 1;
-        table.row(vec![
-            k.name().to_string(),
-            ex_evals.to_string(),
-            hc_evals.to_string(),
-            format!("{reduction:.1}x"),
-            fmt((hc.energy_j / ex.energy_j - 1.0) * 100.0, 2),
-        ]);
-    }
-    println!("Search-cost ablation (per-kernel): hill climb vs exhaustive");
-    println!("{}", table.render());
-    println!(
-        "average reduction: {:.1}x (paper: ~19x)\n",
-        red_sum / n as f64
-    );
-
-    // System level: measured MPC evaluations vs the backtracking bound.
-    let ctx = bench_context(fast_from_env());
-    let mpc = evaluate_suite(
-        &ctx,
-        Scheme::MpcRf {
-            horizon: HorizonMode::default(),
-        },
-    );
-    let mut table2 = Table::new(vec![
-        "benchmark",
-        "MPC evals (measured)",
-        "exhaustive-MPC evals (N*M*avgH)",
-        "reduction",
-    ]);
-    let mut total_ratio = 0.0;
-    for row in &mpc {
-        let stats = row.outcome.mpc_stats.as_ref().unwrap();
-        let measured = stats.total_evaluations().max(1);
-        let n_k = row.workload.len() as f64;
-        let avg_h = stats.average_horizon().max(1.0);
-        // Exhaustive (non-backtracking) MPC would price every config for
-        // every window kernel; backtracking is exponentially worse still.
-        let exhaustive = n_k * 336.0 * avg_h;
-        let ratio = exhaustive / measured as f64;
-        total_ratio += ratio;
-        table2.row(vec![
-            row.workload.name().to_string(),
-            measured.to_string(),
-            fmt(exhaustive, 0),
-            format!("{ratio:.0}x"),
-        ]);
-    }
-    println!("Search-cost ablation (system): measured MPC vs exhaustive window search");
-    println!("{}", table2.render());
-    println!(
-        "average reduction: {:.0}x (paper: ~65x vs backtracking MPC)",
-        total_ratio / mpc.len() as f64
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("search_cost")
 }

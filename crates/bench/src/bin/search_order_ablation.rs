@@ -1,75 +1,12 @@
-//! Section IV-A1a ablation: does the profiling-derived *search order*
-//! matter, or would walking the window in plain execution order do?
+//! Thin wrapper: runs the registered `search_order_ablation` experiment
+//! (the Section IV-A1a search-order ablation) through the experiment registry.
 //!
-//! Both variants run the identical greedy window optimizer (oracle
-//! prediction, full horizon, no overheads); only the visiting order of
-//! window kernels differs. The paper's heuristic prices hard-to-satisfy
-//! kernels first, which should matter most on benchmarks with strong
-//! throughput phases (Spmv, kmeans, lud).
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_governors::OverheadModel;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::{summarize, Comparison};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::turbo_core_baseline;
-use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor};
-use gpm_sim::{ApuSimulator, OraclePredictor};
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    let sim = ApuSimulator::default();
-    let env = ExecEnv::new();
-    let mut table = Table::new(vec![
-        "benchmark",
-        "ordered savings (%)",
-        "exec-order savings (%)",
-        "ordered speedup",
-        "exec-order speedup",
-    ]);
-
-    let mut ordered_cs = Vec::new();
-    let mut plain_cs = Vec::new();
-    for w in suite() {
-        eprintln!("  search-order ablation on {} ...", w.name());
-        let (baseline, target) = turbo_core_baseline(&sim, &w);
-        let mut row = vec![w.name().to_string()];
-        let mut comparisons = Vec::new();
-        for use_search_order in [true, false] {
-            let cfg = MpcConfig {
-                horizon_mode: HorizonMode::Full,
-                overhead: OverheadModel::free(),
-                store_truth: true,
-                use_search_order,
-                ..MpcConfig::default()
-            };
-            let mut gov = MpcGovernor::new(OraclePredictor::new(&sim), sim.params().clone(), cfg);
-            env.run(&sim, &w, &mut gov, target, 0, true);
-            let measured = env.run(&sim, &w, &mut gov, target, 1, true);
-            comparisons.push(Comparison::between(&baseline, &measured));
-        }
-        row.push(fmt(comparisons[0].energy_savings_pct, 1));
-        row.push(fmt(comparisons[1].energy_savings_pct, 1));
-        row.push(fmt(comparisons[0].speedup, 3));
-        row.push(fmt(comparisons[1].speedup, 3));
-        table.row(row);
-        ordered_cs.push(comparisons[0]);
-        plain_cs.push(comparisons[1]);
-    }
-    let oa = summarize(&ordered_cs);
-    let pa = summarize(&plain_cs);
-    table.row(vec![
-        "AVERAGE".into(),
-        fmt(oa.energy_savings_pct, 1),
-        fmt(pa.energy_savings_pct, 1),
-        fmt(oa.speedup, 3),
-        fmt(pa.speedup, 3),
-    ]);
-
-    println!("Search-order ablation: Section IV-A1a ordering vs plain execution order");
-    println!("{}", table.render());
-    println!(
-        "search order buys {:+.1} pts of savings and {:+.1}% performance on average",
-        oa.energy_savings_pct - pa.energy_savings_pct,
-        (oa.speedup / pa.speedup - 1.0) * 100.0
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("search_order_ablation")
 }

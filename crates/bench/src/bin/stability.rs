@@ -1,77 +1,12 @@
-//! Robustness of the headline result to measurement-noise realizations.
+//! Thin wrapper: runs the registered `stability` experiment
+//! (the noise-seed stability study) through the experiment registry.
 //!
-//! Every number in this reproduction is deterministic given the noise
-//! seed. This experiment re-runs the Figure 8 protocol under five
-//! different noise seeds (fresh measurement campaign, fresh training,
-//! fresh runtime noise) and reports mean ± spread of the headline
-//! quantities — the error bars the paper's single-testbed numbers lack.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_bench::{evaluate_suite, suite_average};
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::{EvalContext, EvalOptions, Scheme};
-use gpm_mpc::HorizonMode;
-use gpm_sim::SimParams;
+use std::process::ExitCode;
 
-fn main() {
-    let seeds = [
-        0x9e3779b97f4a7c15u64,
-        0x1234_5678,
-        0xDEAD_BEEF,
-        0x0F0F_F0F0,
-        0xABCD_EF01,
-    ];
-    let mut table = Table::new(vec![
-        "noise seed",
-        "RF time MAPE (%)",
-        "MPC energy savings (%)",
-        "MPC speedup",
-        "PPK speedup",
-    ]);
-    let mut savings = Vec::new();
-    let mut speedups = Vec::new();
-    for &seed in &seeds {
-        eprintln!("seed {seed:#x}: building context ...");
-        let options = EvalOptions {
-            sim_params: SimParams {
-                noise_seed: seed,
-                ..SimParams::default()
-            },
-            ..EvalOptions::default()
-        };
-        let ctx = EvalContext::build(options);
-        let mpc = evaluate_suite(
-            &ctx,
-            Scheme::MpcRf {
-                horizon: HorizonMode::default(),
-            },
-        );
-        let ppk = evaluate_suite(&ctx, Scheme::PpkRf);
-        let ma = suite_average(&mpc);
-        let pa = suite_average(&ppk);
-        savings.push(ma.energy_savings_pct);
-        speedups.push(ma.speedup);
-        table.row(vec![
-            format!("{seed:#x}"),
-            fmt(ctx.rf_report.time_mape * 100.0, 1),
-            fmt(ma.energy_savings_pct, 1),
-            fmt(ma.speedup, 3),
-            fmt(pa.speedup, 3),
-        ]);
-    }
-
-    println!("Headline stability across measurement-noise seeds");
-    println!("{}", table.render());
-
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let spread = |v: &[f64]| {
-        let m = mean(v);
-        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
-    };
-    println!(
-        "MPC energy savings {:.1} ± {:.2} pts; speedup {:.3} ± {:.3}",
-        mean(&savings),
-        spread(&savings),
-        mean(&speedups),
-        spread(&speedups)
-    );
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("stability")
 }

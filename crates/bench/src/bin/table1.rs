@@ -1,39 +1,12 @@
-//! Table I: software-visible CPU, NB, and GPU DVFS states of the
-//! AMD A10-7850K.
+//! Thin wrapper: runs the registered `table1` experiment
+//! (Table I) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::report::{fmt, Table};
-use gpm_hw::{CpuPState, GpuDpm, NbState};
+use std::process::ExitCode;
 
-fn main() {
-    let mut cpu = Table::new(vec!["CPU P-state", "Voltage (V)", "Freq (GHz)"]);
-    for s in CpuPState::ALL {
-        cpu.row(vec![
-            s.to_string(),
-            fmt(s.voltage(), 4),
-            fmt(s.freq_ghz(), 1),
-        ]);
-    }
-
-    let mut nb = Table::new(vec!["NB P-state", "Freq (GHz)", "Memory Freq (MHz)"]);
-    for s in NbState::ALL {
-        nb.row(vec![
-            s.to_string(),
-            fmt(s.freq_ghz(), 1),
-            fmt(s.mem_freq_mhz(), 0),
-        ]);
-    }
-
-    let mut gpu = Table::new(vec!["GPU P-state", "Voltage (V)", "Freq (MHz)"]);
-    for s in GpuDpm::ALL {
-        gpu.row(vec![
-            s.to_string(),
-            fmt(s.voltage(), 4),
-            fmt(s.freq_mhz(), 0),
-        ]);
-    }
-
-    println!("Table I: DVFS states on the AMD A10-7850K\n");
-    println!("{}", cpu.render());
-    println!("{}", nb.render());
-    println!("{}", gpu.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("table1")
 }

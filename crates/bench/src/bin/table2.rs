@@ -1,26 +1,12 @@
-//! Table II: execution patterns of the three highlighted irregular
-//! benchmarks, recovered from the workload definitions.
+//! Thin wrapper: runs the registered `table2` experiment
+//! (Table II) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::report::Table;
-use gpm_workloads::workload_by_name;
+use std::process::ExitCode;
 
-fn main() {
-    let mut table = Table::new(vec!["Benchmark", "Kernel Execution Pattern", "Invocations"]);
-    for name in ["Spmv", "kmeans", "hybridsort"] {
-        let w = workload_by_name(name).expect("suite benchmark");
-        table.row(vec![
-            w.name().to_string(),
-            w.pattern().to_string(),
-            w.len().to_string(),
-        ]);
-    }
-    println!("Table II: execution pattern of three irregular benchmarks\n");
-    println!("{}", table.render());
-
-    // Show the concrete unrolled kernel sequences as well.
-    for name in ["Spmv", "kmeans", "hybridsort"] {
-        let w = workload_by_name(name).unwrap();
-        let seq: Vec<&str> = w.kernels().iter().map(|k| k.name()).collect();
-        println!("{}: {}", name, seq.join(" "));
-    }
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("table2")
 }

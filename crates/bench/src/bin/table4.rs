@@ -1,28 +1,12 @@
-//! Table IV: the benchmark inventory — name, source suite, category, and
-//! execution pattern.
+//! Thin wrapper: runs the registered `table4` experiment
+//! (Table IV) through the experiment registry.
+//!
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::report::Table;
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    let mut table = Table::new(vec![
-        "Category",
-        "Benchmark",
-        "Benchmark Suite",
-        "Pattern",
-        "N",
-        "Distinct",
-    ]);
-    for w in suite() {
-        table.row(vec![
-            w.category().to_string(),
-            w.name().to_string(),
-            w.source_suite().to_string(),
-            w.pattern().to_string(),
-            w.len().to_string(),
-            w.distinct_kernels().to_string(),
-        ]);
-    }
-    println!("Table IV: benchmarks with their execution pattern\n");
-    println!("{}", table.render());
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("table4")
 }

@@ -1,85 +1,12 @@
-//! Extension: sensitivity to DVFS transition latency.
+//! Thin wrapper: runs the registered `transition_cost` experiment
+//! (the DVFS transition-cost extension) through the experiment registry.
 //!
-//! The paper (like most DVFS work) charges nothing for changing power
-//! states. Real parts pay µs-scale PLL/voltage-ramp costs and a large DRAM
-//! retraining penalty when the memory clock moves. This experiment re-runs
-//! PPK and MPC with the transition model at nominal (1×) and exaggerated
-//! (10×) latencies and reports how much of their gains survive — a check
-//! that kernel-granularity DVFS remains profitable under realistic
-//! switching costs.
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_harness::env::ExecEnv;
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::{EvalContext, EvalOptions, Scheme};
-use gpm_mpc::HorizonMode;
-use gpm_sim::SimParams;
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn context_with_scale(scale: f64) -> EvalContext {
-    let opts = EvalOptions {
-        sim_params: SimParams {
-            dvfs_transition_scale: scale,
-            ..SimParams::default()
-        },
-        ..EvalOptions::default()
-    };
-    EvalContext::build(opts)
-}
-
-fn main() {
-    let scales = [0.0, 1.0, 10.0];
-    let mut headers = vec!["benchmark".to_string()];
-    for s in scales {
-        headers.push(format!("MPC sav% @{s}x"));
-        headers.push(format!("MPC spd @{s}x"));
-    }
-    headers.push("transitions (ms) @1x".into());
-    let mut table = Table::new(headers);
-
-    let mut per_scale: Vec<Vec<(String, f64, f64, f64)>> = Vec::new();
-    for &scale in &scales {
-        eprintln!("building context at transition scale {scale}x ...");
-        let ctx = context_with_scale(scale);
-        let env = ExecEnv::new();
-        let rows: Vec<(String, f64, f64, f64)> = suite()
-            .iter()
-            .map(|w| {
-                eprintln!("  {} @{}x ...", w.name(), scale);
-                let out = env.evaluate(
-                    &ctx,
-                    w,
-                    Scheme::MpcRf {
-                        horizon: HorizonMode::default(),
-                    },
-                );
-                let c = gpm_harness::metrics::Comparison::between(&out.baseline, &out.measured);
-                (
-                    w.name().to_string(),
-                    c.energy_savings_pct,
-                    c.speedup,
-                    out.measured.transition_time_s * 1e3,
-                )
-            })
-            .collect();
-        per_scale.push(rows);
-    }
-
-    let n = per_scale[0].len();
-    for i in 0..n {
-        let mut row = vec![per_scale[0][i].0.clone()];
-        for rows in &per_scale {
-            row.push(fmt(rows[i].1, 1));
-            row.push(fmt(rows[i].2, 3));
-        }
-        row.push(fmt(per_scale[1][i].3, 3));
-        table.row(row);
-    }
-    println!("DVFS transition-cost sensitivity (MPC, adaptive horizon)");
-    println!("{}", table.render());
-
-    for (rows, s) in per_scale.iter().zip(scales) {
-        let sav: f64 = rows.iter().map(|r| r.1).sum::<f64>() / n as f64;
-        let spd: f64 = rows.iter().map(|r| r.2).sum::<f64>() / n as f64;
-        println!("scale {s:>4}x: avg savings {sav:.1}%, avg speedup {spd:.3}");
-    }
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("transition_cost")
 }

@@ -1,82 +1,12 @@
-//! Section IV-A1a ablation: the paper's greedy window heuristic vs the
-//! *exact* Eq. 3 window optimization ("exhaustive MPC search"), both with
-//! perfect prediction, full horizon, and no overhead charged.
+//! Thin wrapper: runs the registered `window_solver_ablation` experiment
+//! (the Section IV-A1a window-solver ablation) through the experiment registry.
 //!
-//! Two questions: how much solution quality does the heuristic give up,
-//! and how much search cost does it save (the paper argues ~65× against
-//! backtracking)?
+//! `GPM_BENCH_FAST=1` selects the reduced protocol; gates are checked
+//! and the schema-versioned artifact is written either way. Run the
+//! whole registry with the `reproduce` binary instead.
 
-use gpm_governors::OverheadModel;
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::Comparison;
-use gpm_harness::report::{fmt, Table};
-use gpm_harness::turbo_core_baseline;
-use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor, WindowSolver};
-use gpm_sim::{ApuSimulator, OraclePredictor};
-use gpm_workloads::suite;
+use std::process::ExitCode;
 
-fn main() {
-    let sim = ApuSimulator::default();
-    let env = ExecEnv::new();
-    let mut table = Table::new(vec![
-        "benchmark",
-        "greedy savings (%)",
-        "exact savings (%)",
-        "greedy speedup",
-        "exact speedup",
-        "greedy evals",
-        "exact evals",
-        "cost ratio",
-    ]);
-
-    let mut ratios = Vec::new();
-    for w in suite() {
-        eprintln!("  window-solver ablation on {} ...", w.name());
-        let (baseline, target) = turbo_core_baseline(&sim, &w);
-        let mut row: Vec<String> = vec![w.name().to_string()];
-        let mut evals = [0u64; 2];
-        for (i, solver) in [WindowSolver::Greedy, WindowSolver::ExactDp]
-            .iter()
-            .enumerate()
-        {
-            let cfg = MpcConfig {
-                horizon_mode: HorizonMode::Full,
-                overhead: OverheadModel::free(),
-                store_truth: true,
-                solver: *solver,
-                ..MpcConfig::default()
-            };
-            let mut gov = MpcGovernor::new(OraclePredictor::new(&sim), sim.params().clone(), cfg);
-            env.run(&sim, &w, &mut gov, target, 0, true);
-            let measured = env.run(&sim, &w, &mut gov, target, 1, true);
-            let c = Comparison::between(&baseline, &measured);
-            row.push(fmt(c.energy_savings_pct, 1));
-            row.push(fmt(c.speedup, 3));
-            evals[i] = gov.stats().total_evaluations();
-        }
-        // Reorder: savings pair, speedup pair, eval columns.
-        let (g_sav, g_spd, e_sav, e_spd) = (
-            row[1].clone(),
-            row[2].clone(),
-            row[3].clone(),
-            row[4].clone(),
-        );
-        let ratio = evals[1] as f64 / evals[0].max(1) as f64;
-        ratios.push(ratio);
-        table.row(vec![
-            row[0].clone(),
-            g_sav,
-            e_sav,
-            g_spd,
-            e_spd,
-            evals[0].to_string(),
-            evals[1].to_string(),
-            format!("{ratio:.0}x"),
-        ]);
-    }
-
-    println!("Window-solver ablation: greedy heuristic vs exact Eq. 3 DP (oracle, full horizon)");
-    println!("{}", table.render());
-    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!("average search-cost ratio: {avg:.0}x (paper: ~65x vs exhaustive backtracking MPC)");
+fn main() -> ExitCode {
+    gpm_xp::cli::run_single("window_solver_ablation")
 }

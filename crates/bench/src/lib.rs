@@ -1,182 +1,30 @@
-//! Shared scaffolding for the table/figure regeneration binaries.
+//! Entry-point crate for the table/figure regeneration binaries.
 //!
-//! Every `fig*`/`table*` binary in `src/bin/` follows the same shape:
-//! build the shared [`EvalContext`] (measurement campaign + Random-Forest
-//! training), evaluate one or more [`Scheme`]s across the 15-benchmark
-//! suite through an [`ExecEnv`], and print the paper-matching rows. The
-//! helpers here keep those binaries small and uniform:
-//!
-//! * [`fast_from_env`] / [`bench_context`] — the `--fast` /
-//!   `GPM_BENCH_FAST` context-construction block.
-//! * [`emit_artifact`] — versioned JSON artifact emission (every report
-//!   carries a `schema_version` field).
-//! * [`emit_svg`] — SVG chart emission under `results/`.
-//! * [`evaluate_suite`] / [`evaluate_suite_with`] — suite-wide scheme
-//!   evaluation, clean or under a custom environment.
+//! The experiment implementations, suite evaluation helpers, and
+//! artifact emission live in [`gpm_xp`]; every `fig*`/`table*` binary in
+//! `src/bin/` is a thin wrapper over [`gpm_xp::cli::run_single`], and
+//! the `reproduce` binary drives the whole registry through
+//! [`gpm_xp::cli::reproduce_main`]. The historical `gpm_bench::*` helper
+//! paths remain valid as re-exports so external scripts and the
+//! remaining standalone binaries (`trace_report`, `perf_smoke`,
+//! `robustness`) keep compiling.
 
-use gpm_harness::env::ExecEnv;
-use gpm_harness::metrics::{summarize, Comparison};
-use gpm_harness::{EvalContext, EvalOptions, Scheme, SchemeOutcome};
-use gpm_workloads::{suite, Workload};
-use serde::Serialize;
-use serde_json::Value;
-use std::path::Path;
-
-/// Schema version stamped into every JSON artifact written by
-/// [`emit_artifact`]. Bump when a report's shape changes incompatibly.
-pub const ARTIFACT_SCHEMA_VERSION: u64 = 1;
-
-/// Whether the reduced (`fast`) measurement campaign was requested via
-/// the `GPM_BENCH_FAST` environment variable (any value but `0`).
-pub fn fast_from_env() -> bool {
-    std::env::var("GPM_BENCH_FAST").is_ok_and(|v| v != "0")
-}
-
-/// Builds the shared evaluation context in full or fast mode, printing
-/// the mode and the trained model's held-out accuracy (compare Section
-/// VI-D). This is the context-construction block previously copy-pasted
-/// across the report binaries.
-pub fn bench_context(fast: bool) -> EvalContext {
-    eprintln!(
-        "building evaluation context ({}; measurement campaign + RF training)...",
-        if fast { "fast" } else { "full" }
-    );
-    let options = if fast {
-        EvalOptions::fast()
-    } else {
-        EvalOptions::default()
-    };
-    let ctx = EvalContext::build(options);
-    eprintln!(
-        "  RF held-out accuracy: time MAPE {:.1}%, power MAPE {:.1}% ({} train / {} test samples)",
-        ctx.rf_report.time_mape * 100.0,
-        ctx.rf_report.power_mape * 100.0,
-        ctx.rf_report.train_samples,
-        ctx.rf_report.test_samples,
-    );
-    ctx
-}
-
-/// Builds the full-mode evaluation context, printing the trained model's
-/// held-out accuracy.
-pub fn figure_context() -> EvalContext {
-    bench_context(false)
-}
-
-/// Serializes `value`, stamps a `schema_version` field into the root
-/// object, and writes it pretty-printed to `path` (creating parent
-/// directories as needed).
-///
-/// # Panics
-///
-/// Panics when `value` does not serialize to a JSON object or the file
-/// cannot be written — report emission is not recoverable for the
-/// benchmark binaries.
-pub fn emit_artifact<T: Serialize + ?Sized>(path: impl AsRef<Path>, value: &T) {
-    let path = path.as_ref();
-    let mut root = serde_json::to_value(value).expect("artifact serializes");
-    match &mut root {
-        Value::Map(entries) => entries.insert(
-            0,
-            (
-                Value::Str("schema_version".to_string()),
-                Value::U64(ARTIFACT_SCHEMA_VERSION),
-            ),
-        ),
-        _ => panic!("artifact root must be a JSON object: {}", path.display()),
-    }
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create artifact directory");
-        }
-    }
-    let text = serde_json::to_string_pretty(&root).expect("artifact serializes");
-    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    eprintln!("wrote {}", path.display());
-}
-
-/// Writes an SVG chart to `path` (creating parent directories as
-/// needed).
-///
-/// # Panics
-///
-/// Panics when the file cannot be written.
-pub fn emit_svg(path: impl AsRef<Path>, svg: &str) {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create chart directory");
-        }
-    }
-    std::fs::write(path, svg).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    eprintln!("wrote {}", path.display());
-}
-
-/// One evaluated benchmark: outcome plus baseline comparison.
-pub struct BenchRow {
-    /// The workload evaluated.
-    pub workload: Workload,
-    /// Full outcome (baseline, profiling, measured, stats).
-    pub outcome: SchemeOutcome,
-    /// Scheme vs. Turbo Core baseline.
-    pub vs_baseline: Comparison,
-}
-
-/// Evaluates `scheme` across the full suite in a clean environment.
-pub fn evaluate_suite(ctx: &EvalContext, scheme: Scheme) -> Vec<BenchRow> {
-    evaluate_suite_with(&ExecEnv::new(), ctx, scheme)
-}
-
-/// Evaluates `scheme` across the full suite under `env` — the traced /
-/// faulted report binaries layer their middleware here.
-pub fn evaluate_suite_with(env: &ExecEnv, ctx: &EvalContext, scheme: Scheme) -> Vec<BenchRow> {
-    suite()
-        .into_iter()
-        .map(|workload| {
-            eprintln!("  {} on {} ...", scheme.label(), workload.name());
-            let outcome = env.evaluate(ctx, &workload, scheme);
-            let vs_baseline = Comparison::between(&outcome.baseline, &outcome.measured);
-            BenchRow {
-                workload,
-                outcome,
-                vs_baseline,
-            }
-        })
-        .collect()
-}
-
-/// Suite-wide averages: arithmetic-mean savings, geometric-mean speedup.
-pub fn suite_average(rows: &[BenchRow]) -> Comparison {
-    let cs: Vec<Comparison> = rows.iter().map(|r| r.vs_baseline).collect();
-    summarize(&cs)
-}
-
-/// Comparison of two scheme evaluations of the *same* suite, per
-/// benchmark: `a` relative to `b` (energy savings of a over b, speedup of
-/// a over b). Used by Figure 9 (MPC vs PPK).
-pub fn relative_rows(a: &[BenchRow], b: &[BenchRow]) -> Vec<(String, Comparison)> {
-    a.iter()
-        .zip(b.iter())
-        .map(|(ra, rb)| {
-            assert_eq!(
-                ra.workload.name(),
-                rb.workload.name(),
-                "suite order mismatch"
-            );
-            let c = Comparison::between(&rb.outcome.measured, &ra.outcome.measured);
-            (ra.workload.name().to_string(), c)
-        })
-        .collect()
-}
+pub use gpm_xp::artifact::{emit_artifact, emit_svg, ARTIFACT_SCHEMA_VERSION};
+pub use gpm_xp::suite::{
+    bench_context, evaluate_suite, evaluate_suite_with, fast_from_env, figure_context,
+    relative_rows, suite_average, BenchRow,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpm_harness::EvalOptions;
+    use gpm_harness::env::ExecEnv;
+    use gpm_harness::metrics::Comparison;
+    use gpm_harness::{EvalContext, EvalOptions, Scheme};
     use gpm_workloads::workload_by_name;
 
     #[test]
-    fn evaluate_one_workload_end_to_end() {
+    fn reexported_suite_helpers_evaluate_end_to_end() {
         let ctx = EvalContext::build(EvalOptions::fast());
         let w = workload_by_name("NBody").unwrap();
         let outcome = ExecEnv::new().evaluate(&ctx, &w, Scheme::TheoreticallyOptimal);
@@ -185,38 +33,7 @@ mod tests {
     }
 
     #[test]
-    fn relative_rows_requires_same_order() {
-        let ctx = EvalContext::build(EvalOptions::fast());
-        let w = workload_by_name("NBody").unwrap();
-        let a = vec![BenchRow {
-            workload: w.clone(),
-            outcome: ExecEnv::new().evaluate(&ctx, &w, Scheme::TurboCore),
-            vs_baseline: Comparison {
-                energy_savings_pct: 0.0,
-                gpu_energy_savings_pct: 0.0,
-                cpu_energy_savings_pct: 0.0,
-                speedup: 1.0,
-            },
-        }];
-        let rel = relative_rows(&a, &a);
-        assert_eq!(rel.len(), 1);
-        assert!((rel[0].1.speedup - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn artifact_gets_schema_version_stamp() {
-        #[derive(Serialize)]
-        struct Tiny {
-            x: u64,
-        }
-        let dir = std::env::temp_dir().join("gpm_bench_artifact_test");
-        let path = dir.join("tiny.json");
-        emit_artifact(&path, &Tiny { x: 7 });
-        let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"schema_version\""));
-        assert!(text.contains("\"x\""));
-        // The stamp leads the object, so consumers can sniff it cheaply.
-        assert!(text.find("schema_version").unwrap() < text.find('x').unwrap());
-        std::fs::remove_file(&path).ok();
+    fn schema_version_is_reexported_and_stable() {
+        assert_eq!(ARTIFACT_SCHEMA_VERSION, gpm_xp::ARTIFACT_SCHEMA_VERSION);
     }
 }

@@ -44,7 +44,7 @@ pub mod svg;
 pub mod traces;
 
 pub use campaign::{parallel_campaign, parallel_campaign_auto};
-pub use context::{BaselineCacheStats, EvalContext, EvalOptions};
+pub use context::{training_kernels, training_space, BaselineCacheStats, EvalContext, EvalOptions};
 pub use env::ExecEnv;
 pub use metrics::{energy_savings_pct, geo_mean, speedup, Comparison};
 #[allow(deprecated)]

@@ -1,0 +1,13 @@
+//! The experiment implementations — the ported bodies of the legacy
+//! per-figure report binaries, now run functions over [`crate::XpEnv`].
+//!
+//! Grouping mirrors the paper: `figures` and `tables` reproduce numbered
+//! exhibits, `ablations` the Section IV/VI design studies, `extensions`
+//! the repo's beyond-the-paper studies, and `robustness` the
+//! fault-injection degradation sweep.
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod robustness;
+pub mod tables;

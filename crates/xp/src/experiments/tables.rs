@@ -1,0 +1,129 @@
+//! Paper tables I, II, and IV as registry run functions (static — no
+//! evaluation context needed).
+
+use crate::experiment::{metric, ExperimentOutput, XpEnv};
+use gpm_harness::report::{fmt, Table};
+use gpm_hw::{CpuPState, GpuDpm, NbState};
+use gpm_workloads::{suite, workload_by_name};
+use std::fmt::Write;
+
+/// Table I: software-visible CPU, NB, and GPU DVFS states of the
+/// AMD A10-7850K.
+pub fn table1(_env: &XpEnv) -> ExperimentOutput {
+    let mut cpu = Table::new(vec!["CPU P-state", "Voltage (V)", "Freq (GHz)"]);
+    for s in CpuPState::ALL {
+        cpu.row(vec![
+            s.to_string(),
+            fmt(s.voltage(), 4),
+            fmt(s.freq_ghz(), 1),
+        ]);
+    }
+    let mut nb = Table::new(vec!["NB P-state", "Freq (GHz)", "Memory Freq (MHz)"]);
+    for s in NbState::ALL {
+        nb.row(vec![
+            s.to_string(),
+            fmt(s.freq_ghz(), 1),
+            fmt(s.mem_freq_mhz(), 0),
+        ]);
+    }
+    let mut gpu = Table::new(vec!["GPU P-state", "Voltage (V)", "Freq (MHz)"]);
+    for s in GpuDpm::ALL {
+        gpu.row(vec![
+            s.to_string(),
+            fmt(s.voltage(), 4),
+            fmt(s.freq_mhz(), 0),
+        ]);
+    }
+    let out = format!(
+        "Table I: DVFS states on the AMD A10-7850K\n\n{}\n{}\n{}",
+        cpu.render(),
+        nb.render(),
+        gpu.render()
+    );
+    let configs = CpuPState::ALL.len() * NbState::ALL.len() * GpuDpm::ALL.len();
+    ExperimentOutput::new(
+        out,
+        vec![
+            metric("cpu_states", CpuPState::ALL.len() as f64),
+            metric("nb_states", NbState::ALL.len() as f64),
+            metric("gpu_states", GpuDpm::ALL.len() as f64),
+            metric("state_products", configs as f64),
+        ],
+    )
+}
+
+/// Table II: execution patterns of the three highlighted irregular
+/// benchmarks.
+pub fn table2(_env: &XpEnv) -> ExperimentOutput {
+    let mut table = Table::new(vec!["Benchmark", "Kernel Execution Pattern", "Invocations"]);
+    let mut metrics = Vec::new();
+    for name in ["Spmv", "kmeans", "hybridsort"] {
+        let w = workload_by_name(name).expect("suite benchmark");
+        table.row(vec![
+            w.name().to_string(),
+            w.pattern().to_string(),
+            w.len().to_string(),
+        ]);
+        metrics.push(metric(
+            format!("{}_invocations", name.to_lowercase()),
+            w.len() as f64,
+        ));
+    }
+    let mut out = format!(
+        "Table II: execution pattern of three irregular benchmarks\n\n{}",
+        table.render()
+    );
+    for name in ["Spmv", "kmeans", "hybridsort"] {
+        let w = workload_by_name(name).unwrap();
+        let seq: Vec<&str> = w.kernels().iter().map(|k| k.name()).collect();
+        writeln!(out, "{}: {}", name, seq.join(" ")).unwrap();
+    }
+    ExperimentOutput::new(out, metrics)
+}
+
+/// Table IV: the benchmark inventory — name, source suite, category,
+/// and execution pattern.
+pub fn table4(_env: &XpEnv) -> ExperimentOutput {
+    let mut table = Table::new(vec![
+        "Category",
+        "Benchmark",
+        "Benchmark Suite",
+        "Pattern",
+        "N",
+        "Distinct",
+    ]);
+    let workloads = suite();
+    let mut irregular = 0usize;
+    for w in &workloads {
+        if w.category()
+            .to_string()
+            .to_lowercase()
+            .contains("irregular")
+        {
+            irregular += 1;
+        }
+        table.row(vec![
+            w.category().to_string(),
+            w.name().to_string(),
+            w.source_suite().to_string(),
+            w.pattern().to_string(),
+            w.len().to_string(),
+            w.distinct_kernels().to_string(),
+        ]);
+    }
+    let out = format!(
+        "Table IV: benchmarks with their execution pattern\n\n{}",
+        table.render()
+    );
+    ExperimentOutput::new(
+        out,
+        vec![
+            metric("benchmark_count", workloads.len() as f64),
+            metric("irregular_count", irregular as f64),
+            metric(
+                "total_invocations",
+                workloads.iter().map(|w| w.len()).sum::<usize>() as f64,
+            ),
+        ],
+    )
+}

@@ -1,0 +1,159 @@
+//! Fleet scaling + determinism gate.
+//!
+//! Runs the canonical mixed fleet scenario through [`gpm_fleet`] at 1, 2,
+//! and auto worker threads, measuring host wall-clock throughput at each
+//! setting, and:
+//!
+//! * asserts the serialized fleet artifacts are **byte-identical** across
+//!   all three worker counts (the gpm-fleet determinism contract);
+//! * gates auto-worker speedup over 1 worker at
+//!   `GPM_FLEET_MIN_SCALING` (default 1.05×), skipped on single-core
+//!   hosts where no scaling is possible.
+//!
+//! `--soak <seconds>` instead replays seeded scenarios (rotating seeds)
+//! for at least that long, diffing every artifact against the first for
+//! its seed — the CI fleet-soak job runs 60 s of this.
+//!
+//! Emits `results/BENCH_fleet.json` either way. `GPM_BENCH_FAST=1`
+//! selects the fast training context (CI default). Build with
+//! `--release`; debug numbers are meaningless.
+
+use gpm_bench::{bench_context, emit_artifact, fast_from_env};
+use gpm_fleet::{FleetScenario, FleetService};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WorkerPoint {
+    workers: usize,
+    wall_s: f64,
+    jobs_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct FleetBenchReport {
+    scenario: String,
+    seed: u64,
+    shards: usize,
+    jobs: usize,
+    simulated_makespan_s: f64,
+    simulated_throughput_gips: f64,
+    fleet_energy_j: f64,
+    fail_safe_entries: u64,
+    fault_injections: u64,
+    deterministic: bool,
+    scaling: Vec<WorkerPoint>,
+    auto_speedup_over_1: f64,
+    min_scaling_gate: f64,
+    soak_seconds: f64,
+    soak_iterations: usize,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed scenario run; returns (artifact bytes, report stats, wall).
+fn timed_run(svc: &FleetService, scenario: &FleetScenario) -> (String, f64) {
+    let start = Instant::now();
+    let report = svc.run(scenario);
+    let wall = start.elapsed().as_secs_f64();
+    (report.to_artifact_json(), wall)
+}
+
+fn main() {
+    let soak_secs: Option<f64> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--soak")
+            .map(|i| args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(60.0))
+    };
+
+    let ctx = bench_context(fast_from_env());
+    let seed = 0xF1EE7u64;
+    let (shards, jobs_per_shard) = if fast_from_env() { (8, 2) } else { (12, 4) };
+    let scenario = FleetScenario::mixed(seed, shards, jobs_per_shard);
+
+    let mut soak_elapsed = 0.0;
+    let mut soak_iters = 0usize;
+    if let Some(budget) = soak_secs {
+        // Soak mode: rotate seeds, two replays per seed, diff against the
+        // first artifact for that seed.
+        let svc = FleetService::new(ctx.clone());
+        let start = Instant::now();
+        let mut round = 0u64;
+        while start.elapsed().as_secs_f64() < budget {
+            let s = FleetScenario::mixed(seed ^ round.wrapping_mul(0x9e37_79b9), shards, 2);
+            let (first, _) = timed_run(&svc, &s);
+            let (again, _) = timed_run(&svc, &s);
+            assert_eq!(first, again, "soak artifact drifted on round {round}");
+            round += 1;
+            soak_iters += 2;
+        }
+        soak_elapsed = start.elapsed().as_secs_f64();
+        println!("soak: {soak_iters} runs over {soak_elapsed:.1} s, no drift");
+    }
+
+    // Scaling sweep: 1, 2, auto workers over the same scenario.
+    let auto_workers = FleetService::new(ctx.clone()).effective_workers(scenario.shards.len());
+    let mut scaling = Vec::new();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut last_report_json = String::new();
+    for &workers in &[1usize, 2, 0] {
+        let svc = FleetService::new(ctx.clone()).with_workers(workers);
+        let (json, wall) = timed_run(&svc, &scenario);
+        let effective = svc.effective_workers(scenario.shards.len());
+        scaling.push(WorkerPoint {
+            workers: effective,
+            wall_s: wall,
+            jobs_per_s: scenario.total_jobs() as f64 / wall,
+        });
+        println!(
+            "  {effective:>2} workers: {wall:.3} s wall ({:.1} jobs/s)",
+            scenario.total_jobs() as f64 / wall
+        );
+        artifacts.push(json.clone());
+        last_report_json = json;
+    }
+
+    let deterministic = artifacts.iter().all(|a| *a == artifacts[0]);
+    let auto_speedup = scaling[0].wall_s / scaling[2].wall_s;
+    let gate = env_f64("GPM_FLEET_MIN_SCALING", 1.05);
+
+    let report: gpm_fleet::FleetReport =
+        serde_json::from_str(&last_report_json).expect("fleet artifact parses");
+    let bench = FleetBenchReport {
+        scenario: scenario.name.clone(),
+        seed,
+        shards: report.rollup.shards,
+        jobs: report.rollup.jobs,
+        simulated_makespan_s: report.rollup.makespan_s,
+        simulated_throughput_gips: report.rollup.throughput_gips,
+        fleet_energy_j: report.rollup.energy_j,
+        fail_safe_entries: report.rollup.fail_safe_entries,
+        fault_injections: report.rollup.fault_injections,
+        deterministic,
+        scaling,
+        auto_speedup_over_1: auto_speedup,
+        min_scaling_gate: gate,
+        soak_seconds: soak_elapsed,
+        soak_iterations: soak_iters,
+    };
+    emit_artifact("results/BENCH_fleet.json", &bench);
+
+    if !deterministic {
+        eprintln!("FAIL: fleet artifacts differ across worker counts");
+        std::process::exit(1);
+    }
+    if auto_workers >= 2 && auto_speedup < gate {
+        eprintln!("FAIL: auto-worker speedup {auto_speedup:.2}x below the {gate:.2}x scaling gate");
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: byte-identical at 1/2/auto workers; auto speedup {auto_speedup:.2}x \
+         (gate {gate:.2}x, {auto_workers} workers)"
+    );
+}

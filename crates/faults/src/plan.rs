@@ -108,6 +108,51 @@ impl FaultPlan {
         }
     }
 
+    /// A plan with only the observation-corruption channel armed.
+    pub fn only_counter_noise(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            counter_noise: FaultChannel::new(rate, 1.0),
+            ..FaultPlan::zero(seed)
+        }
+    }
+
+    /// A plan with only the predictor-spike channel armed — the lever
+    /// that drives governors into `PredictionAnomaly` fail-safes.
+    pub fn only_predictor_spike(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            predictor_spike: FaultChannel::new(rate, 1.0),
+            ..FaultPlan::zero(seed)
+        }
+    }
+
+    /// A plan with only the stale-pattern channel armed — the lever that
+    /// drives MPC into `StalePattern` fail-safes.
+    pub fn only_stale_pattern(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            stale_pattern: FaultChannel::new(rate, 1.0),
+            ..FaultPlan::zero(seed)
+        }
+    }
+
+    /// A plan with only the knob-transition-failure channel armed — at
+    /// `rate = 1.0` every dispatch past the first exhausts its retry
+    /// budget and falls back to `HwConfig::FAIL_SAFE`
+    /// (`TransitionFailed`).
+    pub fn only_transition_fail(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            transition_fail: FaultChannel::new(rate, 1.0),
+            ..FaultPlan::zero(seed)
+        }
+    }
+
+    /// A plan with only the TDP-throttle channel armed.
+    pub fn only_tdp_throttle(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            tdp_throttle: FaultChannel::new(rate, 1.0),
+            ..FaultPlan::zero(seed)
+        }
+    }
+
     /// Whether no channel can ever fire.
     pub fn is_zero(&self) -> bool {
         self.counter_noise.is_off()
@@ -131,6 +176,35 @@ mod tests {
         assert_eq!(u.tdp_throttle.intensity, 1.0);
         // Rate 0 at nonzero intensity is still inert.
         assert!(FaultPlan::uniform(1, 0.0).is_zero());
+    }
+
+    #[test]
+    fn single_channel_plans_arm_exactly_one_channel() {
+        type ChannelOf = fn(&FaultPlan) -> &FaultChannel;
+        let cases: [(FaultPlan, ChannelOf); 5] = [
+            (FaultPlan::only_counter_noise(9, 0.5), |p| &p.counter_noise),
+            (FaultPlan::only_predictor_spike(9, 0.5), |p| {
+                &p.predictor_spike
+            }),
+            (FaultPlan::only_stale_pattern(9, 0.5), |p| &p.stale_pattern),
+            (FaultPlan::only_transition_fail(9, 0.5), |p| {
+                &p.transition_fail
+            }),
+            (FaultPlan::only_tdp_throttle(9, 0.5), |p| &p.tdp_throttle),
+        ];
+        for (plan, armed) in &cases {
+            assert_eq!(plan.seed, 9);
+            assert_eq!(armed(plan).rate, 0.5);
+            assert_eq!(armed(plan).intensity, 1.0);
+            let all = [
+                plan.counter_noise,
+                plan.predictor_spike,
+                plan.stale_pattern,
+                plan.transition_fail,
+                plan.tdp_throttle,
+            ];
+            assert_eq!(all.iter().filter(|c| !c.is_off()).count(), 1);
+        }
     }
 
     #[test]

@@ -204,16 +204,15 @@ impl ExecEnv {
     }
 }
 
-/// Borrowed middleware views for one replay — lets the deprecated shims
-/// in [`crate::run`] drive the same engine from `&dyn` references.
-pub(crate) struct Middleware<'a> {
-    pub(crate) sink: &'a dyn TraceSink,
-    pub(crate) faults: &'a dyn FaultInjector,
+/// Borrowed middleware views for one replay.
+struct Middleware<'a> {
+    sink: &'a dyn TraceSink,
+    faults: &'a dyn FaultInjector,
 }
 
-/// The core replay loop. All public entry points — [`ExecEnv::run`] and
-/// the deprecated `run_once*` shims — funnel through here.
-pub(crate) fn replay(
+/// The core replay loop. Every replay — [`ExecEnv::run`] and everything
+/// built on it — funnels through here.
+fn replay(
     sim: &dyn Platform,
     workload: &Workload,
     governor: &mut dyn Governor,

@@ -17,15 +17,14 @@
 //!   deterministic fault injector, both disabled no-ops by default —
 //!   plus the cached Turbo Core baseline resolution and end-to-end
 //!   scheme evaluation ([`env::ExecEnv::evaluate`]).
-//! * [`run`] — the replay result types ([`run::RunResult`]) and the
-//!   deprecated `run_once*` shims kept for one release.
+//! * [`run`] — the replay result types ([`run::RunResult`]).
 //! * [`campaign`] — the measurement campaign, parallelized across worker
 //!   threads (bit-identical to the sequential path).
 //! * [`context`] — one-time setup shared by experiments: the simulator,
 //!   the offline-trained Random Forest, the hoisted campaign space, and
 //!   the per-workload baseline cache ([`context::EvalContext`]).
 //! * [`schemes`] — named scheme constructors (PPK/MPC × oracle/RF/error
-//!   models, TO) and the deprecated `evaluate_scheme*` shims.
+//!   models, TO) evaluated through [`env::ExecEnv::evaluate`].
 //! * [`metrics`] — energy-savings / speedup arithmetic and geometric means.
 //! * [`amortize`] — Figure 11's re-execution amortization study.
 //! * [`traces`] — Figure 2 sweeps and Figure 3 throughput traces.
@@ -47,9 +46,5 @@ pub use campaign::{parallel_campaign, parallel_campaign_auto};
 pub use context::{training_kernels, training_space, BaselineCacheStats, EvalContext, EvalOptions};
 pub use env::ExecEnv;
 pub use metrics::{energy_savings_pct, geo_mean, speedup, Comparison};
-#[allow(deprecated)]
-pub use run::{run_once, run_once_faulted, run_once_traced};
 pub use run::{KernelRun, RunResult};
-#[allow(deprecated)]
-pub use schemes::{evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced};
 pub use schemes::{turbo_core_baseline, Scheme, SchemeOutcome};

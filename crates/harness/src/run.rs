@@ -1,9 +1,7 @@
-//! Replay result types, plus the deprecated free-function entry points
-//! to the engine that now lives in [`crate::env`].
+//! Replay result types: the per-kernel and per-invocation records every
+//! run of the engine in [`crate::env`] produces.
 //!
-//! The `run_once` / `run_once_traced` / `run_once_faulted` ladder is kept
-//! for one release as thin shims over [`ExecEnv`](crate::env::ExecEnv);
-//! new code should build an environment instead:
+//! All replays go through [`ExecEnv`](crate::env::ExecEnv):
 //!
 //! ```
 //! use gpm_harness::env::ExecEnv;
@@ -18,13 +16,8 @@
 //! assert!(run.total_energy_j() > 0.0);
 //! ```
 
-use crate::env::Middleware;
-use gpm_faults::{FaultInjector, NoFaults};
-use gpm_governors::{Governor, PerfTarget};
 use gpm_hw::HwConfig;
-use gpm_sim::{EnergyBreakdown, Platform};
-use gpm_trace::{NoopSink, TraceSink};
-use gpm_workloads::Workload;
+use gpm_sim::EnergyBreakdown;
 use serde::{Deserialize, Serialize};
 
 /// Per-invocation record within a [`RunResult`].
@@ -110,100 +103,11 @@ impl RunResult {
     }
 }
 
-/// Replays `workload` once under `governor` with no middleware.
-///
-/// Deprecated shim over the unified engine — see
-/// [`ExecEnv::run`](crate::env::ExecEnv::run) for the parameter
-/// semantics.
-#[deprecated(note = "build a `gpm_harness::env::ExecEnv` and call `ExecEnv::run`")]
-pub fn run_once(
-    sim: &dyn Platform,
-    workload: &Workload,
-    governor: &mut dyn Governor,
-    target: PerfTarget,
-    run_index: usize,
-    provide_truth: bool,
-) -> RunResult {
-    crate::env::replay(
-        sim,
-        workload,
-        governor,
-        target,
-        run_index,
-        provide_truth,
-        Middleware {
-            sink: &NoopSink,
-            faults: &NoFaults,
-        },
-    )
-}
-
-/// Replays with decision-level observability streamed to `sink`.
-///
-/// Deprecated shim over the unified engine — use
-/// [`ExecEnv::with_trace`](crate::env::ExecEnv::with_trace) instead.
-#[deprecated(
-    note = "build a `gpm_harness::env::ExecEnv` with `with_trace` and call `ExecEnv::run`"
-)]
-pub fn run_once_traced(
-    sim: &dyn Platform,
-    workload: &Workload,
-    governor: &mut dyn Governor,
-    target: PerfTarget,
-    run_index: usize,
-    provide_truth: bool,
-    sink: &dyn TraceSink,
-) -> RunResult {
-    crate::env::replay(
-        sim,
-        workload,
-        governor,
-        target,
-        run_index,
-        provide_truth,
-        Middleware {
-            sink,
-            faults: &NoFaults,
-        },
-    )
-}
-
-/// Replays with observability *and* deterministic fault injection on the
-/// dispatch path.
-///
-/// Deprecated shim over the unified engine — use
-/// [`ExecEnv::with_fault_plan`](crate::env::ExecEnv::with_fault_plan)
-/// instead.
-#[deprecated(
-    note = "build a `gpm_harness::env::ExecEnv` with `with_fault_plan` and call `ExecEnv::run`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_once_faulted(
-    sim: &dyn Platform,
-    workload: &Workload,
-    governor: &mut dyn Governor,
-    target: PerfTarget,
-    run_index: usize,
-    provide_truth: bool,
-    sink: &dyn TraceSink,
-    faults: &dyn FaultInjector,
-) -> RunResult {
-    crate::env::replay(
-        sim,
-        workload,
-        governor,
-        target,
-        run_index,
-        provide_truth,
-        Middleware { sink, faults },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::env::ExecEnv;
-    use gpm_governors::{FixedGovernor, TurboCore};
+    use gpm_governors::{FixedGovernor, PerfTarget, TurboCore};
     use gpm_sim::ApuSimulator;
     use gpm_workloads::workload_by_name;
 

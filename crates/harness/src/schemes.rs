@@ -12,17 +12,15 @@
 use crate::context::EvalContext;
 use crate::env::ExecEnv;
 use crate::run::RunResult;
-use gpm_faults::{FaultPlan, FaultyPredictor};
+use gpm_faults::FaultyPredictor;
 use gpm_governors::{
     to, Governor, OverheadModel, PerfTarget, PlannedGovernor, PpkGovernor, TurboCore,
 };
 use gpm_model::{ErrorInjectedPredictor, ErrorSpec};
 use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor, MpcStats};
 use gpm_sim::{ApuSimulator, OraclePredictor};
-use gpm_trace::TraceSink;
 use gpm_workloads::Workload;
 use std::borrow::Cow;
-use std::sync::Arc;
 
 /// The evaluated power-management schemes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -311,52 +309,6 @@ impl ExecEnv {
             }
         }
     }
-}
-
-/// Evaluates `scheme` on `workload` under the shared context.
-///
-/// Deprecated shim over [`ExecEnv::evaluate`].
-#[deprecated(note = "build a `gpm_harness::env::ExecEnv` and call `ExecEnv::evaluate`")]
-pub fn evaluate_scheme(ctx: &EvalContext, workload: &Workload, scheme: Scheme) -> SchemeOutcome {
-    ExecEnv::new().evaluate(ctx, workload, scheme)
-}
-
-/// Scheme evaluation with decision-level observability.
-///
-/// Deprecated shim over [`ExecEnv::evaluate`] with
-/// [`with_trace`](ExecEnv::with_trace).
-#[deprecated(
-    note = "build a `gpm_harness::env::ExecEnv` with `with_trace` and call `ExecEnv::evaluate`"
-)]
-pub fn evaluate_scheme_traced(
-    ctx: &EvalContext,
-    workload: &Workload,
-    scheme: Scheme,
-    sink: &Arc<dyn TraceSink>,
-) -> SchemeOutcome {
-    ExecEnv::new()
-        .with_trace(Arc::clone(sink))
-        .evaluate(ctx, workload, scheme)
-}
-
-/// Scheme evaluation under a deterministic [`FaultPlan`].
-///
-/// Deprecated shim over [`ExecEnv::evaluate`] with
-/// [`with_fault_plan`](ExecEnv::with_fault_plan).
-#[deprecated(
-    note = "build a `gpm_harness::env::ExecEnv` with `with_fault_plan` and call `ExecEnv::evaluate`"
-)]
-pub fn evaluate_scheme_faulted(
-    ctx: &EvalContext,
-    workload: &Workload,
-    scheme: Scheme,
-    sink: &Arc<dyn TraceSink>,
-    plan: &FaultPlan,
-) -> SchemeOutcome {
-    ExecEnv::new()
-        .with_trace(Arc::clone(sink))
-        .with_fault_plan(plan.clone())
-        .evaluate(ctx, workload, scheme)
 }
 
 #[cfg(test)]

@@ -1,24 +1,19 @@
-//! The refactor's golden guarantee: the unified [`ExecEnv`] dispatch path
-//! is byte-identical to the legacy `run_once*` / `evaluate_scheme*`
-//! free-function ladder it replaced, and the context's shared baseline
-//! cache returns bit-identical Turbo Core targets while simulating the
-//! baseline exactly once per workload per context — even under
-//! concurrent resolution.
+//! The dispatch path's golden guarantees: an [`ExecEnv`] holds no hidden
+//! per-run state — a reused environment is byte-identical to a fresh one
+//! built per call (the behavior of the retired `run_once*` /
+//! `evaluate_scheme*` free functions, reconstructed inline here) — and
+//! the context's shared baseline cache returns bit-identical Turbo Core
+//! targets while simulating the baseline exactly once per workload per
+//! context, even under concurrent resolution.
 //!
 //! It also pins the batched flat-forest inference engine to the seed's
 //! scalar path: MPC and PPK decisions under `predict_batch` + memoized
 //! search must be byte-identical to nested per-call traversal, clean,
 //! traced, and faulted alike.
-//!
-//! This file is the one sanctioned caller of the deprecated shims.
-#![allow(deprecated)]
 
 use gpm_faults::{FaultPlan, FaultyPredictor};
 use gpm_governors::{EqualizerMode, FixedGovernor, OverheadModel, PerfTarget, PpkGovernor};
-use gpm_harness::{
-    evaluate_scheme, evaluate_scheme_faulted, evaluate_scheme_traced, run_once,
-    turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme, SchemeOutcome,
-};
+use gpm_harness::{turbo_core_baseline, EvalContext, EvalOptions, ExecEnv, Scheme, SchemeOutcome};
 use gpm_hw::{ConfigSpace, HwConfig};
 use gpm_model::{encode_features, ErrorSpec, RandomForestPredictor};
 use gpm_mpc::{HorizonMode, MpcConfig, MpcGovernor};
@@ -82,95 +77,119 @@ fn fingerprint(out: &SchemeOutcome) -> String {
 }
 
 #[test]
-fn clean_execenv_matches_legacy_evaluate_scheme_for_all_schemes() {
+fn reused_execenv_matches_fresh_env_per_call_for_all_schemes() {
+    // The retired `evaluate_scheme` shim built a fresh `ExecEnv::new()`
+    // per call; a long-lived environment must be indistinguishable from
+    // that — no state may leak between evaluations.
     let w = workload_by_name("kmeans").unwrap();
     let env = ExecEnv::new();
     for scheme in all_schemes() {
-        let legacy = evaluate_scheme(ctx(), &w, scheme);
-        let unified = env.evaluate(ctx(), &w, scheme);
+        let fresh = ExecEnv::new().evaluate(ctx(), &w, scheme);
+        let reused = env.evaluate(ctx(), &w, scheme);
         assert_eq!(
-            fingerprint(&legacy),
-            fingerprint(&unified),
-            "{} diverged between the legacy shim and ExecEnv",
+            fingerprint(&fresh),
+            fingerprint(&reused),
+            "{} diverged between a fresh and a reused ExecEnv",
             scheme.label()
         );
     }
 }
 
 #[test]
-fn traced_execenv_matches_legacy_traced_shim() {
+fn traced_evaluation_is_environment_reuse_invariant() {
     let w = workload_by_name("Spmv").unwrap();
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
     };
-    let legacy_agg = Arc::new(AggregateSink::new());
-    let legacy_sink: Arc<dyn TraceSink> = legacy_agg.clone();
-    let legacy = evaluate_scheme_traced(ctx(), &w, scheme, &legacy_sink);
+    // Fresh environment per call (the retired `evaluate_scheme_traced`
+    // construction) ...
+    let fresh_agg = Arc::new(AggregateSink::new());
+    let fresh = ExecEnv::new()
+        .with_trace(fresh_agg.clone() as Arc<dyn TraceSink>)
+        .evaluate(ctx(), &w, scheme);
 
+    // ... versus one long-lived environment evaluating twice: the second
+    // pass must stream the identical decision sequence.
     let agg = Arc::new(AggregateSink::new());
     let env = ExecEnv::new().with_trace(agg.clone());
-    let unified = env.evaluate(ctx(), &w, scheme);
+    let _warmup = env.evaluate(ctx(), &w, scheme);
+    let agg2 = Arc::new(AggregateSink::new());
+    let env2 = ExecEnv::new().with_trace(agg2.clone());
+    let reused = env2.evaluate(ctx(), &w, scheme);
 
-    assert_eq!(fingerprint(&legacy), fingerprint(&unified));
-    // Same decision stream → same aggregate counters (the ExecEnv path
-    // additionally records its BaselineResolved events).
-    let (ls, us) = (legacy_agg.summary(), agg.summary());
-    assert_eq!(ls.dispatches, us.dispatches);
-    assert_eq!(ls.decisions, us.decisions);
-    assert_eq!(ls.horizon_evaluations, us.horizon_evaluations);
+    assert_eq!(fingerprint(&fresh), fingerprint(&reused));
+    // Same decision stream → same aggregate counters.
+    let (fs, us) = (fresh_agg.summary(), agg2.summary());
+    assert_eq!(fs.dispatches, us.dispatches);
+    assert_eq!(fs.decisions, us.decisions);
+    assert_eq!(fs.horizon_evaluations, us.horizon_evaluations);
     assert_eq!(us.baseline_simulations + us.baseline_cache_hits, 1);
 }
 
 #[test]
-fn faulted_execenv_matches_legacy_faulted_shim() {
+fn faulted_evaluation_is_environment_reuse_invariant() {
     let w = workload_by_name("EigenValue").unwrap();
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
     };
     let plan = FaultPlan::uniform(0xFEED_BEEF, 0.15);
 
-    let legacy_agg = Arc::new(AggregateSink::new());
-    let legacy_sink: Arc<dyn TraceSink> = legacy_agg.clone();
-    let legacy = evaluate_scheme_faulted(ctx(), &w, scheme, &legacy_sink, &plan);
+    // Fresh environment (the retired `evaluate_scheme_faulted`
+    // construction): trace + fault plan built per call.
+    let fresh_agg = Arc::new(AggregateSink::new());
+    let fresh = ExecEnv::new()
+        .with_trace(fresh_agg.clone() as Arc<dyn TraceSink>)
+        .with_fault_plan(plan.clone())
+        .evaluate(ctx(), &w, scheme);
 
+    // Reused environment: a second evaluation must replay the identical
+    // fault schedule — the plan is stateless, so reuse cannot drift it.
     let agg = Arc::new(AggregateSink::new());
     let env = ExecEnv::new().with_trace(agg.clone()).with_fault_plan(plan);
-    let unified = env.evaluate(ctx(), &w, scheme);
+    let _warmup = env.evaluate(ctx(), &w, scheme);
+    let reused = env.evaluate(ctx(), &w, scheme);
 
-    assert_eq!(fingerprint(&legacy), fingerprint(&unified));
-    assert_eq!(
-        legacy_agg.summary().fault_injections,
-        agg.summary().fault_injections
-    );
+    assert_eq!(fingerprint(&fresh), fingerprint(&reused));
     assert!(
-        agg.summary().fault_injections > 0,
+        fresh_agg.summary().fault_injections > 0,
         "the 15% plan never fired"
+    );
+    // Two identical evaluations on the reused env inject exactly twice
+    // the fresh env's single-evaluation count.
+    assert_eq!(
+        agg.summary().fault_injections,
+        2 * fresh_agg.summary().fault_injections
     );
 }
 
 #[test]
-fn execenv_run_matches_legacy_run_once() {
+fn execenv_run_is_reuse_invariant_for_plain_replays() {
     let w = workload_by_name("NBody").unwrap();
     let target = PerfTarget::new(1.0, 1.0);
-    let legacy = {
-        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
-        run_once(&ctx().sim, &w, &mut gov, target, 0, false)
-    };
-    let unified = {
+    let fresh = {
         let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
         ExecEnv::new().run(&ctx().sim, &w, &mut gov, target, 0, false)
     };
+    let env = ExecEnv::default();
+    let _warmup = {
+        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        env.run(&ctx().sim, &w, &mut gov, target, 0, false)
+    };
+    let reused = {
+        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        env.run(&ctx().sim, &w, &mut gov, target, 0, false)
+    };
     assert_eq!(
-        serde_json::to_string(&legacy.per_kernel).unwrap(),
-        serde_json::to_string(&unified.per_kernel).unwrap()
+        serde_json::to_string(&fresh.per_kernel).unwrap(),
+        serde_json::to_string(&reused.per_kernel).unwrap()
     );
     assert_eq!(
-        legacy.total_energy_j().to_bits(),
-        unified.total_energy_j().to_bits()
+        fresh.total_energy_j().to_bits(),
+        reused.total_energy_j().to_bits()
     );
     assert_eq!(
-        legacy.wall_time_s().to_bits(),
-        unified.wall_time_s().to_bits()
+        fresh.wall_time_s().to_bits(),
+        reused.wall_time_s().to_bits()
     );
 }
 

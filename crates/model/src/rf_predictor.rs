@@ -171,8 +171,11 @@ impl RandomForestPredictor {
     }
 
     /// Assembles a predictor from fitted forests, building the flat
-    /// inference engines.
-    fn from_forests(
+    /// inference engines. Each assembly gets a fresh
+    /// [`generation`](RandomForestPredictor::generation) tag, so
+    /// retraining (e.g. via [`RandomForest::fit_with_threads`]) can never
+    /// be served stale per-thread specialization state.
+    pub fn from_forests(
         time_forest: RandomForest,
         power_forest: RandomForest,
     ) -> RandomForestPredictor {
@@ -223,6 +226,14 @@ impl RandomForestPredictor {
     /// The fitted GPU-power forest.
     pub fn power_forest(&self) -> &RandomForest {
         &self.power_forest
+    }
+
+    /// This predictor's cache-identity tag: process-unique and strictly
+    /// increasing across assemblies, never 0 (the thread-local scratch's
+    /// "empty" sentinel). Two predictors share specialization state only
+    /// if their generations are equal — i.e. never.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Convenience: split, train, and report in one call.

@@ -65,6 +65,24 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.n
     }
+
+    /// Folds another histogram over the same boundaries into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary vectors differ — merging histograms with
+    /// different bucketing has no meaningful result.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket boundaries"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.n += other.n;
+    }
 }
 
 /// Everything the [`AggregateSink`] distills from an event stream.
@@ -114,12 +132,20 @@ pub struct TraceSummary {
     pub outcomes: u64,
     /// Mean |signed time error| over outcomes carrying predictions, s.
     pub mean_abs_time_error_s: f64,
+    /// Outcomes that carried a time prediction — the weight behind
+    /// `mean_abs_time_error_s` (needed to merge summaries exactly).
+    pub time_error_samples: u64,
     /// Mean signed energy error over outcomes carrying predictions, J.
     pub mean_signed_energy_error_j: f64,
+    /// Outcomes that carried an energy prediction — the weight behind
+    /// `mean_signed_energy_error_j`.
+    pub energy_error_samples: u64,
     /// Smallest observed headroom slack, seconds (0 when none seen).
     pub min_headroom_s: f64,
     /// Mean observed headroom slack, seconds.
     pub mean_headroom_s: f64,
+    /// `Headroom` events seen — the weight behind `mean_headroom_s`.
+    pub headroom_samples: u64,
     /// Decision latency (`Decision.overhead_s`) distribution, seconds.
     pub decision_latency: Histogram,
     /// Relative signed energy prediction error distribution
@@ -162,12 +188,95 @@ impl Default for TraceSummary {
             recoveries: 0,
             outcomes: 0,
             mean_abs_time_error_s: 0.0,
+            time_error_samples: 0,
             mean_signed_energy_error_j: 0.0,
+            energy_error_samples: 0,
             min_headroom_s: 0.0,
             mean_headroom_s: 0.0,
+            headroom_samples: 0,
             decision_latency: Histogram::new(latency_bounds()),
             energy_error_rel: Histogram::new(error_bounds()),
         }
+    }
+}
+
+impl TraceSummary {
+    /// Folds `other` into this summary as if both event streams had been
+    /// recorded by one sink: counters and histograms add, means combine
+    /// weighted by their sample counts, and the minimum headroom is the
+    /// smaller of the two observed minima.
+    ///
+    /// This is the fleet-rollup primitive: per-shard summaries merged in
+    /// shard order produce one fleet-level summary that is independent of
+    /// which worker thread ran which shard.
+    pub fn merge(&mut self, other: &TraceSummary) {
+        fn weighted(a: f64, an: u64, b: f64, bn: u64) -> f64 {
+            let n = an + bn;
+            if n == 0 {
+                0.0
+            } else {
+                (a * an as f64 + b * bn as f64) / n as f64
+            }
+        }
+        self.mean_horizon = weighted(
+            self.mean_horizon,
+            self.horizon_decisions,
+            other.mean_horizon,
+            other.horizon_decisions,
+        );
+        self.mean_abs_time_error_s = weighted(
+            self.mean_abs_time_error_s,
+            self.time_error_samples,
+            other.mean_abs_time_error_s,
+            other.time_error_samples,
+        );
+        self.mean_signed_energy_error_j = weighted(
+            self.mean_signed_energy_error_j,
+            self.energy_error_samples,
+            other.mean_signed_energy_error_j,
+            other.energy_error_samples,
+        );
+        self.mean_headroom_s = weighted(
+            self.mean_headroom_s,
+            self.headroom_samples,
+            other.mean_headroom_s,
+            other.headroom_samples,
+        );
+        self.min_headroom_s = if self.headroom_samples == 0 {
+            other.min_headroom_s
+        } else if other.headroom_samples == 0 {
+            self.min_headroom_s
+        } else {
+            self.min_headroom_s.min(other.min_headroom_s)
+        };
+
+        self.runs += other.runs;
+        self.baseline_simulations += other.baseline_simulations;
+        self.baseline_cache_hits += other.baseline_cache_hits;
+        self.dispatches += other.dispatches;
+        self.decisions += other.decisions;
+        self.horizon_decisions += other.horizon_decisions;
+        self.horizon_overhead_s += other.horizon_overhead_s;
+        self.horizon_evaluations += other.horizon_evaluations;
+        self.total_evaluations += other.total_evaluations;
+        self.searches += other.searches;
+        self.knob_visits.merge(&other.knob_visits);
+        self.pruned_candidates += other.pruned_candidates;
+        self.fail_safe_events += other.fail_safe_events;
+        self.pattern_misses += other.pattern_misses;
+        self.fault_injections += other.fault_injections;
+        self.recoveries += other.recoveries;
+        self.outcomes += other.outcomes;
+        self.time_error_samples += other.time_error_samples;
+        self.energy_error_samples += other.energy_error_samples;
+        self.headroom_samples += other.headroom_samples;
+        self.overhead_per_decision_s = if self.horizon_decisions > 0 {
+            self.horizon_overhead_s / self.horizon_decisions as f64
+        } else {
+            0.0
+        };
+        self.decision_latency.merge(&other.decision_latency);
+        self.energy_error_rel.merge(&other.energy_error_rel);
     }
 }
 
@@ -215,6 +324,9 @@ impl AggregateSink {
             s.mean_headroom_s = st.headroom_sum / st.headroom_n as f64;
             s.min_headroom_s = st.headroom_min.unwrap_or(0.0);
         }
+        s.time_error_samples = st.time_err_n;
+        s.energy_error_samples = st.energy_err_n;
+        s.headroom_samples = st.headroom_n;
         s
     }
 }
@@ -402,6 +514,87 @@ mod tests {
         let s = agg.summary();
         assert_eq!(s.baseline_simulations, 1);
         assert_eq!(s.baseline_cache_hits, 3);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let agg = AggregateSink::new();
+        agg.record(&TraceEvent::Headroom {
+            run_index: 0,
+            position: 0,
+            slack_s: 0.25,
+        });
+        agg.record(&TraceEvent::Dispatch {
+            run_index: 0,
+            position: 0,
+            kernel: "k".into(),
+        });
+        let s = agg.summary();
+        let mut merged = s.clone();
+        merged.merge(&TraceSummary::default());
+        assert_eq!(merged, s);
+        let mut from_empty = TraceSummary::default();
+        from_empty.merge(&s);
+        assert_eq!(from_empty, s);
+    }
+
+    #[test]
+    fn merge_combines_counters_means_and_minima() {
+        let make = |slacks: &[f64], errs: &[f64]| {
+            let agg = AggregateSink::new();
+            for (i, &slack_s) in slacks.iter().enumerate() {
+                agg.record(&TraceEvent::Headroom {
+                    run_index: 0,
+                    position: i,
+                    slack_s,
+                });
+            }
+            for (i, &te) in errs.iter().enumerate() {
+                agg.record(&TraceEvent::Outcome {
+                    run_index: 0,
+                    position: i,
+                    config: HwConfig::FAIL_SAFE,
+                    time_s: 0.1,
+                    energy_j: 2.0,
+                    gi: 1.0,
+                    time_error_s: Some(te),
+                    power_error_w: None,
+                    energy_error_j: Some(te),
+                });
+            }
+            agg.summary()
+        };
+        let a = make(&[0.2, 0.4], &[0.1]);
+        let b = make(&[-0.3], &[0.3, 0.5]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.outcomes, 3);
+        assert_eq!(merged.headroom_samples, 3);
+        assert_eq!(merged.time_error_samples, 3);
+        assert_eq!(merged.min_headroom_s, -0.3);
+        assert!((merged.mean_headroom_s - (0.2 + 0.4 - 0.3) / 3.0).abs() < 1e-12);
+        assert!((merged.mean_abs_time_error_s - (0.1 + 0.3 + 0.5) / 3.0).abs() < 1e-12);
+        // Merging in the opposite order reaches the same aggregate.
+        let mut other_way = b.clone();
+        other_way.merge(&a);
+        assert_eq!(other_way.outcomes, merged.outcomes);
+        assert_eq!(other_way.min_headroom_s, merged.min_headroom_s);
+        assert!((other_way.mean_headroom_s - merged.mean_headroom_s).abs() < 1e-12);
+        // A merged summary equals one sink that saw both streams.
+        let combined = make(&[0.2, 0.4, -0.3], &[0.1, 0.3, 0.5]);
+        assert_eq!(
+            merged.energy_error_rel.count(),
+            combined.energy_error_rel.count()
+        );
+        assert!((merged.mean_headroom_s - combined.mean_headroom_s).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket boundaries")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(vec![0.0, 1.0]);
+        let b = Histogram::new(vec![0.0, 2.0]);
+        a.merge(&b);
     }
 
     #[test]

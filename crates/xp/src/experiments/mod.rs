@@ -9,5 +9,6 @@
 pub mod ablations;
 pub mod extensions;
 pub mod figures;
+pub mod fleet;
 pub mod robustness;
 pub mod tables;

@@ -3,7 +3,7 @@
 //! values.
 
 use crate::experiment::{Expectation, Experiment, Mode, Source, XpEnv};
-use crate::experiments::{ablations, extensions, figures, robustness, tables};
+use crate::experiments::{ablations, extensions, figures, fleet, robustness, tables};
 use crate::golden::golden_for;
 
 /// A golden expectation that binds in both modes with tolerance 0 —
@@ -297,6 +297,14 @@ pub fn registry() -> Vec<Experiment> {
                 source: Source::Paper,
                 mode: None,
             }],
+        ),
+        entry(
+            "fleet_scaling",
+            "extension",
+            "Sharded fleet service: worker-count determinism and scaling",
+            true,
+            fleet::fleet_scaling,
+            vec![exact("deterministic", 1.0)],
         ),
     ]
 }

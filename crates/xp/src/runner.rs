@@ -97,6 +97,10 @@ pub struct SuiteReport {
 }
 
 /// The identity of one (experiment, mode, protocol) combination.
+///
+/// Includes the workspace crate version so a checkpoint written by a
+/// previous build can never satisfy the current build's gates via
+/// `--resume` — bumping the version invalidates every stale checkpoint.
 fn run_fingerprint(name: &str, mode: Mode) -> u64 {
     let options = serde_json::to_string(&mode.options()).expect("options serialize");
     fingerprint(&[
@@ -104,6 +108,7 @@ fn run_fingerprint(name: &str, mode: Mode) -> u64 {
         mode.as_str(),
         &options,
         &ARTIFACT_SCHEMA_VERSION.to_string(),
+        env!("CARGO_PKG_VERSION"),
     ])
 }
 
@@ -400,6 +405,35 @@ mod tests {
         assert_eq!(
             run_fingerprint("fig8", Mode::Fast),
             run_fingerprint("fig8", Mode::Fast)
+        );
+    }
+
+    #[test]
+    fn fingerprints_include_the_crate_version() {
+        // Pin the exact composition: name, mode, serialized options,
+        // artifact schema version, and the workspace crate version. A
+        // checkpoint from a build with any other version hashes
+        // differently and is never resumed.
+        let options = serde_json::to_string(&Mode::Fast.options()).unwrap();
+        assert_eq!(
+            run_fingerprint("fig8", Mode::Fast),
+            fingerprint(&[
+                "fig8",
+                "fast",
+                &options,
+                &ARTIFACT_SCHEMA_VERSION.to_string(),
+                env!("CARGO_PKG_VERSION"),
+            ])
+        );
+        // And dropping the version component changes the hash.
+        assert_ne!(
+            run_fingerprint("fig8", Mode::Fast),
+            fingerprint(&[
+                "fig8",
+                "fast",
+                &options,
+                &ARTIFACT_SCHEMA_VERSION.to_string(),
+            ])
         );
     }
 

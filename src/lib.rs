@@ -22,6 +22,7 @@
 //! | [`harness`] | `gpm-harness` | experiment runner, comparisons, reports |
 //! | [`trace`] | `gpm-trace` | decision-level observability events and sinks |
 //! | [`faults`] | `gpm-faults` | deterministic fault injection (robustness studies) |
+//! | [`fleet`] | `gpm-fleet` | sharded multi-device fleet service and scenario DSL |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 //! ```
 
 pub use gpm_faults as faults;
+pub use gpm_fleet as fleet;
 pub use gpm_governors as governors;
 pub use gpm_harness as harness;
 pub use gpm_hw as hw;

@@ -12,15 +12,28 @@
 //!
 //! `--soak <seconds>` instead replays seeded scenarios (rotating seeds)
 //! for at least that long, diffing every artifact against the first for
-//! its seed — the CI fleet-soak job runs 60 s of this.
+//! its seed — the CI fleet-soak job runs 60 s of this. Every run (soak
+//! and sweep) executes under a live fleet [`gpm_telemetry`] registry
+//! plus per-shard registries, and soak mode prints a periodic one-line
+//! status derived from the same values a Prometheus scrape would see:
+//! jobs/s, p99 simulated decision latency, and the fail-safe rate.
+//!
+//! `--telemetry-out PATH` writes the final Prometheus text exposition
+//! (fleet counters merged with the per-shard rollup);
+//! `--telemetry-port PORT` additionally serves it live on
+//! `127.0.0.1:PORT/metrics` for the duration of the run, so a soak can
+//! be watched from a real Prometheus scraper.
 //!
 //! Emits `results/BENCH_fleet.json` either way. `GPM_BENCH_FAST=1`
 //! selects the fast training context (CI default). Build with
 //! `--release`; debug numbers are meaningless.
 
 use gpm_bench::{bench_context, emit_artifact, fast_from_env};
-use gpm_fleet::{FleetScenario, FleetService};
+use gpm_fleet::{FleetReport, FleetScenario, FleetService};
+use gpm_telemetry::{Telemetry, TelemetrySnapshot};
 use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::TcpListener;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -56,44 +69,131 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-/// One timed scenario run; returns (artifact bytes, report stats, wall).
-fn timed_run(svc: &FleetService, scenario: &FleetScenario) -> (String, f64) {
+/// One timed scenario run; returns (report, artifact bytes, wall).
+fn timed_run(svc: &FleetService, scenario: &FleetScenario) -> (FleetReport, String, f64) {
     let start = Instant::now();
     let report = svc.run(scenario);
     let wall = start.elapsed().as_secs_f64();
-    (report.to_artifact_json(), wall)
+    let json = report.to_artifact_json();
+    (report, json, wall)
+}
+
+/// One soak status line, derived from exactly the values a Prometheus
+/// scrape of the fleet registry (and the per-shard rollup) would see.
+fn status_line(
+    elapsed_s: f64,
+    fleet: &TelemetrySnapshot,
+    rollup: Option<&TelemetrySnapshot>,
+) -> String {
+    let jobs = fleet.counter("gpm_fleet_jobs_total").unwrap_or(0);
+    let fail_safe = fleet.counter("gpm_fleet_fail_safe_total").unwrap_or(0);
+    let shards = fleet.counter("gpm_fleet_shards_total").unwrap_or(0);
+    let p99 = rollup
+        .and_then(|r| r.quantile("gpm_decision_seconds", 0.99))
+        .map_or("n/a".to_string(), |s| format!("{:.1} us", s * 1e6));
+    format!(
+        "soak {elapsed_s:>5.1} s | {:.1} jobs/s | p99 decision {} | fail-safe {:.2}/job | {} shards",
+        jobs as f64 / elapsed_s.max(1e-9),
+        p99,
+        fail_safe as f64 / (jobs.max(1)) as f64,
+        shards
+    )
+}
+
+/// Serves the registry's Prometheus text exposition on
+/// `127.0.0.1:port` from a detached thread (dies with the process).
+fn serve_prometheus(port: u16, telemetry: Telemetry) {
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .unwrap_or_else(|e| panic!("bind telemetry port {port}: {e}"));
+    println!("serving Prometheus metrics on http://127.0.0.1:{port}/metrics");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain whatever request line arrives; every path gets the
+            // same exposition.
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = telemetry.snapshot().to_prometheus();
+            let _ = write!(
+                stream,
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+        }
+    });
 }
 
 fn main() {
-    let soak_secs: Option<f64> = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--soak")
-            .map(|i| args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(60.0))
-    };
+    let argv: Vec<String> = std::env::args().collect();
+    let soak_secs: Option<f64> = argv
+        .iter()
+        .position(|a| a == "--soak")
+        .map(|i| argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(60.0));
+    let telemetry_out: Option<String> = argv.iter().position(|a| a == "--telemetry-out").map(|i| {
+        argv.get(i + 1)
+            .expect("--telemetry-out needs a path")
+            .clone()
+    });
+    let telemetry_port: Option<u16> = argv.iter().position(|a| a == "--telemetry-port").map(|i| {
+        argv.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--telemetry-port needs a port number")
+    });
 
     let ctx = bench_context(fast_from_env());
     let seed = 0xF1EE7u64;
     let (shards, jobs_per_shard) = if fast_from_env() { (8, 2) } else { (12, 4) };
     let scenario = FleetScenario::mixed(seed, shards, jobs_per_shard);
 
+    // One fleet-level registry spans the whole process (soak + sweep);
+    // shard-level registries are created per shard by the service and
+    // surface merged through each report's rollup.
+    let telemetry = Telemetry::new();
+    if let Some(port) = telemetry_port {
+        serve_prometheus(port, telemetry.clone());
+    }
+    let mut last_rollup_snap: Option<TelemetrySnapshot> = None;
+
     let mut soak_elapsed = 0.0;
     let mut soak_iters = 0usize;
     if let Some(budget) = soak_secs {
         // Soak mode: rotate seeds, two replays per seed, diff against the
         // first artifact for that seed.
-        let svc = FleetService::new(ctx.clone());
+        let svc = FleetService::new(ctx.clone()).with_telemetry(telemetry.clone());
         let start = Instant::now();
+        let mut last_status = Instant::now();
         let mut round = 0u64;
         while start.elapsed().as_secs_f64() < budget {
             let s = FleetScenario::mixed(seed ^ round.wrapping_mul(0x9e37_79b9), shards, 2);
-            let (first, _) = timed_run(&svc, &s);
-            let (again, _) = timed_run(&svc, &s);
+            let (_, first, _) = timed_run(&svc, &s);
+            let (report, again, _) = timed_run(&svc, &s);
             assert_eq!(first, again, "soak artifact drifted on round {round}");
+            last_rollup_snap = report.rollup.telemetry.clone();
             round += 1;
             soak_iters += 2;
+            if last_status.elapsed().as_secs_f64() >= 5.0 {
+                println!(
+                    "  {}",
+                    status_line(
+                        start.elapsed().as_secs_f64(),
+                        &telemetry.snapshot(),
+                        last_rollup_snap.as_ref(),
+                    )
+                );
+                last_status = Instant::now();
+            }
         }
         soak_elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "  {}",
+            status_line(
+                soak_elapsed,
+                &telemetry.snapshot(),
+                last_rollup_snap.as_ref()
+            )
+        );
         println!("soak: {soak_iters} runs over {soak_elapsed:.1} s, no drift");
     }
 
@@ -103,8 +203,11 @@ fn main() {
     let mut artifacts: Vec<String> = Vec::new();
     let mut last_report_json = String::new();
     for &workers in &[1usize, 2, 0] {
-        let svc = FleetService::new(ctx.clone()).with_workers(workers);
-        let (json, wall) = timed_run(&svc, &scenario);
+        let svc = FleetService::new(ctx.clone())
+            .with_workers(workers)
+            .with_telemetry(telemetry.clone());
+        let (full_report, json, wall) = timed_run(&svc, &scenario);
+        last_rollup_snap = full_report.rollup.telemetry.clone();
         let effective = svc.effective_workers(scenario.shards.len());
         scaling.push(WorkerPoint {
             workers: effective,
@@ -143,6 +246,20 @@ fn main() {
         soak_iterations: soak_iters,
     };
     emit_artifact("results/BENCH_fleet.json", &bench);
+
+    if let Some(path) = &telemetry_out {
+        // Fleet counters plus the per-shard rollup (dispatch counters,
+        // decision-latency histogram, span profile), one exposition.
+        let mut snap = telemetry.snapshot();
+        if let Some(rollup) = &last_rollup_snap {
+            snap.merge(rollup);
+        }
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create telemetry output directory");
+        }
+        std::fs::write(path, snap.to_prometheus()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
 
     if !deterministic {
         eprintln!("FAIL: fleet artifacts differ across worker counts");

@@ -11,12 +11,19 @@
 //! * the RF-backed hill climb, in ns per evaluated candidate;
 //! * `RandomForest` fit wall-time, single-threaded vs auto-parallel.
 //!
+//! The forest fits run under a live [`gpm_telemetry`] registry, and the
+//! `rf.fit` span totals are cross-checked against the bench's own
+//! wall-clock timers — the profiler must count every fit and attribute
+//! (nearly) all of its wall time, or the phase tables the `reproduce`
+//! pipeline emits are lying.
+//!
 //! Emits `results/BENCH_perf.json` and exits non-zero when the
 //! steady-state batched path fails to clear `GPM_PERF_MIN_SPEEDUP`
-//! (default 5×) over the scalar path, or the fresh-snapshot path falls
-//! under `GPM_PERF_MIN_FRESH_SPEEDUP` (default 1.5×), so CI catches
-//! throughput regressions on the MPC hot path. Build with `--release`;
-//! debug numbers are meaningless.
+//! (default 5×) over the scalar path, the fresh-snapshot path falls
+//! under `GPM_PERF_MIN_FRESH_SPEEDUP` (default 1.5×), or the span
+//! profile disagrees with the wall clock, so CI catches throughput
+//! regressions on the MPC hot path. Build with `--release`; debug
+//! numbers are meaningless.
 
 use gpm_bench::emit_artifact;
 use gpm_governors::search::{hill_climb, EnergyEvaluator};
@@ -45,6 +52,9 @@ struct PerfReport {
     fit_wall_ms_single_thread: f64,
     fit_wall_ms_auto: f64,
     fit_threads_auto: usize,
+    fit_span_count: u64,
+    fit_span_total_ms: f64,
+    fit_span_coverage: f64,
 }
 
 /// Runs `f` until `min_elapsed` has passed (at least once), returning
@@ -149,17 +159,34 @@ fn main() {
     let ns_per_candidate =
         climb_elapsed.as_nanos() as f64 / (evals_per_search.max(1) * climbs) as f64;
 
-    // Fit wall-time: sequential vs auto-parallel (bit-identical results).
+    // Fit wall-time: sequential vs auto-parallel (bit-identical
+    // results), profiled: both fits run under a telemetry registry so
+    // the `rf.fit` span totals can be reconciled against these timers.
+    let telemetry = gpm_telemetry::Telemetry::new();
     let xs = ds.xs();
     let ys = ds.ys_log_time();
-    let t0 = Instant::now();
-    let seq = RandomForest::fit_with_threads(&xs, &ys, &params, 7, 1);
-    let fit_seq = t0.elapsed();
+    let (fit_seq, fit_auto) = {
+        let _enter = telemetry.enter();
+        let t0 = Instant::now();
+        let seq = RandomForest::fit_with_threads(&xs, &ys, &params, 7, 1);
+        let fit_seq = t0.elapsed();
+        let t1 = Instant::now();
+        let par = RandomForest::fit_with_threads(&xs, &ys, &params, 7, 0);
+        let fit_auto = t1.elapsed();
+        assert_eq!(seq, par, "parallel fit must be bit-identical");
+        (fit_seq, fit_auto)
+    };
     let threads_auto = std::thread::available_parallelism().map_or(1, usize::from);
-    let t1 = Instant::now();
-    let par = RandomForest::fit_with_threads(&xs, &ys, &params, 7, 0);
-    let fit_auto = t1.elapsed();
-    assert_eq!(seq, par, "parallel fit must be bit-identical");
+    let fit_span = telemetry
+        .snapshot()
+        .span("rf.fit")
+        .expect("rf.fit span recorded");
+    let fit_wall_ms = (fit_seq + fit_auto).as_secs_f64() * 1e3;
+    let fit_span_ms = fit_span.total_ns as f64 / 1e6;
+    // The span opens first thing inside the fit and the timer wraps the
+    // call, so span time is a subset of wall time; anything under 90%
+    // coverage means the profiler is dropping attributable work.
+    let fit_coverage = fit_span_ms / fit_wall_ms.max(1e-9);
 
     let gate = std::env::var("GPM_PERF_MIN_SPEEDUP")
         .ok()
@@ -185,6 +212,9 @@ fn main() {
         fit_wall_ms_single_thread: fit_seq.as_secs_f64() * 1e3,
         fit_wall_ms_auto: fit_auto.as_secs_f64() * 1e3,
         fit_threads_auto: threads_auto,
+        fit_span_count: fit_span.count,
+        fit_span_total_ms: fit_span_ms,
+        fit_span_coverage: fit_coverage,
     };
 
     println!(
@@ -206,6 +236,12 @@ fn main() {
         "  fit: {:.0} ms single-thread, {:.0} ms on {} threads",
         report.fit_wall_ms_single_thread, report.fit_wall_ms_auto, threads_auto
     );
+    println!(
+        "  rf.fit spans: {} covering {:.0} ms ({:.0}% of fit wall time)",
+        fit_span.count,
+        fit_span_ms,
+        fit_coverage * 100.0
+    );
     emit_artifact("results/BENCH_perf.json", &report);
 
     if speedup < gate {
@@ -215,6 +251,21 @@ fn main() {
     if fresh_speedup < fresh_gate {
         eprintln!(
             "FAIL: fresh-snapshot speedup {fresh_speedup:.2}x below the {fresh_gate:.1}x gate"
+        );
+        std::process::exit(1);
+    }
+    if fit_span.count != 2 {
+        eprintln!(
+            "FAIL: expected 2 rf.fit spans (sequential + parallel fit), saw {}",
+            fit_span.count
+        );
+        std::process::exit(1);
+    }
+    if !(0.9..=1.01).contains(&fit_coverage) {
+        eprintln!(
+            "FAIL: rf.fit span total {fit_span_ms:.1} ms covers {:.0}% of the \
+             {fit_wall_ms:.1} ms fit wall time (expected 90-101%)",
+            fit_coverage * 100.0
         );
         std::process::exit(1);
     }

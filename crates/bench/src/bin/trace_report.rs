@@ -5,20 +5,30 @@
 //! Figure 14/15 source numbers must be derivable from the event stream
 //! alone).
 //!
+//! The traced evaluation also runs under a live [`gpm_telemetry`]
+//! registry, and the report reconciles the *third* accounting layer
+//! against the first two: the `env.dispatch` span count and
+//! `gpm_dispatches_total` counter must agree exactly with the trace
+//! summary's dispatch count — metrics, traces, and governor stats are
+//! three views of the same decisions and may never drift.
+//!
 //! Usage:
 //!
 //! ```text
-//! trace_report [--workload NAME] [--json PATH] [--jsonl PATH] [--fast]
+//! trace_report [--workload NAME] [--json PATH] [--jsonl PATH]
+//!              [--telemetry-out PATH] [--fast]
 //! ```
 //!
 //! `--json` exports the summary (plus energy/performance comparison) as a
-//! JSON report; `--jsonl` streams every raw event to a JSON Lines file.
+//! JSON report; `--jsonl` streams every raw event to a JSON Lines file;
+//! `--telemetry-out` writes the registry's Prometheus text exposition.
 //! `--fast` (or env `GPM_BENCH_FAST=1`) uses the reduced measurement
 //! campaign, for CI smoke runs.
 //!
 //! Exits non-zero when the trace-derived statistics disagree with
-//! `MpcStats`, or when the context's baseline cache fails to collapse the
-//! repeated Turbo Core baseline resolutions into a single simulation.
+//! `MpcStats`, when the telemetry layer disagrees with the trace layer,
+//! or when the context's baseline cache fails to collapse the repeated
+//! Turbo Core baseline resolutions into a single simulation.
 
 use gpm_bench::{bench_context, emit_artifact, fast_from_env};
 use gpm_harness::env::ExecEnv;
@@ -26,6 +36,7 @@ use gpm_harness::metrics::Comparison;
 use gpm_harness::report::trace_summary_table;
 use gpm_harness::Scheme;
 use gpm_mpc::HorizonMode;
+use gpm_telemetry::Telemetry;
 use gpm_trace::{AggregateSink, FanoutSink, JsonlSink, TraceSink, TraceSummary};
 use gpm_workloads::workload_by_name;
 use serde::Serialize;
@@ -40,6 +51,8 @@ struct TraceReport {
     speedup: f64,
     baseline_simulations: u64,
     baseline_cache_hits: u64,
+    telemetry_dispatch_spans: u64,
+    telemetry_dispatches_total: u64,
     summary: TraceSummary,
 }
 
@@ -47,6 +60,7 @@ struct Args {
     workload: String,
     json: Option<String>,
     jsonl: Option<String>,
+    telemetry_out: Option<String>,
     fast: bool,
 }
 
@@ -55,6 +69,7 @@ fn parse_args() -> Args {
         workload: "kmeans".to_string(),
         json: None,
         jsonl: None,
+        telemetry_out: None,
         fast: fast_from_env(),
     };
     let mut it = std::env::args().skip(1);
@@ -63,6 +78,9 @@ fn parse_args() -> Args {
             "--workload" => args.workload = it.next().expect("--workload needs a name"),
             "--json" => args.json = Some(it.next().expect("--json needs a path")),
             "--jsonl" => args.jsonl = Some(it.next().expect("--jsonl needs a path")),
+            "--telemetry-out" => {
+                args.telemetry_out = Some(it.next().expect("--telemetry-out needs a path"));
+            }
             "--fast" => args.fast = true,
             other => panic!("unknown flag {other}; see module docs for usage"),
         }
@@ -93,7 +111,10 @@ fn main() -> ExitCode {
         sinks.push(Arc::new(jsonl));
     }
     let sink: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(sinks));
-    let env = ExecEnv::new().with_trace(sink);
+    let telemetry = Telemetry::new();
+    let env = ExecEnv::new()
+        .with_trace(sink)
+        .with_telemetry(telemetry.clone());
 
     let scheme = Scheme::MpcRf {
         horizon: HorizonMode::default(),
@@ -109,6 +130,9 @@ fn main() -> ExitCode {
     let warm_summary = warm_agg.summary();
     let out = env.evaluate(&ctx, &workload, scheme);
     let summary = agg.summary();
+    let snapshot = telemetry.snapshot();
+    let dispatch_spans = snapshot.span("env.dispatch").map_or(0, |s| s.count);
+    let dispatches_total = snapshot.counter("gpm_dispatches_total").unwrap_or(0);
     let stats = out.mpc_stats.as_ref().expect("MPC scheme returns stats");
     let cache = ctx.baseline_stats();
     let vs_baseline = Comparison::between(&out.baseline, &out.measured);
@@ -123,6 +147,19 @@ fn main() -> ExitCode {
         "baseline cache: {} simulated, {} served from cache",
         cache.computed, cache.hits
     );
+    println!(
+        "telemetry: {} dispatch spans, {} dispatch counter increments",
+        dispatch_spans, dispatches_total
+    );
+
+    if let Some(path) = &args.telemetry_out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create telemetry output directory");
+        }
+        std::fs::write(path, snapshot.to_prometheus())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
 
     if let Some(path) = &args.json {
         let report = TraceReport {
@@ -132,6 +169,8 @@ fn main() -> ExitCode {
             speedup: vs_baseline.speedup,
             baseline_simulations: cache.computed,
             baseline_cache_hits: cache.hits,
+            telemetry_dispatch_spans: dispatch_spans,
+            telemetry_dispatches_total: dispatches_total,
             summary: summary.clone(),
         };
         emit_artifact(path, &report);
@@ -173,8 +212,26 @@ fn main() -> ExitCode {
     );
     ok &= check("context baseline computes", cache.computed as f64, 1.0);
     ok &= check("context baseline cache hits", cache.hits as f64, 1.0);
+    // Telemetry-vs-trace reconciliation: the span profiler and the
+    // metrics registry each count dispatches independently of the event
+    // stream; all three must agree decision-for-decision.
+    ok &= check(
+        "telemetry dispatch spans vs trace dispatches",
+        dispatch_spans as f64,
+        summary.dispatches as f64,
+    );
+    ok &= check(
+        "telemetry dispatch counter vs trace dispatches",
+        dispatches_total as f64,
+        summary.dispatches as f64,
+    );
+    ok &= check(
+        "telemetry run counter",
+        snapshot.counter("gpm_runs_total").unwrap_or(0) as f64,
+        summary.runs as f64,
+    );
     if ok {
-        eprintln!("trace/stats cross-check passed");
+        eprintln!("trace/stats/telemetry cross-check passed");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -268,13 +268,16 @@ impl<P: PowerPerfPredictor> MpcGovernor<P> {
         let cap = ctx
             .target
             .time_cap(ctx.elapsed_gi, ctx.elapsed_kernel_s, last.ginstructions);
-        let (best, stats) = hill_climb_with_memo(
-            &self.evaluator,
-            &last,
-            HwConfig::FAIL_SAFE,
-            cap,
-            &mut self.memo,
-        );
+        let (best, stats) = {
+            let _span = gpm_telemetry::span("search.hill_climb");
+            hill_climb_with_memo(
+                &self.evaluator,
+                &last,
+                HwConfig::FAIL_SAFE,
+                cap,
+                &mut self.memo,
+            )
+        };
         let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
         let overhead_s = self.cfg.overhead.cost_s(stats.evaluations);
         if charge_t_ppk {

@@ -93,6 +93,10 @@ pub fn optimize_window_with<P: PowerPerfPredictor>(
     memo: &mut EvalMemo,
 ) -> Option<WindowPlan> {
     snapshots.get(&current)?;
+    // One span per *decision* (covering every per-position climb in the
+    // window), not per climb — the guard is ~100 ns and would otherwise
+    // run several times per dispatch.
+    let _span = gpm_telemetry::span("search.hill_climb");
     let end = current + horizon.max(1);
 
     // Window positions in search order; anything the search order misses

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use gpm_harness::{EvalContext, ExecEnv};
+use gpm_telemetry::Telemetry;
 use gpm_trace::AggregateSink;
 use parking_lot::Mutex;
 
@@ -31,13 +32,18 @@ use crate::telemetry::{FleetReport, FleetRollup, JobReport, ShardReport};
 pub struct FleetService {
     ctx: EvalContext,
     workers: usize,
+    telemetry: Option<Telemetry>,
 }
 
 impl FleetService {
     /// A service over `ctx` with automatic worker sizing
     /// ([`std::thread::available_parallelism`], capped by shard count).
     pub fn new(ctx: EvalContext) -> FleetService {
-        FleetService { ctx, workers: 0 }
+        FleetService {
+            ctx,
+            workers: 0,
+            telemetry: None,
+        }
     }
 
     /// Pins the worker-thread count; `0` restores automatic sizing.
@@ -46,6 +52,27 @@ impl FleetService {
     pub fn with_workers(mut self, workers: usize) -> FleetService {
         self.workers = workers;
         self
+    }
+
+    /// Installs a fleet-level telemetry registry. Workers record
+    /// `fleet.worker`/`fleet.shard` spans plus bridge counters
+    /// (`gpm_fleet_jobs_total`, `gpm_fleet_shards_total`,
+    /// `gpm_fleet_fail_safe_total`) into it, and every shard additionally
+    /// gets a private per-shard registry whose snapshot lands in
+    /// [`ShardReport::telemetry`] and, merged, in
+    /// [`FleetRollup::telemetry`]. Snapshots carry wall-clock span
+    /// timings, so they are `#[serde(skip)]`ed out of the artifact —
+    /// the serialized [`FleetReport`] stays byte-identical for any
+    /// worker count with registries live.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> FleetService {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The fleet-level telemetry registry, if installed.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The shared evaluation context.
@@ -76,13 +103,27 @@ impl FleetService {
             for _ in 0..workers {
                 let cursor = &cursor;
                 let results = &results;
-                scope.spawn(move |_| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(plan) = scenario.shards.get(idx) else {
-                        break;
-                    };
-                    let report = run_shard(&self.ctx, plan);
-                    results.lock().push(report);
+                let telemetry = self.telemetry.as_ref();
+                scope.spawn(move |_| {
+                    // Route spans and bridge counters from this worker
+                    // into the fleet registry; inert when none installed.
+                    let _enter = telemetry.map(|t| t.enter());
+                    let _worker_span = gpm_telemetry::span("fleet.worker");
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(plan) = scenario.shards.get(idx) else {
+                            break;
+                        };
+                        let report = run_shard(&self.ctx, plan, telemetry.is_some());
+                        if let Some(t) = telemetry {
+                            t.counter("gpm_fleet_shards_total").inc();
+                            t.counter("gpm_fleet_jobs_total")
+                                .add(report.jobs.len() as u64);
+                            t.counter("gpm_fleet_fail_safe_total")
+                                .add(report.trace.fail_safe_events);
+                        }
+                        results.lock().push(report);
+                    }
                 });
             }
         })
@@ -99,12 +140,20 @@ impl FleetService {
     }
 }
 
-/// Evaluates one shard's job queue hermetically.
-fn run_shard(ctx: &EvalContext, plan: &ShardPlan) -> ShardReport {
+/// Evaluates one shard's job queue hermetically. With `instrument` set,
+/// the shard gets a private telemetry registry (snapshotted into the
+/// report) and a `fleet.shard` span in whatever registry the calling
+/// worker has entered.
+fn run_shard(ctx: &EvalContext, plan: &ShardPlan, instrument: bool) -> ShardReport {
+    let _shard_span = gpm_telemetry::span("fleet.shard");
+    let shard_telemetry = instrument.then(Telemetry::new);
     let sink = Arc::new(AggregateSink::new());
-    let env = ExecEnv::new()
+    let mut env = ExecEnv::new()
         .with_trace(sink.clone())
         .with_fault_plan(plan.faults.clone());
+    if let Some(t) = &shard_telemetry {
+        env = env.with_telemetry(t.clone());
+    }
     let mut jobs = Vec::with_capacity(plan.jobs.len());
     let mut busy_time_s = 0.0;
     let mut energy_j = 0.0;
@@ -136,6 +185,7 @@ fn run_shard(ctx: &EvalContext, plan: &ShardPlan) -> ShardReport {
         ginstructions,
         baseline_resolutions,
         trace,
+        telemetry: shard_telemetry.map(|t| t.snapshot()),
     }
 }
 

@@ -6,6 +6,7 @@
 //! determinism suite diffs across worker counts.
 
 use gpm_harness::{Comparison, SchemeOutcome};
+use gpm_telemetry::TelemetrySnapshot;
 use gpm_trace::TraceSummary;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,14 @@ pub struct ShardReport {
     /// (`baseline_simulations`/`baseline_cache_hits` normalized to 0 —
     /// see `baseline_resolutions`).
     pub trace: TraceSummary,
+    /// Snapshot of the shard's private telemetry registry, populated when
+    /// the service ran with [`crate::FleetService::with_telemetry`]. Span
+    /// rows carry wall-clock timings, which are not deterministic, so
+    /// this field is excluded from the serialized artifact to keep
+    /// [`FleetReport::to_artifact_json`] byte-identical across worker
+    /// counts and with/without registries live.
+    #[serde(skip)]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl ShardReport {
@@ -101,18 +110,30 @@ pub struct FleetRollup {
     pub fault_injections: u64,
     /// All shard trace summaries merged in shard order.
     pub trace: TraceSummary,
+    /// All per-shard telemetry snapshots merged in shard order (present
+    /// when the service ran with a registry installed). Excluded from
+    /// the serialized artifact for the same reason as
+    /// [`ShardReport::telemetry`].
+    #[serde(skip)]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl FleetRollup {
     /// Rolls up shard reports (assumed sorted by `shard_id`).
     pub fn from_shards(shards: &[ShardReport]) -> FleetRollup {
         let mut trace = TraceSummary::default();
+        let mut telemetry: Option<TelemetrySnapshot> = None;
         let mut energy_j = 0.0;
         let mut ginstructions = 0.0;
         let mut makespan_s = 0.0f64;
         let mut jobs = 0;
         for s in shards {
             trace.merge(&s.trace);
+            if let Some(snap) = &s.telemetry {
+                telemetry
+                    .get_or_insert_with(TelemetrySnapshot::default)
+                    .merge(snap);
+            }
             energy_j += s.energy_j;
             ginstructions += s.ginstructions;
             makespan_s = makespan_s.max(s.completion_s());
@@ -132,6 +153,7 @@ impl FleetRollup {
             fail_safe_entries: trace.fail_safe_events,
             fault_injections: trace.fault_injections,
             trace,
+            telemetry,
         }
     }
 }
@@ -182,6 +204,7 @@ mod tests {
             ginstructions: gi,
             baseline_resolutions: 1,
             trace: TraceSummary::default(),
+            telemetry: None,
         }
     }
 

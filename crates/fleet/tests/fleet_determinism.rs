@@ -77,6 +77,66 @@ fn repeated_replays_never_drift() {
     }
 }
 
+/// Live telemetry registries must be invisible to the artifact: a run
+/// with per-shard registries and a fleet-level registry installed is
+/// byte-identical to a clean run, at every worker count — while the
+/// registries demonstrably observed the fleet (so the gate is not
+/// vacuous).
+#[test]
+fn live_telemetry_registries_do_not_change_artifacts() {
+    let ctx = ctx();
+    let scenario = FleetScenario::mixed(0x7E1E, 8, 2);
+    let clean = FleetService::new(ctx.clone())
+        .with_workers(2)
+        .run(&scenario)
+        .to_artifact_json();
+
+    for workers in [1usize, 2, 4] {
+        let fleet_tel = gpm_telemetry::Telemetry::new();
+        let report = FleetService::new(ctx.clone())
+            .with_workers(workers)
+            .with_telemetry(fleet_tel.clone())
+            .run(&scenario);
+        assert_eq!(
+            clean,
+            report.to_artifact_json(),
+            "telemetry-instrumented artifact diverged at {workers} workers"
+        );
+
+        // The fleet registry saw every shard and job, and recorded
+        // worker/shard spans.
+        let fleet_snap = fleet_tel.snapshot();
+        assert_eq!(
+            fleet_snap.counter("gpm_fleet_shards_total"),
+            Some(report.shards.len() as u64)
+        );
+        assert_eq!(
+            fleet_snap.counter("gpm_fleet_jobs_total"),
+            Some(report.rollup.jobs as u64)
+        );
+        assert_eq!(
+            fleet_snap.span("fleet.shard").map(|s| s.count),
+            Some(report.shards.len() as u64)
+        );
+        assert!(fleet_snap.span("fleet.worker").is_some());
+
+        // Per-shard registries were snapshotted into the reports and the
+        // rollup merge agrees with the trace-side dispatch accounting.
+        let rollup_snap = report.rollup.telemetry.as_ref().expect("rollup snapshot");
+        assert_eq!(
+            rollup_snap.counter("gpm_dispatches_total"),
+            Some(report.rollup.trace.dispatches)
+        );
+        for shard in &report.shards {
+            let snap = shard.telemetry.as_ref().expect("shard snapshot");
+            assert_eq!(
+                snap.counter("gpm_dispatches_total"),
+                Some(shard.trace.dispatches)
+            );
+        }
+    }
+}
+
 /// Different seeds must produce different fleets — guards against the
 /// scenario builder collapsing to a constant (which would make the
 /// byte-identity gates vacuous).

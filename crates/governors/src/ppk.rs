@@ -126,13 +126,16 @@ impl<P: PowerPerfPredictor> Governor for PpkGovernor<P> {
                     },
                 )
             }
-            PpkSearch::HillClimb => hill_climb_with_memo(
-                &self.evaluator,
-                &last,
-                HwConfig::FAIL_SAFE,
-                cap,
-                &mut self.memo,
-            ),
+            PpkSearch::HillClimb => {
+                let _span = gpm_telemetry::span("search.hill_climb");
+                hill_climb_with_memo(
+                    &self.evaluator,
+                    &last,
+                    HwConfig::FAIL_SAFE,
+                    cap,
+                    &mut self.memo,
+                )
+            }
         };
         let config = best.map(|b| b.config).unwrap_or(HwConfig::FAIL_SAFE);
         let overhead_s = self.overhead.cost_s(stats.evaluations);

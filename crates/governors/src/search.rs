@@ -187,6 +187,7 @@ pub fn exhaustive_best<P: PowerPerfPredictor>(
     space: &ConfigSpace,
     time_cap_s: f64,
 ) -> (Option<ConfigEstimate>, u64) {
+    let _span = gpm_telemetry::span("search.exhaustive");
     // The candidate set is fixed up front, so the whole space is priced in
     // one batched predictor call; the feasibility scan then walks the
     // estimates in the same order (and with the same comparisons) as the
@@ -308,6 +309,10 @@ pub fn hill_climb_with_memo<P: PowerPerfPredictor>(
     time_cap_s: f64,
     memo: &mut EvalMemo,
 ) -> (Option<ConfigEstimate>, SearchStats) {
+    // Deliberately span-free: callers climb once per *window position*,
+    // several times per decision, and a guard here would dominate the
+    // climb itself. The `search.hill_climb` phase span lives at the
+    // per-decision call sites (window optimization, PPK selection).
     let mut evals = 0u64;
     let mut visits = KnobVisits::default();
     let mut pruned = 0u64;

@@ -47,9 +47,15 @@ use gpm_faults::{no_faults, FaultInjector, FaultKey, FaultPlan};
 use gpm_governors::{Governor, KernelContext, PerfTarget};
 use gpm_hw::HwConfig;
 use gpm_sim::{EnergyBreakdown, KernelOutcome, Platform};
+use gpm_telemetry::{Counter, Histo, Telemetry};
 use gpm_trace::{noop_sink, FailSafeReason, FaultChannelKind, TraceEvent, TraceSink};
 use gpm_workloads::Workload;
 use std::sync::Arc;
+
+/// Bucket boundaries for the `gpm_decision_seconds` latency histogram:
+/// the simulated optimizer overhead per decision, 1 µs … 10 ms decades
+/// (the same decades as `TraceSummary::decision_latency`).
+pub const DECISION_LATENCY_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
 
 /// A builder-constructed execution environment: the single dispatch path
 /// for replaying workloads under governors.
@@ -67,6 +73,9 @@ pub struct ExecEnv {
     /// [`FaultyPredictor`](gpm_faults::FaultyPredictor), which clones a
     /// plan rather than sharing a trait object.
     plan: FaultPlan,
+    /// Metrics/span registry entered for the duration of each replay,
+    /// when installed via [`ExecEnv::with_telemetry`].
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for ExecEnv {
@@ -83,6 +92,7 @@ impl ExecEnv {
             sink: noop_sink(),
             faults: no_faults(),
             plan: FaultPlan::zero(0),
+            telemetry: None,
         }
     }
 
@@ -113,6 +123,25 @@ impl ExecEnv {
     pub fn with_fault_injector(mut self, faults: Arc<dyn FaultInjector>) -> ExecEnv {
         self.faults = faults;
         self
+    }
+
+    /// Installs a telemetry registry as replay middleware. For the
+    /// duration of every [`ExecEnv::run`] and [`ExecEnv::baseline`] the
+    /// registry is the thread-current one, so phase spans emitted by
+    /// deeper layers (`rf.fit`, `flat.specialize`, `search.*`) land in
+    /// it, and the replay loop records dispatch/decision metrics into
+    /// it. Telemetry is strictly read-only observability: an
+    /// environment with a registry produces byte-identical results to
+    /// one without (pinned by `tests/execenv_equivalence.rs`).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ExecEnv {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The installed telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The installed trace sink.
@@ -178,6 +207,7 @@ impl ExecEnv {
             Middleware {
                 sink: self.sink.as_ref(),
                 faults: self.faults.as_ref(),
+                telemetry: self.telemetry.as_ref(),
             },
         )
     }
@@ -192,7 +222,14 @@ impl ExecEnv {
     /// it defines the target that (possibly degraded) schemes are judged
     /// against.
     pub fn baseline(&self, ctx: &EvalContext, workload: &Workload) -> (RunResult, PerfTarget) {
+        let _enter = self.telemetry.as_ref().map(|t| t.enter());
+        let _span = gpm_telemetry::span("baseline.resolve");
         let ((result, target), cached) = ctx.resolve_baseline(workload);
+        if let Some(t) = Telemetry::current() {
+            let label = if cached { "hit" } else { "miss" };
+            t.counter_with("gpm_baseline_resolutions_total", &[("cache", label)])
+                .inc();
+        }
         if self.sink.enabled() {
             self.sink.record(&TraceEvent::BaselineResolved {
                 run_index: 0,
@@ -208,6 +245,14 @@ impl ExecEnv {
 struct Middleware<'a> {
     sink: &'a dyn TraceSink,
     faults: &'a dyn FaultInjector,
+    telemetry: Option<&'a Telemetry>,
+}
+
+/// Metric handles resolved once per replay (registration is the only
+/// locking step; per-kernel writes are striped atomics).
+struct ReplayMetrics {
+    dispatches: Counter,
+    decision_latency: Histo,
 }
 
 /// The core replay loop. Every replay — [`ExecEnv::run`] and everything
@@ -221,7 +266,23 @@ fn replay(
     provide_truth: bool,
     mw: Middleware<'_>,
 ) -> RunResult {
-    let Middleware { sink, faults } = mw;
+    let Middleware {
+        sink,
+        faults,
+        telemetry,
+    } = mw;
+    // Make the environment's registry current for the whole replay so
+    // library spans (search, specialization, fit) nest under
+    // `env.dispatch`. Without one, spans route to whatever registry the
+    // caller entered (e.g. the xp runner's), or nowhere.
+    let _enter = telemetry.map(|t| t.enter());
+    let metrics = Telemetry::current().map(|t| {
+        t.counter("gpm_runs_total").inc();
+        ReplayMetrics {
+            dispatches: t.counter("gpm_dispatches_total"),
+            decision_latency: t.histogram("gpm_decision_seconds", DECISION_LATENCY_BOUNDS),
+        }
+    });
     let tracing = sink.enabled();
     let injecting = faults.enabled();
     if tracing {
@@ -246,6 +307,7 @@ fn replay(
 
     let mut prev_config: Option<HwConfig> = None;
     for (position, kernel) in workload.kernels().iter().enumerate() {
+        let _dispatch_span = gpm_telemetry::span("env.dispatch");
         let ctx = KernelContext {
             position,
             run_index,
@@ -262,6 +324,10 @@ fn replay(
             });
         }
         let decision = governor.select(&ctx);
+        if let Some(m) = &metrics {
+            m.dispatches.inc();
+            m.decision_latency.record(decision.overhead_s);
+        }
         if tracing {
             sink.record(&TraceEvent::Decision {
                 run_index,
@@ -479,6 +545,27 @@ mod tests {
             w.len()
         );
         assert!(events.iter().any(|e| e.kind() == "RunEnd"));
+    }
+
+    #[test]
+    fn telemetry_env_records_dispatch_metrics_and_spans() {
+        let sim = ApuSimulator::noiseless();
+        let w = workload_by_name("Spmv").unwrap();
+        let tel = Telemetry::new();
+        let env = ExecEnv::new().with_telemetry(tel.clone());
+        assert!(env.telemetry().unwrap().same_registry(&tel));
+        let mut gov = FixedGovernor::new(HwConfig::FAIL_SAFE);
+        let res = env.run(&sim, &w, &mut gov, PerfTarget::new(1.0, 1.0), 0, false);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("gpm_runs_total"), Some(1));
+        assert_eq!(
+            snap.counter("gpm_dispatches_total"),
+            Some(res.per_kernel.len() as u64)
+        );
+        let dispatch = snap.span("env.dispatch").unwrap();
+        assert_eq!(dispatch.count, res.per_kernel.len() as u64);
+        // The replay un-enters its registry on return.
+        assert!(Telemetry::current().is_none());
     }
 
     #[test]

@@ -163,6 +163,61 @@ fn faulted_evaluation_is_environment_reuse_invariant() {
 }
 
 #[test]
+fn telemetry_env_is_byte_identical_to_clean_env_for_all_schemes() {
+    // Telemetry is strictly read-only observability: installing a live
+    // registry (metrics + spans firing on every dispatch, search, and
+    // baseline resolution) must not perturb a single decision byte.
+    let w = workload_by_name("kmeans").unwrap();
+    for scheme in all_schemes() {
+        let clean = ExecEnv::new().evaluate(ctx(), &w, scheme);
+        let tel = gpm_telemetry::Telemetry::new();
+        let instrumented = ExecEnv::new()
+            .with_telemetry(tel.clone())
+            .evaluate(ctx(), &w, scheme);
+        assert_eq!(
+            fingerprint(&clean),
+            fingerprint(&instrumented),
+            "{} diverged between clean and telemetry-instrumented ExecEnv",
+            scheme.label()
+        );
+        // The registry actually observed the run — this is not a
+        // vacuous comparison against a disabled handle.
+        let snap = tel.snapshot();
+        assert!(snap.counter("gpm_dispatches_total").unwrap_or(0) > 0);
+        assert!(snap.span("env.dispatch").is_some());
+    }
+}
+
+#[test]
+fn telemetry_env_byte_identity_holds_traced_and_faulted() {
+    let w = workload_by_name("EigenValue").unwrap();
+    let scheme = Scheme::MpcRf {
+        horizon: HorizonMode::default(),
+    };
+    let plan = FaultPlan::uniform(0xFEED_BEEF, 0.15);
+    let run = |telemetry: Option<gpm_telemetry::Telemetry>| {
+        let agg = Arc::new(AggregateSink::new());
+        let mut env = ExecEnv::new()
+            .with_trace(agg.clone() as Arc<dyn TraceSink>)
+            .with_fault_plan(plan.clone());
+        if let Some(t) = telemetry {
+            env = env.with_telemetry(t);
+        }
+        (env.evaluate(ctx(), &w, scheme), agg.summary())
+    };
+    let (clean, clean_sum) = run(None);
+    let tel = gpm_telemetry::Telemetry::new();
+    let (instrumented, instr_sum) = run(Some(tel.clone()));
+    assert_eq!(fingerprint(&clean), fingerprint(&instrumented));
+    assert_eq!(clean_sum, instr_sum, "trace summaries diverged");
+    // Telemetry dispatch counts agree with the trace's own accounting.
+    assert_eq!(
+        tel.snapshot().counter("gpm_dispatches_total"),
+        Some(instr_sum.dispatches)
+    );
+}
+
+#[test]
 fn execenv_run_is_reuse_invariant_for_plain_replays() {
     let w = workload_by_name("NBody").unwrap();
     let target = PerfTarget::new(1.0, 1.0);

@@ -528,6 +528,7 @@ impl FlatForest {
     ///
     /// Panics when `prefix` is shorter than `prefix_len`.
     pub fn specialize_into(&self, prefix: &[f64], prefix_len: usize, out: &mut PrunedForest) {
+        let _span = gpm_telemetry::span("flat.specialize");
         assert!(
             prefix.len() >= prefix_len,
             "prefix row narrower than prefix_len"

@@ -86,6 +86,7 @@ impl RandomForest {
         seed: u64,
         threads: usize,
     ) -> RandomForest {
+        let _span = gpm_telemetry::span("rf.fit");
         assert!(!xs.is_empty(), "cannot fit a forest to zero samples");
         assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
         let num_features = xs[0].len();

@@ -1,0 +1,161 @@
+//! Property tests for [`TelemetrySnapshot::merge`], mirroring the
+//! `TraceSummary::merge` suite in `gpm-trace`: merging per-chunk
+//! registries over a partitioned metric-event stream — in any chunking
+//! and any association order — agrees with one registry having observed
+//! every event. Sample values are small integers (exactly representable
+//! in `f64`), so every assertion is exact equality, including histogram
+//! sums.
+
+use gpm_telemetry::{Telemetry, TelemetrySnapshot};
+use proptest::prelude::*;
+
+const COUNTERS: [&str; 3] = ["gpm_a_total", "gpm_b_total", "gpm_c_total"];
+const HISTOS: [(&str, &[f64]); 2] = [("gpm_h_small", &[2.0, 8.0, 32.0]), ("gpm_h_wide", &[100.0])];
+const SHARD_LABELS: [&str; 2] = ["0", "1"];
+
+/// One metric event. Gauges are absent on purpose: their last-write
+/// semantics are inherently order-dependent, and their merge is defined
+/// as an additive roll-up, not single-sink agreement.
+#[derive(Debug, Clone)]
+enum Ev {
+    Counter {
+        which: usize,
+        n: u64,
+    },
+    LabeledCounter {
+        which: usize,
+        shard: usize,
+        n: u64,
+    },
+    Histogram {
+        which: usize,
+        value: u16,
+        negate: bool,
+    },
+    NonFinite {
+        which: usize,
+    },
+    Log2 {
+        value: u64,
+    },
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0usize..COUNTERS.len(), 1u64..100).prop_map(|(which, n)| Ev::Counter { which, n }),
+        (
+            0usize..COUNTERS.len(),
+            0usize..SHARD_LABELS.len(),
+            1u64..100
+        )
+            .prop_map(|(which, shard, n)| Ev::LabeledCounter { which, shard, n }),
+        (
+            0usize..HISTOS.len(),
+            0u16..2000,
+            proptest::strategy::AnyBool
+        )
+            .prop_map(|(which, value, negate)| Ev::Histogram {
+                which,
+                value,
+                negate,
+            }),
+        (0usize..HISTOS.len()).prop_map(|which| Ev::NonFinite { which }),
+        (0u64..(1u64 << 40)).prop_map(|value| Ev::Log2 { value }),
+    ]
+}
+
+fn apply(t: &Telemetry, events: &[Ev]) {
+    for ev in events {
+        match ev {
+            Ev::Counter { which, n } => t.counter(COUNTERS[*which]).add(*n),
+            Ev::LabeledCounter { which, shard, n } => t
+                .counter_with(COUNTERS[*which], &[("shard", SHARD_LABELS[*shard])])
+                .add(*n),
+            Ev::Histogram {
+                which,
+                value,
+                negate,
+            } => {
+                let (name, bounds) = HISTOS[*which];
+                let v = *value as f64 * if *negate { -1.0 } else { 1.0 };
+                t.histogram(name, bounds).record(v);
+            }
+            Ev::NonFinite { which } => {
+                let (name, bounds) = HISTOS[*which];
+                t.histogram(name, bounds).record(f64::NAN);
+            }
+            Ev::Log2 { value } => t.log2_histogram("gpm_ns").record(*value),
+        }
+    }
+}
+
+fn summarize(events: &[Ev]) -> TelemetrySnapshot {
+    let t = Telemetry::new();
+    apply(&t, events);
+    t.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunked registries merged in order == one registry over the
+    /// whole stream, for any chunk boundaries over any event mix.
+    #[test]
+    fn chunked_merge_agrees_with_single_registry(
+        events in prop::collection::vec(ev_strategy(), 1..120),
+        cuts in prop::collection::vec(0usize..120, 0..4),
+    ) {
+        let whole = summarize(&events);
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (events.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(events.len());
+        bounds.sort_unstable();
+        let mut merged = TelemetrySnapshot::default();
+        for pair in bounds.windows(2) {
+            merged.merge(&summarize(&events[pair[0]..pair[1]]));
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) exactly.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(ev_strategy(), 0..40),
+        b in prop::collection::vec(ev_strategy(), 0..40),
+        c in prop::collection::vec(ev_strategy(), 0..40),
+    ) {
+        let (sa, sb, sc) = (summarize(&a), summarize(&b), summarize(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// A reshuffled stream snapshots identically — which worker thread
+    /// recorded which event can never leak into a rollup.
+    #[test]
+    fn aggregation_is_order_insensitive(
+        events in prop::collection::vec(ev_strategy(), 1..80),
+        rot in 0usize..80,
+    ) {
+        let mut rotated = events.clone();
+        rotated.rotate_left(rot % events.len());
+        prop_assert_eq!(summarize(&rotated), summarize(&events));
+    }
+
+    /// Merging with an empty snapshot is the identity, both ways.
+    #[test]
+    fn empty_is_identity(events in prop::collection::vec(ev_strategy(), 0..60)) {
+        let s = summarize(&events);
+        let mut left = s.clone();
+        left.merge(&TelemetrySnapshot::default());
+        prop_assert_eq!(&left, &s);
+        let mut right = TelemetrySnapshot::default();
+        right.merge(&s);
+        prop_assert_eq!(&right, &s);
+    }
+}

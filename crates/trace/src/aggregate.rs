@@ -19,6 +19,10 @@ pub struct Histogram {
     pub sum: f64,
     /// Number of recorded samples.
     pub n: u64,
+    /// Non-finite samples (NaN, ±∞) dropped instead of recorded. Absent
+    /// in artifacts written before this field existed, hence defaulted.
+    #[serde(default)]
+    pub rejected: u64,
 }
 
 impl Histogram {
@@ -38,12 +42,19 @@ impl Histogram {
             counts,
             sum: 0.0,
             n: 0,
+            rejected: 0,
         }
     }
 
-    /// Records one sample (NaN is dropped).
+    /// Records one sample. Non-finite values (NaN, ±∞) would poison
+    /// `sum` or land in a boundary bucket by accident of comparison
+    /// order, so they are silently dropped and tallied in
+    /// [`Histogram::rejected`] instead. Finite values beyond the last
+    /// bound saturate into the open-ended top bucket; values below the
+    /// first bound land in the open-ended bottom bucket.
     pub fn record(&mut self, value: f64) {
-        if value.is_nan() {
+        if !value.is_finite() {
+            self.rejected += 1;
             return;
         }
         let idx = self.bounds.partition_point(|&b| b <= value);
@@ -82,6 +93,7 @@ impl Histogram {
         }
         self.sum += other.sum;
         self.n += other.n;
+        self.rejected += other.rejected;
     }
 }
 
@@ -360,7 +372,13 @@ impl TraceSink for AggregateSink {
                 st.summary.decision_latency.record(*overhead_s);
                 if let Some(h) = horizon {
                     st.summary.horizon_decisions += 1;
-                    st.summary.horizon_overhead_s += overhead_s;
+                    // A non-finite overhead would poison the running
+                    // total (and every mean derived from it) for the
+                    // rest of the stream; drop it like the latency
+                    // histogram does.
+                    if overhead_s.is_finite() {
+                        st.summary.horizon_overhead_s += overhead_s;
+                    }
                     st.summary.horizon_evaluations += evaluations;
                     st.horizon_sum += *h as u64;
                 }
@@ -376,11 +394,11 @@ impl TraceSink for AggregateSink {
                 ..
             } => {
                 st.summary.outcomes += 1;
-                if let Some(te) = time_error_s {
+                if let Some(te) = time_error_s.filter(|te| te.is_finite()) {
                     st.abs_time_err_sum += te.abs();
                     st.time_err_n += 1;
                 }
-                if let Some(ee) = energy_error_j {
+                if let Some(ee) = energy_error_j.filter(|ee| ee.is_finite()) {
                     st.energy_err_sum += ee;
                     st.energy_err_n += 1;
                     if *energy_j > 0.0 {
@@ -389,11 +407,13 @@ impl TraceSink for AggregateSink {
                 }
             }
             TraceEvent::Headroom { slack_s, .. } => {
-                st.headroom_sum += slack_s;
-                st.headroom_n += 1;
-                let min = st.headroom_min.get_or_insert(*slack_s);
-                if slack_s < min {
-                    *min = *slack_s;
+                if slack_s.is_finite() {
+                    st.headroom_sum += slack_s;
+                    st.headroom_n += 1;
+                    let min = st.headroom_min.get_or_insert(*slack_s);
+                    if slack_s < min {
+                        *min = *slack_s;
+                    }
                 }
             }
             TraceEvent::RunEnd { .. } => {}
@@ -415,7 +435,44 @@ mod tests {
         h.record(f64::NAN); // dropped
         assert_eq!(h.counts, vec![1, 2, 1, 2]);
         assert_eq!(h.count(), 6);
+        assert_eq!(h.rejected, 1);
         assert!((h.mean() - (-5.0f64 + 0.0 + 0.5 + 1.5 + 2.0 + 99.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_all_non_finite_samples() {
+        let mut h = Histogram::new(vec![0.0, 1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.counts, vec![0, 0, 0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.rejected, 3);
+        assert_eq!(h.sum, 0.0);
+        assert_eq!(h.mean(), 0.0);
+        // Rejection counts survive a merge.
+        let mut other = Histogram::new(vec![0.0, 1.0]);
+        other.record(f64::NAN);
+        other.record(0.5);
+        h.merge(&other);
+        assert_eq!(h.rejected, 4);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_saturates_finite_values_beyond_the_last_bound() {
+        let mut h = Histogram::new(vec![1e-6, 1e-3]);
+        // Far beyond the last bound — including f64::MAX — lands in the
+        // open-ended top bucket, not in `rejected`.
+        for v in [2e-3, 1e6, f64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.counts, vec![0, 0, 3]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.rejected, 0);
+        // And far below the first bound lands in the bottom bucket.
+        h.record(f64::MIN);
+        assert_eq!(h.counts, vec![1, 0, 3]);
     }
 
     #[test]

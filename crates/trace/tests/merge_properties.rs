@@ -1,0 +1,250 @@
+//! Property tests for [`TraceSummary::merge`]: merging per-chunk
+//! summaries of a shuffled event stream — in any chunking and any
+//! association order — agrees with one sink having aggregated the whole
+//! stream. This is exactly the fleet-rollup situation: shard workers
+//! each own an `AggregateSink`, and the rollup merges their summaries
+//! in shard order regardless of which worker ran which shard.
+
+use gpm_hw::HwConfig;
+use gpm_trace::{AggregateSink, TraceEvent, TraceSink, TraceSummary};
+use proptest::prelude::*;
+
+/// A generator-friendly stand-in for the event kinds that feed every
+/// merge path: plain counters, weighted means, minima, and both
+/// histograms (including the non-finite rejection path).
+#[derive(Debug, Clone)]
+enum Ev {
+    Dispatch,
+    Decision {
+        horizon: Option<usize>,
+        evaluations: u64,
+        /// Milli-units; `None` injects a NaN overhead so the latency
+        /// histogram's `rejected` counter is exercised too.
+        overhead_milli: Option<u32>,
+    },
+    Outcome {
+        time_error_milli: Option<i32>,
+        energy_error_milli: Option<i32>,
+    },
+    Headroom {
+        slack_milli: i32,
+    },
+}
+
+impl Ev {
+    fn emit(&self, position: usize) -> TraceEvent {
+        match self {
+            Ev::Dispatch => TraceEvent::Dispatch {
+                run_index: 0,
+                position,
+                kernel: "k".into(),
+            },
+            Ev::Decision {
+                horizon,
+                evaluations,
+                overhead_milli,
+            } => TraceEvent::Decision {
+                run_index: 0,
+                position,
+                config: HwConfig::FAIL_SAFE,
+                horizon: *horizon,
+                evaluations: *evaluations,
+                overhead_s: overhead_milli.map(|m| m as f64 / 1e3).unwrap_or(f64::NAN),
+                predicted_time_s: None,
+                predicted_power_w: None,
+                predicted_energy_j: None,
+            },
+            Ev::Outcome {
+                time_error_milli,
+                energy_error_milli,
+            } => TraceEvent::Outcome {
+                run_index: 0,
+                position,
+                config: HwConfig::FAIL_SAFE,
+                time_s: 0.1,
+                energy_j: 2.0,
+                gi: 1.0,
+                time_error_s: time_error_milli.map(|m| m as f64 / 1e3),
+                power_error_w: None,
+                energy_error_j: energy_error_milli.map(|m| m as f64 / 1e3),
+            },
+            Ev::Headroom { slack_milli } => TraceEvent::Headroom {
+                run_index: 0,
+                position,
+                slack_s: *slack_milli as f64 / 1e3,
+            },
+        }
+    }
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        Just(Ev::Dispatch),
+        (
+            prop::option::of(1usize..6),
+            0u64..200,
+            prop::option::of(0u32..5000)
+        )
+            .prop_map(|(horizon, evaluations, overhead_milli)| Ev::Decision {
+                horizon,
+                evaluations,
+                overhead_milli,
+            }),
+        (
+            prop::option::of(-500i32..500),
+            prop::option::of(-500i32..500)
+        )
+            .prop_map(|(time_error_milli, energy_error_milli)| Ev::Outcome {
+                time_error_milli,
+                energy_error_milli,
+            }),
+        (-1000i32..1000).prop_map(|slack_milli| Ev::Headroom { slack_milli }),
+    ]
+}
+
+fn summarize(events: &[Ev]) -> TraceSummary {
+    let sink = AggregateSink::new();
+    for (i, ev) in events.iter().enumerate() {
+        sink.record(&ev.emit(i));
+    }
+    sink.summary()
+}
+
+/// Exact equality on every counter/histogram field; tolerance on the
+/// derived means, whose floating-point accumulation order legitimately
+/// differs between one sink and a merge tree.
+fn assert_agrees(a: &TraceSummary, b: &TraceSummary, what: &str) {
+    let exact = |x: u64, y: u64, f: &str| {
+        assert_eq!(x, y, "{what}: {f} differs");
+    };
+    exact(a.runs, b.runs, "runs");
+    exact(a.dispatches, b.dispatches, "dispatches");
+    exact(a.decisions, b.decisions, "decisions");
+    exact(
+        a.horizon_decisions,
+        b.horizon_decisions,
+        "horizon_decisions",
+    );
+    exact(
+        a.horizon_evaluations,
+        b.horizon_evaluations,
+        "horizon_evaluations",
+    );
+    exact(
+        a.total_evaluations,
+        b.total_evaluations,
+        "total_evaluations",
+    );
+    exact(a.outcomes, b.outcomes, "outcomes");
+    exact(
+        a.time_error_samples,
+        b.time_error_samples,
+        "time_error_samples",
+    );
+    exact(
+        a.energy_error_samples,
+        b.energy_error_samples,
+        "energy_error_samples",
+    );
+    exact(a.headroom_samples, b.headroom_samples, "headroom_samples");
+    assert_eq!(
+        a.decision_latency.counts, b.decision_latency.counts,
+        "{what}: latency buckets differ"
+    );
+    exact(
+        a.decision_latency.rejected,
+        b.decision_latency.rejected,
+        "latency rejected",
+    );
+    assert_eq!(
+        a.energy_error_rel.counts, b.energy_error_rel.counts,
+        "{what}: error buckets differ"
+    );
+    let close = |x: f64, y: f64, f: &str| {
+        let scale = x.abs().max(y.abs()).max(1e-12);
+        assert!(
+            (x - y).abs() <= 1e-9 * scale,
+            "{what}: {f} differs: {x} vs {y}"
+        );
+    };
+    close(a.mean_horizon, b.mean_horizon, "mean_horizon");
+    close(
+        a.mean_abs_time_error_s,
+        b.mean_abs_time_error_s,
+        "mean_abs_time_error_s",
+    );
+    close(
+        a.mean_signed_energy_error_j,
+        b.mean_signed_energy_error_j,
+        "mean_signed_energy_error_j",
+    );
+    close(a.mean_headroom_s, b.mean_headroom_s, "mean_headroom_s");
+    close(a.min_headroom_s, b.min_headroom_s, "min_headroom_s");
+    close(
+        a.horizon_overhead_s,
+        b.horizon_overhead_s,
+        "horizon_overhead_s",
+    );
+    close(
+        a.overhead_per_decision_s,
+        b.overhead_per_decision_s,
+        "overhead_per_decision_s",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunked aggregation merged in order == one sink over the stream,
+    /// for any chunk boundaries over any event mix.
+    #[test]
+    fn chunked_merge_agrees_with_single_sink(
+        events in prop::collection::vec(ev_strategy(), 1..120),
+        cuts in prop::collection::vec(0usize..120, 0..4),
+    ) {
+        let whole = summarize(&events);
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (events.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(events.len());
+        bounds.sort_unstable();
+        let mut merged = TraceSummary::default();
+        for pair in bounds.windows(2) {
+            merged.merge(&summarize(&events[pair[0]..pair[1]]));
+        }
+        assert_agrees(&merged, &whole, "chunked merge vs single sink");
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(ev_strategy(), 0..40),
+        b in prop::collection::vec(ev_strategy(), 0..40),
+        c in prop::collection::vec(ev_strategy(), 0..40),
+    ) {
+        let (sa, sb, sc) = (summarize(&a), summarize(&b), summarize(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        assert_agrees(&left, &right, "associativity");
+    }
+
+    /// A reshuffled stream produces the same summary — aggregation is
+    /// order-insensitive, so shard scheduling cannot leak into rollups.
+    #[test]
+    fn aggregation_is_order_insensitive(
+        events in prop::collection::vec(ev_strategy(), 1..80),
+        rot in 0usize..80,
+    ) {
+        let mut rotated = events.clone();
+        rotated.rotate_left(rot % events.len());
+        assert_agrees(
+            &summarize(&rotated),
+            &summarize(&events),
+            "rotated stream",
+        );
+    }
+}

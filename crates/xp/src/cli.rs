@@ -334,6 +334,7 @@ mod tests {
             metrics: vec![metric("mpc_energy_savings_pct", 28.75)],
             gates: vec![],
             trace: TraceSummary::default(),
+            phases: vec![],
             duration_ms: 1,
             text: String::new(),
             details: Value::Null,

@@ -10,6 +10,7 @@
 
 use gpm_harness::env::ExecEnv;
 use gpm_harness::{EvalContext, EvalOptions};
+use gpm_telemetry::{Telemetry, TelemetrySnapshot};
 use gpm_trace::{AggregateSink, TraceSink, TraceSummary};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -206,6 +207,7 @@ pub struct XpEnv<'a> {
     mode: Mode,
     ctx: Option<&'a EvalContext>,
     sink: Arc<AggregateSink>,
+    telemetry: Telemetry,
 }
 
 impl<'a> XpEnv<'a> {
@@ -215,6 +217,7 @@ impl<'a> XpEnv<'a> {
             mode,
             ctx,
             sink: Arc::new(AggregateSink::new()),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -246,16 +249,31 @@ impl<'a> XpEnv<'a> {
             .expect("experiment was registered without a shared context")
     }
 
-    /// An [`ExecEnv`] wired to this experiment's trace aggregate.
-    /// Tracing never changes decisions (property-tested), so routing
-    /// every evaluation through it is free observability.
+    /// An [`ExecEnv`] wired to this experiment's trace aggregate and
+    /// telemetry registry. Neither changes decisions (property- and
+    /// byte-identity-tested), so routing every evaluation through them
+    /// is free observability.
     pub fn exec(&self) -> ExecEnv {
-        ExecEnv::new().with_trace(self.sink.clone() as Arc<dyn TraceSink>)
+        ExecEnv::new()
+            .with_trace(self.sink.clone() as Arc<dyn TraceSink>)
+            .with_telemetry(self.telemetry.clone())
     }
 
     /// The per-experiment trace summary accumulated so far.
     pub fn trace_summary(&self) -> TraceSummary {
         self.sink.summary()
+    }
+
+    /// The per-experiment telemetry registry (metrics + span profiles
+    /// for every evaluation routed through [`XpEnv::exec`]; the runner
+    /// also scopes the whole run under an `xp.experiment` span).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshot of the per-experiment registry accumulated so far.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 }
 

@@ -12,3 +12,4 @@ pub mod figures;
 pub mod fleet;
 pub mod robustness;
 pub mod tables;
+pub mod telemetry;

@@ -31,4 +31,4 @@ pub use experiment::{
     Source, XpEnv,
 };
 pub use registry::{registry, registry_names};
-pub use runner::{run_suite, RunConfig, SuiteReport};
+pub use runner::{phase_table, run_suite, PhaseRow, RunConfig, SuiteReport};

@@ -3,7 +3,7 @@
 //! values.
 
 use crate::experiment::{Expectation, Experiment, Mode, Source, XpEnv};
-use crate::experiments::{ablations, extensions, figures, fleet, robustness, tables};
+use crate::experiments::{ablations, extensions, figures, fleet, robustness, tables, telemetry};
 use crate::golden::golden_for;
 
 /// A golden expectation that binds in both modes with tolerance 0 —
@@ -305,6 +305,19 @@ pub fn registry() -> Vec<Experiment> {
             true,
             fleet::fleet_scaling,
             vec![exact("deterministic", 1.0)],
+        ),
+        entry(
+            "telemetry_overhead",
+            "extension",
+            "Telemetry hot-path overhead, decision byte-identity, Prometheus validity",
+            true,
+            telemetry::telemetry_overhead,
+            vec![
+                exact("overhead_ok", 1.0),
+                exact("byte_identical", 1.0),
+                exact("prometheus_valid", 1.0),
+                exact("spans_match_dispatches", 1.0),
+            ],
         ),
     ]
 }

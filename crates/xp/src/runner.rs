@@ -77,12 +77,60 @@ pub struct ExperimentRecord {
     pub gates: Vec<GateResult>,
     /// Decision-level trace aggregate for the experiment's evaluations.
     pub trace: TraceSummary,
+    /// Per-phase span profile of the run (aggregated by leaf span name,
+    /// sorted by total time descending). Wall-clock derived —
+    /// informational, never gated, and absent in pre-telemetry
+    /// artifacts.
+    #[serde(default)]
+    pub phases: Vec<PhaseRow>,
     /// Wall-clock runtime, milliseconds (informational; never gated).
     pub duration_ms: u64,
     /// The rendered report text.
     pub text: String,
     /// Structured per-row details.
     pub details: Value,
+}
+
+/// One line of an experiment's phase-time table: all spans with a given
+/// leaf name (e.g. `search.hill_climb`), summed across call paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Leaf span name.
+    pub phase: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Wall time inside the phase, milliseconds.
+    pub total_ms: f64,
+    /// `total_ms` minus time attributed to child spans.
+    pub self_ms: f64,
+}
+
+/// Collapses a telemetry snapshot into the phase-time table: one row
+/// per leaf span name, sorted by total time descending (name as
+/// tiebreak).
+pub fn phase_table(snapshot: &gpm_telemetry::TelemetrySnapshot) -> Vec<PhaseRow> {
+    let mut names: Vec<&str> = snapshot.spans.iter().map(|s| s.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut rows: Vec<PhaseRow> = names
+        .into_iter()
+        .filter_map(|name| {
+            let row = snapshot.span(name)?;
+            Some(PhaseRow {
+                phase: name.to_string(),
+                count: row.count,
+                total_ms: row.total_ns as f64 / 1e6,
+                self_ms: row.self_ns as f64 / 1e6,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_ms
+            .partial_cmp(&a.total_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.phase.cmp(&b.phase))
+    });
+    rows
 }
 
 /// What [`run_suite`] returns.
@@ -156,8 +204,16 @@ fn load_checkpoint(exp: &Experiment, cfg: &RunConfig) -> Option<ExperimentRecord
 fn run_one(exp: &Experiment, mode: Mode, ctx: Option<&EvalContext>) -> ExperimentRecord {
     let started = std::time::Instant::now();
     let env = XpEnv::new(mode, ctx);
-    let outcome = catch_unwind(AssertUnwindSafe(|| (exp.run)(&env)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Scope the whole run under the experiment's registry so any
+        // span fired on this thread (model fits, searches, dispatches)
+        // lands in its phase table, rooted at `xp.experiment`.
+        let _enter = env.telemetry().enter();
+        let _span = gpm_telemetry::span("xp.experiment");
+        (exp.run)(&env)
+    }));
     let trace = env.trace_summary();
+    let phases = phase_table(&env.telemetry_snapshot());
     let duration_ms = started.elapsed().as_millis() as u64;
     match outcome {
         Ok(out) => {
@@ -174,6 +230,7 @@ fn run_one(exp: &Experiment, mode: Mode, ctx: Option<&EvalContext>) -> Experimen
                 metrics: out.metrics,
                 gates,
                 trace,
+                phases,
                 duration_ms,
                 text: out.text,
                 details: out.details,
@@ -196,6 +253,7 @@ fn run_one(exp: &Experiment, mode: Mode, ctx: Option<&EvalContext>) -> Experimen
                 metrics: Vec::new(),
                 gates: Vec::new(),
                 trace,
+                phases,
                 duration_ms,
                 text: format!("PANIC: {msg}"),
                 details: Value::Null,

@@ -21,6 +21,7 @@
 //! | [`workloads`] | `gpm-workloads` | the 15 Table IV benchmarks |
 //! | [`harness`] | `gpm-harness` | experiment runner, comparisons, reports |
 //! | [`trace`] | `gpm-trace` | decision-level observability events and sinks |
+//! | [`telemetry`] | `gpm-telemetry` | metrics registry, span profiler, Prometheus/chrome-trace/flamegraph exporters |
 //! | [`faults`] | `gpm-faults` | deterministic fault injection (robustness studies) |
 //! | [`fleet`] | `gpm-fleet` | sharded multi-device fleet service and scenario DSL |
 //!
@@ -52,5 +53,6 @@ pub use gpm_model as model;
 pub use gpm_mpc as mpc;
 pub use gpm_pattern as pattern;
 pub use gpm_sim as sim;
+pub use gpm_telemetry as telemetry;
 pub use gpm_trace as trace;
 pub use gpm_workloads as workloads;

@@ -1,7 +1,8 @@
 //! Offline shim of the `proptest` API surface this workspace uses:
-//! range / tuple / mapped strategies, `prop::collection::vec`, the
-//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
-//! and `prop_assert!` / `prop_assert_eq!`.
+//! range / tuple / mapped strategies, `prop_oneof!` unions,
+//! `prop::collection::vec`, `prop::option::of`, the `proptest!` macro
+//! with an optional `#![proptest_config(...)]` header, and
+//! `prop_assert!` / `prop_assert_eq!`.
 //!
 //! Inputs are generated deterministically (seeded per test name and case
 //! index), so failures reproduce across runs. There is no shrinking: a
@@ -122,6 +123,37 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
         (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
     }
+
+    /// A uniform choice between boxed strategies of one value type —
+    /// the strategy behind `prop_oneof!`. Built fluently so the macro
+    /// expansion needs no `rand` types in the calling crate.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Fn(&mut StdRng) -> T>>,
+    }
+
+    impl<T> Union<T> {
+        /// An empty union; combine with [`Union::or`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Union<T> {
+            Union { arms: Vec::new() }
+        }
+
+        /// Adds one equally weighted arm.
+        pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Union<T> {
+            self.arms.push(Box::new(move |rng| s.generate(rng)));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rand::Rng::gen_range(rng, 0..self.arms.len());
+            (self.arms[i])(rng)
+        }
+    }
 }
 
 /// Runner configuration and deterministic seeding.
@@ -228,6 +260,36 @@ pub mod prop {
             }
         }
     }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy producing `Option`s of an inner strategy.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some(inner)` or `None` with equal probability.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_bool(0.5) {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// Everything a property test needs in scope.
@@ -235,7 +297,17 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// A uniform choice among strategies yielding one value type.
+/// Unlike upstream proptest, arms are unweighted (`n => strat` weights
+/// are not supported); the shimmed call sites only use uniform arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
+    };
 }
 
 /// Defines property tests. Accepts an optional
@@ -259,20 +331,19 @@ macro_rules! __proptest_items {
     (($cfg:expr)) => {};
     (($cfg:expr)
         $(#[$meta:meta])*
-        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
         $($rest:tt)*
     ) => {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
-            $(let $arg = &($strat);)*
             for __case in 0..__config.cases {
                 let __seed =
                     $crate::__case_seed(module_path!(), stringify!($name), __case);
                 let mut __rng = $crate::__rng_for(__seed);
                 $(
                     let $arg =
-                        $crate::strategy::Strategy::generate($arg, &mut __rng);
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
                 )*
                 $body
             }
@@ -325,6 +396,28 @@ mod tests {
         #[test]
         fn prop_map_applies(v in (1u32..5).prop_map(|x| x * 10)) {
             prop_assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            vs in prop::collection::vec(
+                prop_oneof![Just(1u32), (10u32..20), (100u32..200).prop_map(|x| x)],
+                64,
+            ),
+        ) {
+            prop_assert!(vs.iter().all(|v| {
+                *v == 1 || (10..20).contains(v) || (100..200).contains(v)
+            }));
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(
+            vs in prop::collection::vec(prop::option::of(5u8..10), 64),
+        ) {
+            prop_assert!(vs
+                .iter()
+                .flatten()
+                .all(|v| (5..10).contains(v)));
         }
     }
 
